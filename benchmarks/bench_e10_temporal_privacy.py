@@ -1,0 +1,33 @@
+"""E10 — extension: streaming release with delta-location sets and repair.
+
+The PGLP report's temporal story (and [19]'s): as releases accumulate, the
+adversary's feasible set shrinks; the policy must be restricted to it (and
+repaired) every step.  This bench follows a Markov-mobile user for 30 steps
+and reports, per delta: the mean location-set size, how often the true
+location drifted out of the set (surrogate rate), repair activity, release
+utility, and the tracking adversary's mean localisation error.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_temporal_privacy
+
+
+def test_bench_e10_temporal_privacy(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_temporal_privacy,
+        kwargs={
+            "config": bench_config,
+            "epsilon": 1.0,
+            "deltas": (0.0, 0.05, 0.2),
+            "horizon": 30,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    sizes = dict(zip(table.column("delta"), table.column("mean_set_size")))
+    # delta = 0 keeps the whole support; larger deltas shrink the set.
+    assert sizes[0.0] >= sizes[0.05] >= sizes[0.2]
+    surrogates = dict(zip(table.column("delta"), table.column("surrogate_rate")))
+    assert surrogates[0.0] == 0.0

@@ -1,0 +1,28 @@
+"""E11 — extension: city-level epidemic forecasting from perturbed flows.
+
+Sec. 3.1 motivates location monitoring as input to epidemic understanding
+("people's movement between different cities ... combining with the
+incidence rate in each city").  This bench fits a metapopulation SEIR to the
+inter-area flows of the true stream and of each privacy-preserving stream,
+and reports the divergence between the forecast epidemic curves.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_metapop_forecast
+
+
+def test_bench_e11_metapop_forecast(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_metapop_forecast, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(table)
+    for row in table.to_dicts():
+        assert row["forecast_divergence"] >= 0.0
+        assert row["peak_time_true"] > 0
+    # At the largest budget the fine policies should forecast no worse than
+    # the complete-graph policy at the smallest budget.
+    best = table.where(policy="G1", epsilon=2.0).column("forecast_divergence")
+    worst = table.where(policy="G2", epsilon=0.1).column("forecast_divergence")
+    if best and worst:
+        assert best[0] <= worst[0] + 0.05

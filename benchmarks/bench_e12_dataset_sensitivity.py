@@ -1,0 +1,24 @@
+"""E12 — robustness: monitoring utility across workloads.
+
+The demo evaluates on both Geolife and Gowalla; this bench verifies the
+E1 policy ordering (finer policies -> better point utility) holds on every
+synthetic workload — commuters, sparse check-ins, and random waypoint.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_dataset_sensitivity
+
+
+def test_bench_e12_dataset_sensitivity(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_dataset_sensitivity,
+        kwargs={"config": bench_config, "epsilon": 1.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    for dataset_table in table.group_by("dataset").values():
+        errors = dict(zip(dataset_table.column("policy"), dataset_table.column("mean_euclidean_error")))
+        # The paper's ordering is workload independent: G1/Gb beat Ga beat G2.
+        assert errors["G1"] < errors["Ga"] < errors["G2"]

@@ -1,0 +1,23 @@
+"""E1 — location-monitoring utility vs epsilon (demo evaluation 1a).
+
+Regenerates the utility panel of Fig. 5: mean Euclidean error, coarse-area
+accuracy, and flow error for every policy x mechanism x epsilon combination,
+on the Geolife-like workload.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_monitoring_utility
+
+
+def test_bench_e1_monitoring_utility(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_monitoring_utility, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(table)
+    # Sanity: the paper's shape — more budget, less error, for every policy.
+    for policy in bench_config.policies:
+        for mechanism in bench_config.mechanisms:
+            rows = table.where(policy=policy, mechanism=mechanism)
+            errors = dict(zip(rows.column("epsilon"), rows.column("mean_euclidean_error")))
+            assert errors[2.0] < errors[0.1]

@@ -1,0 +1,17 @@
+"""E2 — accuracy of transmission-model (R0) estimation (demo evaluation 1b).
+
+Regenerates the "difference between R0 estimated over accurate locations and
+the perturbed locations" series for every policy x mechanism x epsilon.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_r0_estimation
+
+
+def test_bench_e2_r0_estimation(benchmark, bench_config):
+    table = benchmark.pedantic(run_r0_estimation, args=(bench_config,), rounds=1, iterations=1)
+    emit(table)
+    for row in table.to_dicts():
+        assert row["r0_true"] > 0
+        assert row["abs_error"] >= 0

@@ -1,0 +1,21 @@
+"""E3 — the contact-tracing procedure with dynamic policies (demo eval 2).
+
+Regenerates the tracing comparison: precision/recall/F1 and communication +
+privacy cost of dynamic-Gc re-sends versus the static perturbed-data
+baseline, across epsilon.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_contact_tracing
+
+
+def test_bench_e3_contact_tracing(benchmark, bench_config):
+    table = benchmark.pedantic(run_contact_tracing, args=(bench_config,), rounds=1, iterations=1)
+    emit(table)
+    # Headline claim: full tracing utility under the dynamic policy.
+    for epsilon in bench_config.epsilons:
+        dynamic = table.where(method="dynamic-Gc", epsilon=epsilon).to_dicts()[0]
+        static = table.where(method="static", epsilon=epsilon).to_dicts()[0]
+        assert dynamic["f1"] >= static["f1"]
+        assert dynamic["recall"] == 1.0

@@ -1,0 +1,20 @@
+"""E4 — empirical privacy as adversary inference error (demo evaluation 3a).
+
+Regenerates the privacy panel: the Bayesian attacker's mean inference error
+[Shokri et al.] next to the utility error, for every policy x mechanism x
+epsilon — the privacy/utility trade-off the demo visualises.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_adversary_error
+
+
+def test_bench_e4_adversary_error(benchmark, bench_config):
+    table = benchmark.pedantic(run_adversary_error, args=(bench_config,), rounds=1, iterations=1)
+    emit(table)
+    # Privacy falls as budget grows, for every policy under P-LM.
+    for policy in bench_config.policies:
+        rows = table.where(policy=policy, mechanism="P-LM")
+        privacy = dict(zip(rows.column("epsilon"), rows.column("adversary_error")))
+        assert privacy[0.1] >= privacy[2.0]

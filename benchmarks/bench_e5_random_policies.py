@@ -1,0 +1,34 @@
+"""E5 — random policy graph explorer (demo Fig. 5, "Random Policy Graph").
+
+Regenerates the size x density sweep: utility error and adversary error of
+P-LM under Erdos-Renyi policies, the panel attendees use to explore the
+privacy-utility trade-off.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_random_policy_tradeoff
+
+
+def test_bench_e5_random_policies(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_random_policy_tradeoff,
+        kwargs={
+            "config": bench_config,
+            "sizes": (20, 50),
+            "densities": (0.05, 0.1, 0.3, 0.8),
+            "epsilon": 1.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    # Every sampled policy yields a measurable trade-off point.  (Monotonicity
+    # in density is not asserted: each cell samples a fresh random node set,
+    # and a sparse draw containing one long edge can out-noise a dense one —
+    # exactly the exploration the demo panel is for.)
+    assert len(table) >= 6
+    for row in table.to_dicts():
+        assert row["n_edges"] > 0
+        assert row["utility_error"] > 0
+        assert row["adversary_error"] >= 0

@@ -1,0 +1,21 @@
+"""E6 — analytic verification of Theorems 2.1 / 2.2 (paper Fig. 2).
+
+Regenerates the indistinguishability bound check: the maximal log density
+ratio of {eps, G1}-P-LM over Geo-I pairs and of {eps, G2}-P-PIM over
+location-set pairs, against the theorem's bound, per epsilon.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_theorem_bounds
+
+
+def test_bench_e6_theorem_bounds(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_theorem_bounds,
+        kwargs={"config": bench_config, "n_outputs": 40, "n_pairs": 60},
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    assert all(table.column("holds"))

@@ -1,0 +1,24 @@
+"""E7 — the Fig. 4 policy menagerie: "no policy could be the best for all".
+
+Regenerates the per-function utility matrix: monitoring accuracy, R0 error
+and tracing F1 side by side for the paper's Ga / Gb / Gc policies at a fixed
+epsilon.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_policy_matrix
+
+
+def test_bench_e7_policy_matrix(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_policy_matrix, kwargs={"config": bench_config, "epsilon": 1.0}, rounds=1, iterations=1
+    )
+    emit(table)
+    assert table.column("policy") == ["Ga", "Gb", "Gc"]
+    matrix = {row["policy"]: row for row in table.to_dicts()}
+    # The finer Gb dominates the coarse Ga on point utility...
+    assert matrix["Gb"]["monitoring_error"] < matrix["Ga"]["monitoring_error"]
+    # ...while dynamic tracing stays at full utility for all bases.
+    for row in matrix.values():
+        assert row["tracing_f1"] == 1.0

@@ -1,0 +1,87 @@
+"""E8 — mechanism and filtering latency vs world size.
+
+The demo runs interactively, so per-release latency is the system metric
+that matters.  This file benchmarks the hot paths properly (multiple rounds,
+real timing statistics): mechanism construction, a single release, a density
+evaluation, and one HMM filtering step, at growing grid sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import (
+    GraphExponentialMechanism,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.policies import grid_policy
+from repro.geo.grid import GridWorld
+from repro.mobility.hmm import BayesFilter
+from repro.mobility.markov import MarkovModel
+
+SIZES = [8, 16, 24]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_construct_laplace(benchmark, size):
+    world = GridWorld(size, size)
+    policy = grid_policy(world)
+    benchmark(PolicyLaplaceMechanism, world, policy, 1.0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_construct_pim(benchmark, size):
+    world = GridWorld(size, size)
+    policy = grid_policy(world)
+    benchmark(PolicyPlanarIsotropicMechanism, world, policy, 1.0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_release_laplace(benchmark, size):
+    world = GridWorld(size, size)
+    mech = PolicyLaplaceMechanism(world, grid_policy(world), 1.0)
+    rng = np.random.default_rng(0)
+    cell = world.cell_of(size // 2, size // 2)
+    benchmark(mech.release, cell, rng)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_release_pim(benchmark, size):
+    world = GridWorld(size, size)
+    mech = PolicyPlanarIsotropicMechanism(world, grid_policy(world), 1.0)
+    rng = np.random.default_rng(0)
+    cell = world.cell_of(size // 2, size // 2)
+    benchmark(mech.release, cell, rng)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_release_graph_exponential(benchmark, size):
+    world = GridWorld(size, size)
+    mech = GraphExponentialMechanism(world, grid_policy(world), 1.0)
+    rng = np.random.default_rng(0)
+    cell = world.cell_of(size // 2, size // 2)
+    mech.pmf(cell)  # warm the cache: steady-state latency is what the app sees
+    benchmark(mech.release, cell, rng)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_pdf_pim(benchmark, size):
+    world = GridWorld(size, size)
+    mech = PolicyPlanarIsotropicMechanism(world, grid_policy(world), 1.0)
+    cell = world.cell_of(size // 2, size // 2)
+    z = (0.1, 0.2)
+    benchmark(mech.pdf, z, cell)
+
+
+@pytest.mark.parametrize("size", [8, 16])
+def test_bench_hmm_filter_step(benchmark, size):
+    world = GridWorld(size, size)
+    mech = PolicyLaplaceMechanism(world, grid_policy(world), 1.0)
+    markov = MarkovModel.lazy_walk(world)
+    release = mech.release(world.cell_of(1, 1), rng=0)
+
+    def step():
+        filt = BayesFilter(markov, prior=np.full(world.n_cells, 1.0 / world.n_cells))
+        filt.step(release, mech)
+
+    benchmark(step)

@@ -1,0 +1,32 @@
+"""E9 — ablation: practical mechanisms vs the LP-optimal baseline.
+
+DESIGN.md calls out two design choices worth quantifying: calibrating noise
+to the component's edge geometry (P-LM vs P-PIM) and choosing continuous vs
+discrete output (P-PIM vs graph-exponential).  The LP-optimal discrete
+mechanism gives the yardstick: its expected error is provably minimal, so
+each row's ``optimality_gap`` shows how much utility each practical
+mechanism leaves on the table — on the isotropic G1 policy and on a
+corridor policy with a maximally anisotropic hull.
+"""
+
+from conftest import emit
+
+from repro.experiments.harness import run_mechanism_ablation
+
+
+def test_bench_e9_mechanism_ablation(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_mechanism_ablation,
+        kwargs={"config": bench_config, "epsilon": 1.0, "ablation_world_size": 6},
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    for policy_table in table.group_by("policy").values():
+        errors = dict(zip(policy_table.column("mechanism"), policy_table.column("mean_empirical_error")))
+        # The LP optimum is (statistically) the floor.
+        assert errors["Optimal-LP"] <= min(errors["P-LM"], errors["P-PIM"]) + 0.15
+    # Anisotropy is where hull-aware mechanisms pay off.
+    corridor = table.where(policy="corridor")
+    errors = dict(zip(corridor.column("mechanism"), corridor.column("mean_empirical_error")))
+    assert errors["P-PIM"] < errors["P-LM"]

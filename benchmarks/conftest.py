@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_eN_*.py`` regenerates one evaluation artifact of the paper (see
+DESIGN.md's experiment index): the benchmarked callable *is* the experiment
+runner, and the resulting table is printed so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the demo's panels as
+text.  The printed rows are also what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Laptop-scale configuration shared by all experiment benchmarks."""
+    return ExperimentConfig(
+        world_size=10,
+        n_users=24,
+        horizon=60,
+        epsilons=(0.1, 0.5, 1.0, 2.0),
+        policies=("G1", "Gb", "Ga", "G2"),
+        mechanisms=("P-LM", "P-PIM"),
+        trials=3,
+        tracing_window=60,
+        seed=2020,
+    )
+
+
+def emit(table) -> None:
+    """Print a result table under the benchmark output."""
+    print()
+    print(table.pretty())

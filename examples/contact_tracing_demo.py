@@ -1,0 +1,75 @@
+"""Contact tracing with dynamic policy graphs (the demo's Sec. 3.2 walkthrough).
+
+Simulates a two-week city: commuters release perturbed locations under the
+fine-grained policy Gb, an outbreak seeds at user 0, a patient is diagnosed,
+and the server runs the paper's tracing procedure — patient disclosure,
+dynamic Gc policy update, candidate re-sends, rule-of-two flagging — then
+compares against the static baseline that only has the perturbed stream.
+
+Run:  python examples/contact_tracing_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BudgetLedger,
+    ContactTracingProtocol,
+    GridWorld,
+    PolicyLaplaceMechanism,
+    area_policy,
+    geolife_like,
+    perturb_tracedb,
+    simulate_outbreak,
+    static_tracing,
+)
+
+WINDOW = 14 * 12  # two weeks of 2-hour samples
+EPSILON = 1.0
+
+
+def main() -> None:
+    world = GridWorld(12, 12, cell_size=1.0)
+    population = geolife_like(world, n_users=40, horizon=WINDOW, rng=2020, n_work_hubs=4)
+    print(f"population: {len(population.users())} users, {len(population)} check-ins")
+
+    outbreak = simulate_outbreak(population, seeds=[0], p_transmit=0.35, rng=1)
+    print(f"outbreak: {len(outbreak.infected_users)} ever infected "
+          f"(attack rate {outbreak.attack_rate:.0%}), {len(outbreak.events)} transmissions")
+    print()
+
+    diagnosis_time = population.times()[-1]
+    patient = 0
+    base_policy = area_policy(world, 2, 2, name="Gb")
+    true_contacts = population.contacts_of(
+        patient, min_count=2, start=diagnosis_time - WINDOW + 1, end=diagnosis_time
+    )
+    print(f"patient {patient} diagnosed at t={diagnosis_time}; "
+          f"{len(true_contacts)} ground-truth contacts (rule of two)")
+
+    ledger = BudgetLedger()
+    protocol = ContactTracingProtocol(
+        world, base_policy, PolicyLaplaceMechanism, EPSILON, min_count=2, window=WINDOW
+    )
+    outcome = protocol.run(population, patient, diagnosis_time, rng=3, ledger=ledger)
+    print()
+    print("dynamic-Gc tracing:")
+    print(f"  candidates asked to re-send : {len(outcome.candidates)}")
+    print(f"  flagged                     : {sorted(outcome.flagged)}")
+    print(f"  precision / recall / F1     : {outcome.precision:.2f} / {outcome.recall:.2f} / {outcome.f1:.2f}")
+    print(f"  extra budget spent          : {outcome.epsilon_spent:.1f} "
+          f"(= {outcome.epsilon_spent / EPSILON:.0f} re-sent releases)")
+
+    mechanism = PolicyLaplaceMechanism(world, base_policy, EPSILON)
+    released = perturb_tracedb(world, mechanism, population, rng=4)
+    baseline = static_tracing(world, released, population, patient, diagnosis_time, window=WINDOW)
+    print()
+    print("static baseline (perturbed data only):")
+    print(f"  flagged                     : {sorted(baseline.flagged)}")
+    print(f"  precision / recall / F1     : {baseline.precision:.2f} / {baseline.recall:.2f} / {baseline.f1:.2f}")
+    print()
+    print("=> the dynamic policy restores full tracing utility; the static")
+    print("   baseline misses contacts because noise destroys co-locations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Epidemic analysis under location privacy: estimating R0 from noisy data.
+
+Reproduces the demo's second utility evaluation: an SEIR outbreak unfolds
+over commuter traces; the health authority estimates the basic reproduction
+number R0 twice — once from the true locations, once from the
+privacy-preserving stream — for each policy graph and several budgets, and
+reports the estimation error the paper plots.  An SEIR curve fit on the
+outbreak's incidence is shown as a cross-check.
+
+Run:  python examples/epidemic_analysis_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GridWorld,
+    PolicyLaplaceMechanism,
+    area_policy,
+    estimate_r0_contacts,
+    estimate_r0_seir,
+    geolife_like,
+    grid_policy,
+    r0_estimation_error,
+    simulate_outbreak,
+)
+from repro.experiments.reporting import ResultTable
+
+P_TRANSMIT = 0.3
+SIGMA = 0.25
+GAMMA = 0.1
+
+
+def main() -> None:
+    world = GridWorld(12, 12)
+    population = geolife_like(world, n_users=40, horizon=96, rng=11, n_work_hubs=4)
+
+    r0_true = estimate_r0_contacts(population, p_transmit=P_TRANSMIT, gamma=GAMMA)
+    print(f"contact-based R0 from true locations: {r0_true:.2f}")
+
+    outbreak = simulate_outbreak(population, seeds=[0, 1], p_transmit=P_TRANSMIT,
+                                 sigma=SIGMA, gamma=GAMMA, rng=12)
+    incidence = outbreak.incidence()
+    if incidence.sum() >= 5:
+        seir_r0 = estimate_r0_seir(
+            incidence, population=len(population.users()), sigma=SIGMA, gamma=GAMMA,
+            initial_infectious=2,
+        )
+        print(f"SEIR-fit R0 from outbreak incidence : {seir_r0:.2f}")
+    print()
+
+    policies = {
+        "G1": grid_policy(world),
+        "Gb": area_policy(world, 2, 2, name="Gb"),
+        "Ga": area_policy(world, 4, 4, name="Ga"),
+    }
+    table = ResultTable(
+        ["policy", "epsilon", "r0_true", "r0_perturbed", "abs_error"],
+        title="R0 estimation error under PGLP (mean of 3 runs)",
+    )
+    import numpy as np
+
+    rng = np.random.default_rng(13)
+    for name, policy in policies.items():
+        for epsilon in (0.25, 0.5, 1.0, 2.0, 4.0):
+            mechanism = PolicyLaplaceMechanism(world, policy, epsilon)
+            runs = [
+                r0_estimation_error(
+                    world, mechanism, population, p_transmit=P_TRANSMIT, gamma=GAMMA, rng=rng
+                )
+                for _ in range(3)
+            ]
+            true_value = runs[0][0]
+            perturbed = sum(run[1] for run in runs) / len(runs)
+            error = sum(run[2] for run in runs) / len(runs)
+            table.add_row(name, epsilon, true_value, perturbed, error)
+    print(table.pretty())
+    print("=> finer policies (G1, Gb) preserve the co-location structure the")
+    print("   estimator needs; error shrinks as epsilon grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""The privacy-preserving "health code" service (Sec. 1 / 3.1 of the paper).
+
+An outbreak leaves a set of confirmed infected locations.  The health-code
+service certifies every user green / yellow / red from their 14-day history.
+Running it on the *privacy-preserving* stream shows the policy choice at
+work: under the epidemic-analysis policy Gb the codes are noisy; under the
+tracing policy Gc (infected cells disclosable) they become exact — "a
+'health code' service ... in a privacy-preserving way".
+
+Run:  python examples/health_code_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GridWorld,
+    HealthCodeService,
+    PolicyLaplaceMechanism,
+    area_policy,
+    contact_tracing_policy,
+    geolife_like,
+    perturb_tracedb,
+    simulate_outbreak,
+)
+from repro.experiments.reporting import ResultTable
+
+WINDOW = 72
+EPSILON = 1.0
+
+
+def main() -> None:
+    world = GridWorld(12, 12)
+    population = geolife_like(world, n_users=40, horizon=WINDOW, rng=77, n_work_hubs=6)
+    outbreak = simulate_outbreak(population, seeds=[0], p_transmit=0.1, gamma=0.25, rng=78)
+    now = population.times()[-1]
+
+    # Infected locations come from *diagnosed* patients' disclosed traces
+    # (PANDA's protocol) — here the seed patient plus the first confirmed
+    # secondary case, not the whole invisible infection chain.
+    diagnosed = [0] + sorted(outbreak.infected_users - {0})[:1]
+    infected = set()
+    for user in diagnosed:
+        infected |= {cell for cell, _ in outbreak.infectious_cells(user, population, 0, now)}
+    if not infected:
+        infected = set(population.cells_visited(0))
+    print(f"outbreak: {len(outbreak.infected_users)} infected users; "
+          f"{len(diagnosed)} diagnosed, {len(infected)} confirmed infected locations")
+
+    service = HealthCodeService(infected, window=WINDOW, red_threshold=2)
+    truth_codes = service.codes(population, now)
+    distribution = {}
+    for code in truth_codes.values():
+        distribution[code.status] = distribution.get(code.status, 0) + 1
+    print(f"ground-truth codes: {distribution}")
+    print()
+
+    base = area_policy(world, 2, 2, name="Gb")
+    policies = {
+        "Gb (static analysis policy)": base,
+        "Gc (infected cells disclosable)": contact_tracing_policy(base, infected),
+    }
+    table = ResultTable(
+        ["policy", "epsilon", "accuracy", "false_green", "false_red"],
+        title="health-code fidelity from the privacy-preserving stream",
+    )
+    for label, policy in policies.items():
+        for epsilon in (0.5, EPSILON, 2.0):
+            mechanism = PolicyLaplaceMechanism(world, policy, epsilon)
+            released = perturb_tracedb(world, mechanism, population, rng=79)
+            report = service.evaluate(population, released, now)
+            table.add_row(label, epsilon, report.accuracy, report.false_green_rate,
+                          report.false_red_rate)
+    print(table.pretty())
+    print("=> Gc never misses an exposure (false_green = 0: every true visit")
+    print("   to an infected cell is disclosed by policy), at the cost of a")
+    print("   few false alarms when other users' noise snaps into an infected")
+    print("   cell.  Gb's uniform indistinguishability misses exposures")
+    print("   outright at low budgets — the paper's policy-per-function message.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Location monitoring: city-level flows from privacy-preserving releases.
+
+Reproduces the demo's first surveillance app: the server aggregates the
+perturbed stream into coarse areas ("cities"), tracks inter-area flows, and
+the operator compares the private dashboard against ground truth — the
+coarse policy Ga is designed so that exactly this view stays useful.
+Includes the full client/server pipeline of Fig. 1, with budget accounting.
+
+Run:  python examples/location_monitoring_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GridWorld,
+    LocationMonitor,
+    PolicyConfigurator,
+    PolicyLaplaceMechanism,
+    geolife_like,
+    monitoring_utility,
+    run_release_rounds,
+)
+from repro.experiments.reporting import ResultTable
+
+
+def main() -> None:
+    world = GridWorld(12, 12, cell_size=1.0)
+    population = geolife_like(world, n_users=40, horizon=72, rng=5, n_work_hubs=4)
+    # analysis_block=(3, 3) keeps Gb distinguishable from G1 in the sweep
+    # (2x2 cliques and 8-adjacency share the same sqrt(2) noise scale).
+    configurator = PolicyConfigurator(world, monitor_block=(4, 4), analysis_block=(3, 3))
+
+    # Clients consent to the monitoring policy Ga and stream releases.
+    proposal = configurator.recommend("monitoring")
+    policy = proposal.approve()
+    server, _clients = run_release_rounds(
+        world, population, policy, PolicyLaplaceMechanism, epsilon=1.0, rng=6, window=72
+    )
+    print(f"server ingested {len(server.released_db)} releases; "
+          f"total budget spent: {server.ledger.total_spent():.0f}")
+
+    monitor = LocationMonitor(world, 4, 4)
+    true_flows = monitor.flows(population)
+    observed_flows = monitor.flows(server.released_db)
+    cross_true = {k: v for k, v in true_flows.items() if k[0] != k[1]}
+    top = sorted(cross_true.items(), key=lambda kv: -kv[1])[:5]
+    table = ResultTable(
+        ["flow", "true_count", "observed_count"],
+        title="top inter-area flows (true vs privacy-preserving)",
+    )
+    for (src, dst), count in top:
+        table.add_row(f"{src}->{dst}", count, observed_flows.get((src, dst), 0))
+    print()
+    print(table.pretty())
+
+    # Utility sweep across policies, as the demo's comparison panel shows.
+    sweep = ResultTable(
+        ["policy", "epsilon", "mean_error_km", "area_accuracy", "flow_l1_error"],
+        title="monitoring utility by policy",
+    )
+    for purpose in ("monitoring", "analysis", "geo-ind"):
+        swept_policy = configurator.recommend(purpose).approve()
+        for epsilon in (0.5, 1.0, 2.0):
+            mechanism = PolicyLaplaceMechanism(world, swept_policy, epsilon)
+            report = monitoring_utility(world, mechanism, population, rng=7)
+            sweep.add_row(
+                swept_policy.name,
+                epsilon,
+                report.mean_euclidean_error,
+                report.area_accuracy,
+                report.flow_l1_error,
+            )
+    print(sweep.pretty())
+    print("=> no policy is best for everything: Ga protects whole districts")
+    print("   (more noise per point) while G1/Gb keep point utility high.")
+
+
+if __name__ == "__main__":
+    main()

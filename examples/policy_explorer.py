@@ -1,0 +1,80 @@
+"""Interactive-style policy explorer (the demo's Fig. 5 right panel).
+
+Regenerates what a PANDA attendee does at the booth: pick one of the named
+policy graphs (G1 / G2 / Ga / Gb / Gc) or generate random policies with a
+size and density knob, then inspect the privacy-utility trade-off — utility
+as mean Euclidean release error, privacy as the Bayesian adversary's
+inference error.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GridWorld, PolicyLaplaceMechanism, adversary_error, random_policy, utility_error
+from repro.experiments.configs import POLICY_BUILDERS
+from repro.experiments.reporting import ResultTable
+
+EPSILON = 1.0
+
+
+def named_policies(world: GridWorld) -> ResultTable:
+    table = ResultTable(
+        ["policy", "n_edges", "components", "utility_error", "adversary_error"],
+        title=f"named policy graphs (epsilon={EPSILON})",
+    )
+    rng = np.random.default_rng(0)
+    cells = rng.choice(world.n_cells, size=20, replace=False).tolist()
+    for name, builder in POLICY_BUILDERS.items():
+        policy = builder(world)
+        mechanism = PolicyLaplaceMechanism(world, policy, EPSILON)
+        protected = [c for c in cells if not policy.is_disclosable(c)]
+        if not protected:
+            continue
+        table.add_row(
+            name,
+            policy.n_edges,
+            len(policy.components()),
+            utility_error(world, mechanism, protected, rng=rng, trials_per_cell=5),
+            adversary_error(world, mechanism, protected, rng=rng, trials_per_cell=5),
+        )
+    return table
+
+
+def random_policies(world: GridWorld) -> ResultTable:
+    table = ResultTable(
+        ["size", "density", "n_edges", "utility_error", "adversary_error"],
+        title=f"random policy graphs (epsilon={EPSILON})",
+    )
+    rng = np.random.default_rng(1)
+    for size in (20, 50):
+        for density in (0.05, 0.1, 0.3, 0.6):
+            policy = random_policy(world, size=size, density=density, rng=rng)
+            protected = sorted(c for c in policy.nodes if not policy.is_disclosable(c))
+            if not protected:
+                continue
+            mechanism = PolicyLaplaceMechanism(world, policy, EPSILON)
+            sample = protected[:15]
+            table.add_row(
+                size,
+                density,
+                policy.n_edges,
+                utility_error(world, mechanism, sample, rng=rng, trials_per_cell=4),
+                adversary_error(world, mechanism, sample, rng=rng, trials_per_cell=4),
+            )
+    return table
+
+
+def main() -> None:
+    world = GridWorld(10, 10)
+    print(named_policies(world).pretty())
+    print(random_policies(world).pretty())
+    print("=> utility error and adversary error move together: denser or")
+    print("   longer-edged policies buy privacy with noise, exactly the")
+    print("   trade-off dimension the policy graph adds over a single epsilon.")
+
+
+if __name__ == "__main__":
+    main()

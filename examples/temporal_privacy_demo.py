@@ -1,0 +1,75 @@
+"""Temporal release: delta-location sets, policy repair, and tracking attacks.
+
+Follows one commuter releasing a location every timestep while an adversary
+with the public mobility model filters over everything released so far.  Per
+delta, the demo shows the shrinking location set (rendered on the map), how
+often the true location drifts out of it (surrogate substitutions), whether
+policy repair had to reconnect stranded nodes, and the tracking adversary's
+localisation error — the temporal story behind delta-Location Set Privacy
+and the PGLP report's protectable graphs.
+
+Run:  python examples/temporal_privacy_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GridWorld,
+    MarkovModel,
+    PolicyLaplaceMechanism,
+    TemporalReleaser,
+    TrajectoryAttacker,
+    grid_policy,
+)
+from repro.experiments.reporting import ResultTable
+from repro.viz import render_cells
+
+EPSILON = 1.0
+HORIZON = 24
+
+
+def main() -> None:
+    world = GridWorld(8, 8)
+    markov = MarkovModel.lazy_walk(world, p_stay=0.4)
+    base_policy = grid_policy(world)
+    rng = np.random.default_rng(31)
+    trajectory = markov.sample_trajectory(world.cell_of(4, 4), HORIZON, rng=rng)
+
+    table = ResultTable(
+        ["delta", "mean_set_size", "surrogates", "repaired_edges", "utility_err", "tracking_err"],
+        title=f"temporal release over {HORIZON} steps (epsilon={EPSILON})",
+    )
+    final_sets = {}
+    for delta in (0.0, 0.05, 0.2):
+        releaser = TemporalReleaser(
+            world, base_policy, markov, PolicyLaplaceMechanism, EPSILON, delta=delta
+        )
+        records = releaser.run(trajectory.cells, rng=rng)
+        mechanisms = [PolicyLaplaceMechanism(world, r.repair.graph, EPSILON) for r in records]
+        attacker = TrajectoryAttacker(world, markov)
+        tracking = attacker.track([r.release for r in records], mechanisms, trajectory.cells)
+        table.add_row(
+            delta,
+            float(np.mean([len(r.delta_set) for r in records])),
+            sum(r.used_surrogate for r in records),
+            sum(len(r.repair.added_edges) for r in records),
+            releaser.mean_utility_error(),
+            tracking.mean_error,
+        )
+        final_sets[delta] = records[-1]
+    print(table.pretty())
+
+    record = final_sets[0.2]
+    print(f"final delta-location set (delta=0.2, {len(record.delta_set)} cells), # = feasible:")
+    print(render_cells(world, record.delta_set))
+    print(f"true cell was {record.true_cell}; surrogate used: {record.used_surrogate}")
+    print()
+    print("=> filtering shrinks the adversary's feasible set step by step; the")
+    print("   policy is restricted (and repaired) to it, so no location is")
+    print("   silently stranded into disclosability.")
+
+
+if __name__ == "__main__":
+    main()

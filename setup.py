@@ -1,0 +1,7 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package, where PEP 660 editable builds are unavailable).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,178 @@
+"""PANDA: Policy-aware Location Privacy for Epidemic Surveillance.
+
+A full reproduction of the VLDB 2020 demo by Cao, Takagi, Xiao, Xiong and
+Yoshikawa: PGLP (policy-graph location privacy) mechanisms, the policy
+menagerie of the paper's figures, a mobility + adversary + epidemic substrate,
+and the client/server surveillance pipeline.
+
+Quickstart::
+
+    from repro import GridWorld, grid_policy, PolicyLaplaceMechanism
+
+    world = GridWorld(10, 10)
+    policy = grid_policy(world)          # G1: implies Geo-Indistinguishability
+    mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+    release = mech.release(world.cell_of(5, 5), rng=7)
+    print(release.point, release.exact)
+"""
+
+from repro.errors import (
+    ReproError,
+    ValidationError,
+    PolicyError,
+    MechanismError,
+    GeometryError,
+    DataError,
+    BudgetError,
+    TracingError,
+)
+from repro.geo import GridWorld, ConvexPolygon, convex_hull, euclidean
+from repro.core import (
+    PolicyGraph,
+    grid_policy,
+    complete_policy,
+    area_policy,
+    contact_tracing_policy,
+    random_policy,
+    full_disclosure_policy,
+    location_set_policy,
+    Mechanism,
+    Release,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+    GraphExponentialMechanism,
+    OptimalDiscreteMechanism,
+    GeoIndistinguishabilityMechanism,
+    LocationSetPIMechanism,
+    restrict_policy,
+    RepairReport,
+    BudgetLedger,
+    TemporalReleaser,
+    TimestepRelease,
+)
+from repro.mobility import (
+    CheckIn,
+    Trajectory,
+    TraceDB,
+    MarkovModel,
+    BayesFilter,
+    delta_location_set,
+    geolife_like,
+    gowalla_like,
+    random_waypoint,
+    make_dataset,
+)
+from repro.adversary import (
+    BayesianAttacker,
+    TrajectoryAttacker,
+    TrackingResult,
+    adversary_error,
+    utility_error,
+)
+from repro.epidemic import (
+    SEIRModel,
+    simulate_outbreak,
+    LocationMonitor,
+    monitoring_utility,
+    contact_rate,
+    estimate_r0_contacts,
+    estimate_r0_seir,
+    perturb_tracedb,
+    r0_estimation_error,
+    ContactTracingProtocol,
+    static_tracing,
+    HealthCode,
+    HealthCodeReport,
+    HealthCodeService,
+)
+from repro.server import (
+    LocalLocationDB,
+    PolicyConfigurator,
+    PolicyProposal,
+    Client,
+    Server,
+    run_release_rounds,
+    TransparencyLog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "PolicyError",
+    "MechanismError",
+    "GeometryError",
+    "DataError",
+    "BudgetError",
+    "TracingError",
+    # geo
+    "GridWorld",
+    "ConvexPolygon",
+    "convex_hull",
+    "euclidean",
+    # core
+    "PolicyGraph",
+    "grid_policy",
+    "complete_policy",
+    "area_policy",
+    "contact_tracing_policy",
+    "random_policy",
+    "full_disclosure_policy",
+    "location_set_policy",
+    "Mechanism",
+    "Release",
+    "PolicyLaplaceMechanism",
+    "PolicyPlanarIsotropicMechanism",
+    "GraphExponentialMechanism",
+    "OptimalDiscreteMechanism",
+    "GeoIndistinguishabilityMechanism",
+    "LocationSetPIMechanism",
+    "restrict_policy",
+    "RepairReport",
+    "BudgetLedger",
+    "TemporalReleaser",
+    "TimestepRelease",
+    # mobility
+    "CheckIn",
+    "Trajectory",
+    "TraceDB",
+    "MarkovModel",
+    "BayesFilter",
+    "delta_location_set",
+    "geolife_like",
+    "gowalla_like",
+    "random_waypoint",
+    "make_dataset",
+    # adversary
+    "BayesianAttacker",
+    "TrajectoryAttacker",
+    "TrackingResult",
+    "adversary_error",
+    "utility_error",
+    # epidemic
+    "SEIRModel",
+    "simulate_outbreak",
+    "LocationMonitor",
+    "monitoring_utility",
+    "contact_rate",
+    "estimate_r0_contacts",
+    "estimate_r0_seir",
+    "perturb_tracedb",
+    "r0_estimation_error",
+    "ContactTracingProtocol",
+    "static_tracing",
+    "HealthCode",
+    "HealthCodeReport",
+    "HealthCodeService",
+    # server
+    "LocalLocationDB",
+    "PolicyConfigurator",
+    "PolicyProposal",
+    "Client",
+    "Server",
+    "run_release_rounds",
+    "TransparencyLog",
+]

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: PGLP — policy-graph location privacy.
+
+This package contains the location policy graph (Definitions 2.1-2.3), the
+``{epsilon, G}``-location-privacy mechanisms, policy builders for every graph
+in the paper's figures, policy repair under feasibility constraints, and
+privacy-budget accounting.
+"""
+
+from repro.core.policy_graph import PolicyGraph
+from repro.core.policies import (
+    grid_policy,
+    complete_policy,
+    area_policy,
+    contact_tracing_policy,
+    random_policy,
+    full_disclosure_policy,
+    location_set_policy,
+)
+from repro.core.mechanisms import (
+    Mechanism,
+    Release,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+    GraphExponentialMechanism,
+    OptimalDiscreteMechanism,
+    GeoIndistinguishabilityMechanism,
+    LocationSetPIMechanism,
+)
+from repro.core.repair import restrict_policy, RepairReport
+from repro.core.accounting import BudgetLedger
+from repro.core.temporal import TemporalReleaser, TimestepRelease
+
+__all__ = [
+    "PolicyGraph",
+    "grid_policy",
+    "complete_policy",
+    "area_policy",
+    "contact_tracing_policy",
+    "random_policy",
+    "full_disclosure_policy",
+    "location_set_policy",
+    "Mechanism",
+    "Release",
+    "PolicyLaplaceMechanism",
+    "PolicyPlanarIsotropicMechanism",
+    "GraphExponentialMechanism",
+    "OptimalDiscreteMechanism",
+    "GeoIndistinguishabilityMechanism",
+    "LocationSetPIMechanism",
+    "restrict_policy",
+    "RepairReport",
+    "BudgetLedger",
+    "TemporalReleaser",
+    "TimestepRelease",
+]

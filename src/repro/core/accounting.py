@@ -1,0 +1,108 @@
+"""Privacy-budget accounting for repeated location releases.
+
+PANDA's clients release a perturbed location every timestep and may *re-send*
+their recent history under an updated policy during contact tracing.  Each
+noisy release costs its mechanism's epsilon; exact (policy-permitted)
+disclosures cost nothing.  :class:`BudgetLedger` records every expenditure
+per user and enforces sequential composition against an optional cap, which
+is how the experiments report the total privacy cost of the tracing protocol.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import BudgetError
+from repro.utils.validation import check_non_negative
+
+__all__ = ["BudgetEntry", "BudgetLedger"]
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    """One recorded expenditure: ``user`` spent ``epsilon`` at time ``t``."""
+
+    user: int
+    time: int
+    epsilon: float
+    purpose: str = ""
+
+
+class BudgetLedger:
+    """Sequential-composition ledger of per-user epsilon expenditure.
+
+    Parameters
+    ----------
+    cap:
+        Optional per-user lifetime budget.  :meth:`charge` raises
+        :class:`~repro.errors.BudgetError` when an expenditure would exceed
+        it, *before* recording the entry.
+    """
+
+    def __init__(self, cap: float | None = None) -> None:
+        if cap is not None:
+            check_non_negative("cap", cap)
+        self.cap = cap
+        self._entries: list[BudgetEntry] = []
+        self._spent: dict[int, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    def charge(self, user: int, time: int, epsilon: float, purpose: str = "") -> BudgetEntry:
+        """Record an expenditure; zero-cost entries (exact disclosures) allowed."""
+        check_non_negative("epsilon", epsilon)
+        if self.cap is not None and self._spent[user] + epsilon > self.cap + 1e-12:
+            raise BudgetError(
+                f"user {user} would spend {self._spent[user] + epsilon:.4g} "
+                f"exceeding cap {self.cap:.4g}"
+            )
+        entry = BudgetEntry(user=int(user), time=int(time), epsilon=float(epsilon), purpose=purpose)
+        self._entries.append(entry)
+        self._spent[entry.user] += entry.epsilon
+        return entry
+
+    def spent(self, user: int) -> float:
+        """Total epsilon spent by ``user`` (sequential composition)."""
+        return self._spent.get(int(user), 0.0)
+
+    def remaining(self, user: int) -> float:
+        """Budget left for ``user``; infinite when no cap is set."""
+        if self.cap is None:
+            return float("inf")
+        return max(self.cap - self.spent(user), 0.0)
+
+    def spent_in_window(self, user: int, start: int, end: int) -> float:
+        """Epsilon spent by ``user`` with ``start <= time <= end``."""
+        return sum(
+            entry.epsilon
+            for entry in self._entries
+            if entry.user == int(user) and start <= entry.time <= end
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> tuple[BudgetEntry, ...]:
+        return tuple(self._entries)
+
+    def users(self) -> frozenset[int]:
+        return frozenset(self._spent)
+
+    def total_spent(self) -> float:
+        """Epsilon summed over all users (system-wide cost metric)."""
+        return sum(self._spent.values())
+
+    def by_purpose(self) -> dict[str, float]:
+        """Total epsilon grouped by the ``purpose`` tag of each entry."""
+        totals: dict[str, float] = defaultdict(float)
+        for entry in self._entries:
+            totals[entry.purpose] += entry.epsilon
+        return dict(totals)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetLedger(entries={len(self._entries)}, users={len(self._spent)}, "
+            f"cap={self.cap})"
+        )

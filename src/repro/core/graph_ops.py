@@ -1,0 +1,137 @@
+"""Low-level graph algorithms on adjacency dictionaries.
+
+:class:`~repro.core.policy_graph.PolicyGraph` delegates its combinatorial
+queries here.  Graphs are represented as ``dict[int, set[int]]`` adjacency
+maps; all functions treat them as immutable inputs.  A dedicated
+implementation (rather than networkx) keeps the hot paths — BFS distances
+inside mechanism constructors and the exponential mechanism — allocation-light
+and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+__all__ = [
+    "bfs_distances",
+    "bfs_limited",
+    "shortest_path",
+    "connected_components",
+    "component_of",
+    "induced_adjacency",
+    "edge_iter",
+    "graph_diameter",
+]
+
+Adjacency = dict[int, set[int]]
+
+
+def bfs_distances(adjacency: Adjacency, source: int) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable node (Def. 2.2)."""
+    if source not in adjacency:
+        raise KeyError(f"source {source} not in graph")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        base = dist[node]
+        for nbr in adjacency[node]:
+            if nbr not in dist:
+                dist[nbr] = base + 1
+                queue.append(nbr)
+    return dist
+
+
+def bfs_limited(adjacency: Adjacency, source: int, cutoff: int) -> dict[int, int]:
+    """Hop distances from ``source`` truncated at ``cutoff`` hops.
+
+    Used for k-neighbor queries (Def. 2.3) without exploring the whole
+    component.
+    """
+    if source not in adjacency:
+        raise KeyError(f"source {source} not in graph")
+    if cutoff < 0:
+        raise ValueError(f"cutoff must be >= 0, got {cutoff}")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        base = dist[node]
+        if base >= cutoff:
+            continue
+        for nbr in adjacency[node]:
+            if nbr not in dist:
+                dist[nbr] = base + 1
+                queue.append(nbr)
+    return dist
+
+
+def shortest_path(adjacency: Adjacency, source: int, target: int) -> list[int] | None:
+    """One shortest path from ``source`` to ``target``; ``None`` if disconnected."""
+    if source not in adjacency or target not in adjacency:
+        raise KeyError("source/target not in graph")
+    if source == target:
+        return [source]
+    parent: dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nbr in adjacency[node]:
+            if nbr in parent:
+                continue
+            parent[nbr] = node
+            if nbr == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nbr)
+    return None
+
+
+def connected_components(adjacency: Adjacency) -> list[frozenset[int]]:
+    """All connected components, each as a frozenset, in first-seen order."""
+    seen: set[int] = set()
+    components: list[frozenset[int]] = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        member = set(bfs_distances(adjacency, start))
+        seen |= member
+        components.append(frozenset(member))
+    return components
+
+
+def component_of(adjacency: Adjacency, node: int) -> frozenset[int]:
+    """The connected component containing ``node``."""
+    return frozenset(bfs_distances(adjacency, node))
+
+
+def induced_adjacency(adjacency: Adjacency, nodes: Iterable[int]) -> Adjacency:
+    """Adjacency of the subgraph induced by ``nodes`` (missing ids ignored)."""
+    keep = {node for node in nodes if node in adjacency}
+    return {node: adjacency[node] & keep for node in keep}
+
+
+def edge_iter(adjacency: Adjacency) -> Iterator[tuple[int, int]]:
+    """Iterate each undirected edge exactly once as ``(u, v)`` with ``u < v``."""
+    for node, nbrs in adjacency.items():
+        for nbr in nbrs:
+            if node < nbr:
+                yield (node, nbr)
+
+
+def graph_diameter(adjacency: Adjacency) -> int:
+    """Largest finite hop distance over all node pairs (0 for edgeless graphs).
+
+    Runs a BFS per node; policy graphs in the experiments have at most a few
+    thousand nodes, for which this exact computation is fast enough.
+    """
+    best = 0
+    for node in adjacency:
+        dist = bfs_distances(adjacency, node)
+        if dist:
+            best = max(best, max(dist.values()))
+    return best

@@ -1,0 +1,28 @@
+"""``{epsilon, G}``-location-privacy mechanisms and DP baselines.
+
+All mechanisms expose closed-form release densities, which is what lets the
+test suite verify Definition 2.4 / Lemma 2.1 / Theorems 2.1-2.2 *analytically*
+(no sampling slack) and lets the adversary module run exact Bayesian
+inference.
+"""
+
+from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.mechanisms.laplace import PolicyLaplaceMechanism
+from repro.core.mechanisms.pim import PolicyPlanarIsotropicMechanism
+from repro.core.mechanisms.exponential import GraphExponentialMechanism
+from repro.core.mechanisms.optimal import OptimalDiscreteMechanism
+from repro.core.mechanisms.baselines import (
+    GeoIndistinguishabilityMechanism,
+    LocationSetPIMechanism,
+)
+
+__all__ = [
+    "Mechanism",
+    "Release",
+    "PolicyLaplaceMechanism",
+    "PolicyPlanarIsotropicMechanism",
+    "GraphExponentialMechanism",
+    "OptimalDiscreteMechanism",
+    "GeoIndistinguishabilityMechanism",
+    "LocationSetPIMechanism",
+]

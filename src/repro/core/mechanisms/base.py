@@ -1,0 +1,151 @@
+"""Mechanism interface shared by all PGLP mechanisms and baselines.
+
+A mechanism maps a true location (grid cell) to a *released* planar point.
+Every implementation provides:
+
+* :meth:`Mechanism.release` — draw a perturbed location;
+* :meth:`Mechanism.pdf` — the release density (or pmf for discrete
+  mechanisms), used by the Bayesian adversary and the analytic privacy tests;
+* :meth:`Mechanism.is_exact` — whether the policy discloses a cell exactly
+  (isolated policy nodes, Lemma 2.1's extreme case).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError
+from repro.geo.grid import GridWorld
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_epsilon
+
+__all__ = ["Release", "Mechanism"]
+
+
+@dataclass(frozen=True)
+class Release:
+    """One perturbed location release.
+
+    Attributes
+    ----------
+    point:
+        The released planar coordinate ``(x, y)``.
+    exact:
+        True when the policy allowed exact disclosure of the true location
+        (the release carries no noise).
+    mechanism:
+        Name of the producing mechanism, for experiment bookkeeping.
+    epsilon:
+        The privacy budget charged for this release (0 when ``exact`` —
+        disclosure is a policy decision, not a budget expenditure).
+    """
+
+    point: tuple[float, float]
+    exact: bool = False
+    mechanism: str = ""
+    epsilon: float = 0.0
+    metadata: dict = field(default_factory=dict, compare=False)
+
+
+class Mechanism(abc.ABC):
+    """Base class for ``{epsilon, G}``-location-privacy mechanisms.
+
+    Parameters
+    ----------
+    world:
+        The grid world supplying node coordinates.
+    graph:
+        The location policy graph; must cover a subset of the world's cells.
+    epsilon:
+        Privacy budget per release.
+    """
+
+    #: Whether :meth:`pdf` is a probability *mass* function over cells
+    #: (discrete output) rather than a planar density.
+    discrete: bool = False
+
+    def __init__(self, world: GridWorld, graph: PolicyGraph, epsilon: float) -> None:
+        self.world = world
+        self.graph = graph
+        self.epsilon = check_epsilon(epsilon)
+        outside = [node for node in graph.nodes if node not in world]
+        if outside:
+            raise MechanismError(
+                f"policy graph {graph.name!r} has nodes outside the world: {sorted(outside)[:5]}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def is_exact(self, cell: int) -> bool:
+        """Whether the policy discloses ``cell`` without perturbation."""
+        return self.graph.is_disclosable(cell)
+
+    def release(self, cell: int, rng=None) -> Release:
+        """Release a (possibly perturbed) location for true cell ``cell``."""
+        if cell not in self.graph:
+            raise MechanismError(f"cell {cell} is not covered by policy {self.graph.name!r}")
+        if self.is_exact(cell):
+            return Release(
+                point=self.world.coords(cell),
+                exact=True,
+                mechanism=self.name,
+                epsilon=0.0,
+            )
+        point = self._perturb(cell, ensure_rng(rng))
+        return Release(
+            point=(float(point[0]), float(point[1])),
+            exact=False,
+            mechanism=self.name,
+            epsilon=self.epsilon,
+        )
+
+    def pdf(self, point: Sequence[float], cell: int) -> float:
+        """Density (or pmf) of releasing ``point`` when the truth is ``cell``.
+
+        Undefined for disclosable cells (their release is a Dirac mass);
+        callers must branch on :meth:`is_exact` first.
+        """
+        if cell not in self.graph:
+            raise MechanismError(f"cell {cell} is not covered by policy {self.graph.name!r}")
+        if self.is_exact(cell):
+            raise MechanismError(
+                f"cell {cell} is disclosable; its release distribution is a point mass"
+            )
+        return self._pdf(np.asarray(point, dtype=float), cell)
+
+    def pdf_vector(self, point: Sequence[float], cells: Sequence[int]) -> np.ndarray:
+        """``pdf(point | cell)`` for many candidate cells (0 for exact cells).
+
+        The Bayesian adversary calls this per observed release; exact cells
+        get likelihood 0 because a continuous released point almost surely
+        differs from any disclosed cell centre.
+        """
+        z = np.asarray(point, dtype=float)
+        out = np.zeros(len(cells))
+        for i, cell in enumerate(cells):
+            if cell in self.graph and not self.is_exact(cell):
+                out[i] = self._pdf(z, cell)
+        return out
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a noisy release for a non-disclosable cell."""
+
+    @abc.abstractmethod
+    def _pdf(self, point: np.ndarray, cell: int) -> float:
+        """Release density at ``point`` for a non-disclosable ``cell``."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}(epsilon={self.epsilon}, policy={self.graph.name!r}, "
+            f"world={self.world.width}x{self.world.height})"
+        )

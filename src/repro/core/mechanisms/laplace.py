@@ -1,0 +1,91 @@
+"""P-LM: the policy-aware (planar) Laplace mechanism.
+
+The paper's companion report adapts the Laplace mechanism to a policy graph.
+Our instantiation calibrates planar Laplace noise to the **edge-wise Euclidean
+sensitivity** of the connected component containing the true location:
+
+    Delta(C) = max { d_E(s_i, s_j) : (s_i, s_j) in E(C) }
+
+and releases ``z = x(s) + PlanarLaplace(rate = epsilon / Delta(C))``.  For any
+1-neighbors ``s, s'`` (necessarily in the same component)::
+
+    pdf(z|s) / pdf(z|s') <= exp((eps/Delta) * d_E(s, s')) <= exp(eps)
+
+so Definition 2.4 holds, and chaining along shortest paths gives Lemma 2.1's
+``eps * d_G`` guarantee for all connected pairs.  Because the privacy
+constraint only ever compares locations *within* a component, calibrating
+Delta per component is sound and strictly improves utility over a global
+constant.  Isolated nodes are disclosable and released exactly by the base
+class.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.mechanisms.base import Mechanism
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError
+from repro.geo.grid import GridWorld
+
+__all__ = ["PolicyLaplaceMechanism"]
+
+
+class PolicyLaplaceMechanism(Mechanism):
+    """Planar Laplace noise calibrated to per-component edge sensitivity."""
+
+    def __init__(self, world: GridWorld, graph: PolicyGraph, epsilon: float) -> None:
+        super().__init__(world, graph, epsilon)
+        self._rate: dict[int, float] = {}
+        for component in graph.components():
+            delta = self._edge_diameter(component)
+            if delta is None:
+                continue  # singleton component: disclosable, no noise needed
+            rate = self.epsilon / delta
+            for node in component:
+                self._rate[node] = rate
+
+    def _edge_diameter(self, component: frozenset[int]) -> float | None:
+        """Longest Euclidean edge inside ``component`` (None if edgeless)."""
+        longest = 0.0
+        found = False
+        for node in component:
+            for nbr in self.graph.neighbors(node):
+                if node < nbr:
+                    found = True
+                    longest = max(longest, self.world.distance(node, nbr))
+        if not found:
+            return None
+        if longest <= 0:
+            raise MechanismError("policy edge joins two coincident locations")
+        return longest
+
+    def noise_rate(self, cell: int) -> float:
+        """The planar-Laplace rate ``epsilon / Delta(C)`` applied at ``cell``."""
+        if cell not in self._rate:
+            raise MechanismError(f"cell {cell} is disclosable; no noise rate defined")
+        return self._rate[cell]
+
+    def expected_error(self, cell: int) -> float:
+        """Mean Euclidean error of the release at ``cell`` (= 2 / rate).
+
+        The radial part of planar Laplace is Gamma(2, 1/rate), whose mean is
+        ``2 / rate`` — handy for calibrating the tracing screen radius.
+        """
+        return 2.0 / self.noise_rate(cell)
+
+    # ------------------------------------------------------------------
+    def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
+        rate = self._rate[cell]
+        radius = rng.gamma(shape=2.0, scale=1.0 / rate)
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        x, y = self.world.coords(cell)
+        return np.array([x + radius * math.cos(theta), y + radius * math.sin(theta)])
+
+    def _pdf(self, point: np.ndarray, cell: int) -> float:
+        rate = self._rate[cell]
+        x, y = self.world.coords(cell)
+        distance = math.hypot(point[0] - x, point[1] - y)
+        return rate**2 / (2.0 * math.pi) * math.exp(-rate * distance)

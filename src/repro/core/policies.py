@@ -1,0 +1,176 @@
+"""Builders for every policy graph appearing in the paper.
+
+* ``grid_policy``          — **G1** (Fig. 2 left): each location connected to
+  its closest eight map neighbors; ``{eps, G1}``-privacy implies
+  eps-Geo-Indistinguishability (Theorem 2.1).
+* ``complete_policy`` / ``location_set_policy`` — **G2** (Fig. 2 right): a
+  complete graph over a (delta-)location set; implies delta-Location Set
+  Privacy (Theorem 2.2).
+* ``area_policy``          — **Ga / Gb** (Fig. 4): indistinguishability inside
+  each coarse-grained area, none across areas.  Ga uses large blocks
+  (location monitoring), Gb smaller blocks (epidemic analysis).
+* ``contact_tracing_policy`` — **Gc** (Fig. 4): start from a base policy and
+  isolate every infected location, making it disclosable.
+* ``random_policy``        — the demo's "Random Policy Graph" generator
+  (Fig. 5: *Size* and *Density* knobs).
+* ``full_disclosure_policy`` — the diagnosed-patient policy: every node
+  isolated, i.e. true locations may be released (Sec. 1: "allowing to
+  disclose a user's true locations ... if she is a diagnosed patient").
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import PolicyError
+from repro.geo.grid import GridWorld
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = [
+    "grid_policy",
+    "complete_policy",
+    "location_set_policy",
+    "area_policy",
+    "contact_tracing_policy",
+    "random_policy",
+    "full_disclosure_policy",
+]
+
+
+def grid_policy(world: GridWorld, connectivity: int = 8, name: str = "G1") -> PolicyGraph:
+    """G1: every cell adjacent to its closest ``connectivity`` map neighbors."""
+    edges = []
+    for cell in world:
+        for nbr in world.neighbors(cell, connectivity=connectivity):
+            if cell < nbr:
+                edges.append((cell, nbr))
+    return PolicyGraph(world, edges, name=name)
+
+
+def complete_policy(nodes: Iterable[int], name: str = "G2") -> PolicyGraph:
+    """G2: a complete graph — pairwise indistinguishability for all ``nodes``."""
+    node_list = sorted({int(n) for n in nodes})
+    if not node_list:
+        raise PolicyError("complete_policy needs at least one node")
+    return PolicyGraph(node_list, combinations(node_list, 2), name=name)
+
+
+def location_set_policy(
+    world: GridWorld,
+    location_set: Iterable[int],
+    include_rest: bool = True,
+    name: str = "G2",
+) -> PolicyGraph:
+    """Complete graph over a delta-location set, embedded in the full world.
+
+    With ``include_rest=True`` the remaining cells are kept as isolated nodes
+    so the policy is defined over the whole secret domain (they carry no
+    constraint; the adversary is assumed to already know the user is inside
+    the location set, exactly as in delta-Location Set Privacy [19]).
+    """
+    inside = sorted({world.check_cell(c) for c in location_set})
+    if not inside:
+        raise PolicyError("location set must not be empty")
+    nodes = list(world) if include_rest else inside
+    return PolicyGraph(nodes, combinations(inside, 2), name=name)
+
+
+def area_policy(
+    world: GridWorld,
+    block_rows: int,
+    block_cols: int,
+    mode: str = "clique",
+    name: str | None = None,
+) -> PolicyGraph:
+    """Ga / Gb: indistinguishability inside each coarse area, none across.
+
+    Parameters
+    ----------
+    block_rows, block_cols:
+        Area size in cells.  Large blocks give the paper's Ga (location
+        monitoring between "cities"), small blocks give Gb (fine-grained
+        epidemic analysis).
+    mode:
+        ``"clique"`` places an edge between every pair inside an area (each
+        in-area pair is a 1-neighbor); ``"grid"`` keeps only map adjacency
+        restricted to the area (in-area pairs protected at ``eps * d_G``).
+    """
+    if mode not in ("clique", "grid"):
+        raise PolicyError(f"mode must be 'clique' or 'grid', got {mode!r}")
+    check_integer("block_rows", block_rows, minimum=1)
+    check_integer("block_cols", block_cols, minimum=1)
+    edges: list[tuple[int, int]] = []
+    for cells in world.areas(block_rows, block_cols).values():
+        if mode == "clique":
+            edges.extend(combinations(sorted(cells), 2))
+        else:
+            members = set(cells)
+            for cell in cells:
+                for nbr in world.neighbors(cell, connectivity=8):
+                    if cell < nbr and nbr in members:
+                        edges.append((cell, nbr))
+    label = name or f"area[{block_rows}x{block_cols}]"
+    return PolicyGraph(world, edges, name=label)
+
+
+def contact_tracing_policy(
+    base: PolicyGraph,
+    infected_locations: Iterable[int],
+    name: str = "Gc",
+) -> PolicyGraph:
+    """Gc: the base policy with every infected location made disclosable.
+
+    Implements the paper's tracing policy — "ensuring indistinguishability
+    only if the user is not in an infected area, but allowing disclose true
+    location if the user accesses an infected location" — by deleting every
+    edge incident to an infected location, which isolates it (Lemma 2.1's
+    disclosable case).
+    """
+    infected = {int(c) for c in infected_locations}
+    unknown = infected - set(base.nodes)
+    if unknown:
+        raise PolicyError(f"infected locations {sorted(unknown)} are not in the base policy")
+    return base.without_node_edges(infected, name=name)
+
+
+def random_policy(
+    world: GridWorld,
+    size: int,
+    density: float,
+    rng=None,
+    include_rest: bool = True,
+    name: str | None = None,
+) -> PolicyGraph:
+    """The demo's random policy graph: ``size`` nodes, edge prob ``density``.
+
+    Mirrors the "Random Policy Graph / Size / Density" panel of Fig. 5: a
+    uniform sample of ``size`` cells receives each of its possible edges
+    independently with probability ``density`` (an Erdos-Renyi graph over the
+    sampled cells).  Remaining cells stay isolated when ``include_rest``.
+    """
+    check_integer("size", size, minimum=1)
+    if size > world.n_cells:
+        raise PolicyError(f"size {size} exceeds the {world.n_cells}-cell world")
+    check_probability("density", density)
+    generator = ensure_rng(rng)
+    chosen = sorted(generator.choice(world.n_cells, size=size, replace=False).tolist())
+    pairs = list(combinations(chosen, 2))
+    if pairs:
+        mask = generator.random(len(pairs)) < density
+        edges = [pair for pair, keep in zip(pairs, mask) if keep]
+    else:
+        edges = []
+    nodes = list(world) if include_rest else chosen
+    label = name or f"random[size={size},density={density:g}]"
+    return PolicyGraph(nodes, edges, name=label)
+
+
+def full_disclosure_policy(nodes: Iterable[int], name: str = "disclose-all") -> PolicyGraph:
+    """The diagnosed-patient policy: every node isolated (exact release allowed)."""
+    node_list = sorted({int(n) for n in nodes})
+    if not node_list:
+        raise PolicyError("full_disclosure_policy needs at least one node")
+    return PolicyGraph(node_list, (), name=name)

@@ -1,0 +1,243 @@
+"""Location policy graphs (paper Definitions 2.1 - 2.3).
+
+A :class:`PolicyGraph` is an undirected graph ``G = (S, E)`` whose nodes are
+location identifiers (grid-world cell ids) and whose edges are required
+indistinguishability constraints: a mechanism satisfying
+``{epsilon, G}``-location privacy must make every pair of 1-neighbors
+epsilon-indistinguishable (Definition 2.4), which by Lemma 2.1 extends to
+``epsilon * d_G(s, s')`` for any connected pair and imposes *no* constraint
+across components.  A node with no edges is **disclosable**: the policy
+permits releasing it exactly (the contact-tracing policy Gc relies on this).
+
+Instances are immutable after construction; builders that derive new policies
+(restriction, edge additions) return new graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, Mapping
+
+from repro.core import graph_ops
+from repro.errors import PolicyError
+
+__all__ = ["PolicyGraph", "INFINITY"]
+
+#: Sentinel distance for disconnected node pairs (``d_G = infinity``).
+INFINITY = float("inf")
+
+
+class PolicyGraph:
+    """An immutable undirected location policy graph.
+
+    Parameters
+    ----------
+    nodes:
+        All locations the policy speaks about (the secret domain ``S``).
+        Nodes may be isolated, which marks them as disclosable.
+    edges:
+        Iterable of ``(u, v)`` indistinguishability requirements.  Self loops
+        are rejected; both endpoints must appear in ``nodes``.
+    name:
+        Optional human-readable label (``"G1"``, ``"Ga"``, ...) used in
+        experiment tables.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        edges: Iterable[tuple[int, int]] = (),
+        name: str = "policy",
+    ) -> None:
+        adjacency: dict[int, set[int]] = {int(node): set() for node in nodes}
+        if not adjacency:
+            raise PolicyError("a policy graph needs at least one node")
+        for edge in edges:
+            u, v = int(edge[0]), int(edge[1])
+            if u == v:
+                raise PolicyError(f"self loop on node {u} is not a valid policy edge")
+            if u not in adjacency or v not in adjacency:
+                raise PolicyError(f"edge ({u}, {v}) references a node outside the graph")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adjacency = adjacency
+        self.name = str(name)
+        self._components: list[frozenset[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[int]:
+        """All locations in the policy (the secret domain ``S``)."""
+        return frozenset(self._adjacency)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adjacency)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicyGraph(name={self.name!r}, n_nodes={self.n_nodes}, "
+            f"n_edges={self.n_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolicyGraph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        """The 1-neighbors of ``node`` (the direct indistinguishability set)."""
+        self._check_node(node)
+        return frozenset(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        return graph_ops.edge_iter(self._adjacency)
+
+    def adjacency(self) -> Mapping[int, frozenset[int]]:
+        """Read-only view of the adjacency structure."""
+        return {node: frozenset(nbrs) for node, nbrs in self._adjacency.items()}
+
+    # ------------------------------------------------------------------
+    # Definitions 2.2 / 2.3
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Policy-graph distance ``d_G`` (Def. 2.2); ``inf`` when disconnected."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            return 0.0
+        dist = graph_ops.bfs_distances(self._adjacency, u)
+        return float(dist.get(v, INFINITY))
+
+    def distances_from(self, node: int) -> dict[int, int]:
+        """Hop distances from ``node`` to its whole component."""
+        self._check_node(node)
+        return graph_ops.bfs_distances(self._adjacency, node)
+
+    def k_neighbors(self, node: int, k: int) -> frozenset[int]:
+        """``N^k(s)``: nodes within ``k`` hops of ``node``, inclusive (Def. 2.3)."""
+        self._check_node(node)
+        if k < 0:
+            raise PolicyError(f"k must be >= 0, got {k}")
+        return frozenset(graph_ops.bfs_limited(self._adjacency, node, k))
+
+    def infinity_neighbors(self, node: int) -> frozenset[int]:
+        """``N^inf(s)``: every node sharing a path with ``node`` (its component)."""
+        self._check_node(node)
+        return graph_ops.component_of(self._adjacency, node)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def components(self) -> list[frozenset[int]]:
+        """Connected components (cached)."""
+        if self._components is None:
+            self._components = graph_ops.connected_components(self._adjacency)
+        return self._components
+
+    def component_of(self, node: int) -> frozenset[int]:
+        self._check_node(node)
+        for component in self.components():
+            if node in component:
+                return component
+        raise PolicyError(f"node {node} missing from component index")  # pragma: no cover
+
+    def is_disclosable(self, node: int) -> bool:
+        """Whether the policy allows releasing ``node`` without perturbation.
+
+        True exactly when the node has no indistinguishability requirement
+        (degree zero) — Lemma 2.1's extreme case.
+        """
+        return self.degree(node) == 0
+
+    def disclosable_nodes(self) -> frozenset[int]:
+        """All nodes the policy allows to be released exactly."""
+        return frozenset(n for n, nbrs in self._adjacency.items() if not nbrs)
+
+    def density(self) -> float:
+        """Edge density: ``|E| / C(|S|, 2)`` (0 for a single-node graph)."""
+        if self.n_nodes < 2:
+            return 0.0
+        return self.n_edges / (self.n_nodes * (self.n_nodes - 1) / 2)
+
+    def diameter(self) -> int:
+        """Largest finite ``d_G`` over all pairs (ignores disconnection)."""
+        return graph_ops.graph_diameter(self._adjacency)
+
+    # ------------------------------------------------------------------
+    # Derivation of new policies
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int], name: str | None = None) -> "PolicyGraph":
+        """Policy induced on ``nodes`` (unknown ids are ignored)."""
+        keep = [node for node in nodes if node in self._adjacency]
+        if not keep:
+            raise PolicyError("subgraph would be empty")
+        induced = graph_ops.induced_adjacency(self._adjacency, keep)
+        edges = list(graph_ops.edge_iter(induced))
+        return PolicyGraph(keep, edges, name=name or f"{self.name}|sub")
+
+    def with_edges(self, edges: Iterable[tuple[int, int]], name: str | None = None) -> "PolicyGraph":
+        """A new policy with additional indistinguishability requirements."""
+        combined = list(self.edges()) + [tuple(edge) for edge in edges]
+        return PolicyGraph(self.nodes, combined, name=name or self.name)
+
+    def without_node_edges(self, nodes: Iterable[int], name: str | None = None) -> "PolicyGraph":
+        """A new policy where every edge incident to ``nodes`` is dropped.
+
+        This is how the contact-tracing policy Gc is derived: infected
+        locations lose all their indistinguishability requirements and become
+        disclosable, while the rest of the policy is untouched.
+        """
+        drop = {int(node) for node in nodes}
+        edges = [(u, v) for u, v in self.edges() if u not in drop and v not in drop]
+        return PolicyGraph(self.nodes, edges, name=name or f"{self.name}|isolated")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation (sorted for determinism)."""
+        return {
+            "name": self.name,
+            "nodes": sorted(self._adjacency),
+            "edges": sorted(self.edges()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PolicyGraph":
+        return cls(payload["nodes"], [tuple(e) for e in payload["edges"]], name=payload.get("name", "policy"))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "PolicyGraph":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if node not in self._adjacency:
+            raise PolicyError(f"node {node} not in policy graph {self.name!r}")

@@ -1,0 +1,134 @@
+"""Policy restriction and repair under adversarial feasibility constraints.
+
+When releases accumulate over time, the adversary's feasible region for the
+user (e.g. the delta-location set derived from a Markov mobility prior)
+shrinks.  Restricting a policy graph to the feasible cells can strand nodes
+that were connected in the original policy: they lose every 1-neighbor and
+silently become disclosable, *weakening* the user's protection — the
+"protectable graph" problem discussed in the PGLP technical report.
+
+:func:`restrict_policy` performs the restriction and then repairs stranded
+nodes by reconnecting each one to its nearest feasible node from the node's
+original component (nearest by original graph distance, ties broken by cell
+id for determinism).  Nodes that were disclosable in the *original* policy
+stay disclosable — the policy author intended that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import PolicyError
+
+__all__ = ["RepairReport", "restrict_policy"]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of a policy restriction + repair.
+
+    Attributes
+    ----------
+    graph:
+        The restricted (and repaired) policy.
+    removed_nodes:
+        Original nodes outside the feasible set.
+    stranded_nodes:
+        Feasible nodes that lost all their neighbors in the restriction.
+    added_edges:
+        Repair edges reconnecting stranded nodes (empty when ``repair=False``
+        or nothing was stranded).
+    unprotectable_nodes:
+        Stranded nodes that could not be repaired because no feasible node of
+        their original component survived; they remain disclosable and the
+        caller should treat them as a policy violation to surface to the user.
+    """
+
+    graph: PolicyGraph
+    removed_nodes: frozenset[int]
+    stranded_nodes: frozenset[int]
+    added_edges: tuple[tuple[int, int], ...] = ()
+    unprotectable_nodes: frozenset[int] = frozenset()
+
+    @property
+    def is_protectable(self) -> bool:
+        """True when every originally protected feasible node kept an edge."""
+        return not self.unprotectable_nodes
+
+
+def restrict_policy(
+    graph: PolicyGraph,
+    feasible: Iterable[int],
+    repair: bool = True,
+    name: str | None = None,
+) -> RepairReport:
+    """Restrict ``graph`` to ``feasible`` cells, optionally repairing strands.
+
+    Parameters
+    ----------
+    graph:
+        The policy to restrict.
+    feasible:
+        Cells the adversary still considers possible; must intersect the
+        graph's nodes.
+    repair:
+        When True (default), every stranded node is reconnected to the
+        nearest surviving member of its original component.
+    """
+    feasible_set = {int(cell) for cell in feasible} & set(graph.nodes)
+    if not feasible_set:
+        raise PolicyError("feasible set does not intersect the policy graph")
+    removed = frozenset(graph.nodes - feasible_set)
+
+    restricted = graph.subgraph(feasible_set, name=name or f"{graph.name}|feasible")
+    stranded = frozenset(
+        node
+        for node in feasible_set
+        if restricted.degree(node) == 0 and not graph.is_disclosable(node)
+    )
+    if not repair or not stranded:
+        return RepairReport(
+            graph=restricted,
+            removed_nodes=removed,
+            stranded_nodes=stranded,
+            unprotectable_nodes=stranded if not repair else _unprotectable(graph, stranded, feasible_set),
+        )
+
+    added: list[tuple[int, int]] = []
+    unprotectable: list[int] = []
+    for node in sorted(stranded):
+        partner = _nearest_feasible(graph, node, feasible_set)
+        if partner is None:
+            unprotectable.append(node)
+        else:
+            added.append((node, partner))
+    repaired = restricted.with_edges(added, name=restricted.name) if added else restricted
+    return RepairReport(
+        graph=repaired,
+        removed_nodes=removed,
+        stranded_nodes=stranded,
+        added_edges=tuple(added),
+        unprotectable_nodes=frozenset(unprotectable),
+    )
+
+
+def _nearest_feasible(graph: PolicyGraph, node: int, feasible: set[int]) -> int | None:
+    """Closest feasible node (by original d_G) in ``node``'s component."""
+    distances = graph.distances_from(node)
+    best: tuple[int, int] | None = None  # (distance, cell)
+    for other, hops in distances.items():
+        if other == node or other not in feasible:
+            continue
+        key = (hops, other)
+        if best is None or key < best:
+            best = key
+    return None if best is None else best[1]
+
+
+def _unprotectable(graph: PolicyGraph, stranded: frozenset[int], feasible: set[int]) -> frozenset[int]:
+    """Stranded nodes with no feasible companion in their original component."""
+    return frozenset(
+        node for node in stranded if _nearest_feasible(graph, node, feasible) is None
+    )

@@ -1,0 +1,54 @@
+"""Epidemic-surveillance applications (the three Apps of Fig. 3).
+
+* :mod:`repro.epidemic.seir`     — the SEIR transmission model [11] and R0.
+* :mod:`repro.epidemic.outbreak` — agent-based epidemic over co-locations,
+  the ground-truth generator for every surveillance experiment.
+* :mod:`repro.epidemic.monitor`  — location monitoring: coarse-area counts,
+  flows, and the Euclidean utility metric.
+* :mod:`repro.epidemic.analysis` — epidemic analysis: contact rates and R0
+  estimation from true vs perturbed traces.
+* :mod:`repro.epidemic.tracing`  — contact tracing with dynamic policy
+  updates (policy Gc).
+"""
+
+from repro.epidemic.seir import SEIRModel
+from repro.epidemic.outbreak import OutbreakResult, simulate_outbreak
+from repro.epidemic.monitor import LocationMonitor, monitoring_utility
+from repro.epidemic.analysis import (
+    contact_rate,
+    estimate_r0_contacts,
+    estimate_r0_seir,
+    perturb_tracedb,
+    r0_estimation_error,
+)
+from repro.epidemic.tracing import ContactTracingProtocol, TracingOutcome, static_tracing
+from repro.epidemic.healthcode import HealthCode, HealthCodeReport, HealthCodeService
+from repro.epidemic.metapop import (
+    MetapopulationSEIR,
+    MetapopTrajectory,
+    flow_matrix,
+    forecast_divergence,
+)
+
+__all__ = [
+    "MetapopulationSEIR",
+    "MetapopTrajectory",
+    "flow_matrix",
+    "forecast_divergence",
+    "HealthCode",
+    "HealthCodeReport",
+    "HealthCodeService",
+    "SEIRModel",
+    "OutbreakResult",
+    "simulate_outbreak",
+    "LocationMonitor",
+    "monitoring_utility",
+    "contact_rate",
+    "estimate_r0_contacts",
+    "estimate_r0_seir",
+    "perturb_tracedb",
+    "r0_estimation_error",
+    "ContactTracingProtocol",
+    "TracingOutcome",
+    "static_tracing",
+]

@@ -1,0 +1,146 @@
+"""The "health code" service (Sec. 1 / Sec. 3.1 of the paper).
+
+China's pandemic-era apps certified a user's exposure status from travel
+history; PANDA notes that location monitoring "could also provide a 'health
+code' service ... in a privacy-preserving way".  This module implements that
+service on top of any trace database (true or privacy-preserving):
+
+* **RED**    — at least ``red_threshold`` visits to infected locations in the
+  lookback window (high exposure, quarantine);
+* **YELLOW** — at least one visit (possible exposure, monitor);
+* **GREEN**  — no recorded visit.
+
+Running the classifier on the server's perturbed stream and comparing with
+the codes from the true stream quantifies the service's privacy cost: false
+greens are missed exposures (public-health risk), false reds are needless
+quarantines (individual cost).  Under the tracing policy Gc infected cells
+are disclosed exactly, so codes become exact — the paper's "best of the two
+worlds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import DataError
+from repro.mobility.trajectory import TraceDB
+from repro.utils.validation import check_integer
+
+__all__ = ["HealthCode", "HealthCodeReport", "HealthCodeService"]
+
+GREEN, YELLOW, RED = "green", "yellow", "red"
+
+
+@dataclass(frozen=True)
+class HealthCode:
+    """One user's certification: status plus the evidence count."""
+
+    user: int
+    status: str
+    infected_visits: int
+
+
+@dataclass(frozen=True)
+class HealthCodeReport:
+    """Agreement between privacy-preserving codes and ground truth."""
+
+    accuracy: float
+    false_green_rate: float
+    false_red_rate: float
+    n_users: int
+    confusion: dict[tuple[str, str], int]
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"HealthCodeReport(accuracy={self.accuracy:.2%}, "
+            f"false_green={self.false_green_rate:.2%}, "
+            f"false_red={self.false_red_rate:.2%}, users={self.n_users})"
+        )
+
+
+class HealthCodeService:
+    """Certify users' exposure status from a trace database.
+
+    Parameters
+    ----------
+    infected_locations:
+        Cells confirmed as infected (from patient disclosures).
+    window:
+        Lookback horizon in timesteps (the paper's two weeks).
+    red_threshold:
+        Visits needed for a RED code; one visit already yields YELLOW.
+    """
+
+    def __init__(
+        self,
+        infected_locations: Iterable[int],
+        window: int = 14 * 24,
+        red_threshold: int = 2,
+    ) -> None:
+        self.infected_locations = frozenset(int(c) for c in infected_locations)
+        if not self.infected_locations:
+            raise DataError("health codes need at least one infected location")
+        self.window = check_integer("window", window, minimum=1)
+        self.red_threshold = check_integer("red_threshold", red_threshold, minimum=1)
+
+    # ------------------------------------------------------------------
+    def code_for(self, db: TraceDB, user: int, now: int) -> HealthCode:
+        """Certify ``user`` from the evidence in ``db`` at time ``now``."""
+        start = now - self.window + 1
+        visits = sum(
+            1
+            for checkin in db.user_history(user, start=start, end=now)
+            if checkin.cell in self.infected_locations
+        )
+        if visits >= self.red_threshold:
+            status = RED
+        elif visits >= 1:
+            status = YELLOW
+        else:
+            status = GREEN
+        return HealthCode(user=int(user), status=status, infected_visits=visits)
+
+    def codes(self, db: TraceDB, now: int) -> dict[int, HealthCode]:
+        """Certify every user present in ``db``."""
+        return {user: self.code_for(db, user, now) for user in sorted(db.users())}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, true_db: TraceDB, observed_db: TraceDB, now: int) -> HealthCodeReport:
+        """Compare codes from the observed (perturbed) stream with the truth.
+
+        ``false_green_rate`` is the fraction of truly non-green users whom the
+        observed stream certifies green (missed exposures);
+        ``false_red_rate`` is the fraction of truly non-red users certified
+        red (needless quarantine).
+        """
+        users = sorted(true_db.users() & observed_db.users())
+        if not users:
+            raise DataError("the two trace databases share no users")
+        confusion: dict[tuple[str, str], int] = {}
+        correct = 0
+        truly_exposed = 0
+        false_green = 0
+        truly_not_red = 0
+        false_red = 0
+        for user in users:
+            truth = self.code_for(true_db, user, now).status
+            observed = self.code_for(observed_db, user, now).status
+            confusion[(truth, observed)] = confusion.get((truth, observed), 0) + 1
+            if truth == observed:
+                correct += 1
+            if truth != GREEN:
+                truly_exposed += 1
+                if observed == GREEN:
+                    false_green += 1
+            if truth != RED:
+                truly_not_red += 1
+                if observed == RED:
+                    false_red += 1
+        return HealthCodeReport(
+            accuracy=correct / len(users),
+            false_green_rate=(false_green / truly_exposed) if truly_exposed else 0.0,
+            false_red_rate=(false_red / truly_not_red) if truly_not_red else 0.0,
+            n_users=len(users),
+            confusion=confusion,
+        )

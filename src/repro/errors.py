@@ -1,0 +1,40 @@
+"""Exception hierarchy for the PANDA/PGLP reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything from this package with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad epsilon, malformed graph, ...)."""
+
+
+class PolicyError(ReproError):
+    """A location policy graph is malformed or used inconsistently."""
+
+
+class MechanismError(ReproError):
+    """A privacy mechanism cannot be constructed or applied."""
+
+
+class GeometryError(ReproError):
+    """A computational-geometry routine received degenerate input."""
+
+
+class DataError(ReproError):
+    """A trajectory / trace database operation failed."""
+
+
+class BudgetError(ReproError):
+    """A privacy-budget ledger constraint was violated."""
+
+
+class TracingError(ReproError):
+    """The contact-tracing protocol was driven into an invalid state."""

@@ -1,0 +1,49 @@
+"""Experiment harness regenerating every evaluation artifact of the demo.
+
+One runner per experiment (see DESIGN.md's index); each returns a
+:class:`~repro.experiments.reporting.ResultTable` whose rows are what the
+paper's interactive panels plot.  The ``benchmarks/`` directory wraps these
+runners with pytest-benchmark and prints the tables.
+"""
+
+from repro.experiments.reporting import ResultTable
+from repro.experiments.configs import (
+    POLICY_BUILDERS,
+    MECHANISM_FACTORIES,
+    ExperimentConfig,
+    build_policy,
+    build_mechanism,
+)
+from repro.experiments.harness import (
+    run_monitoring_utility,
+    run_r0_estimation,
+    run_contact_tracing,
+    run_adversary_error,
+    run_random_policy_tradeoff,
+    run_theorem_bounds,
+    run_policy_matrix,
+    run_mechanism_ablation,
+    run_temporal_privacy,
+    run_metapop_forecast,
+    run_dataset_sensitivity,
+)
+
+__all__ = [
+    "ResultTable",
+    "POLICY_BUILDERS",
+    "MECHANISM_FACTORIES",
+    "ExperimentConfig",
+    "build_policy",
+    "build_mechanism",
+    "run_monitoring_utility",
+    "run_r0_estimation",
+    "run_contact_tracing",
+    "run_adversary_error",
+    "run_random_policy_tradeoff",
+    "run_theorem_bounds",
+    "run_policy_matrix",
+    "run_mechanism_ablation",
+    "run_temporal_privacy",
+    "run_metapop_forecast",
+    "run_dataset_sensitivity",
+]

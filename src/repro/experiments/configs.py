@@ -1,0 +1,127 @@
+"""Named policies, mechanisms, and the shared experiment configuration.
+
+The registries here give experiments (and the CLI examples) a single source
+of truth for the paper's policy menagerie — G1, G2, Ga, Gb, Gc — and the
+mechanisms P-LM / P-PIM / graph-exponential plus the Geo-I baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    GraphExponentialMechanism,
+    Mechanism,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.policies import (
+    area_policy,
+    contact_tracing_policy,
+    grid_policy,
+    location_set_policy,
+)
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+
+__all__ = [
+    "POLICY_BUILDERS",
+    "MECHANISM_FACTORIES",
+    "ExperimentConfig",
+    "build_policy",
+    "build_mechanism",
+]
+
+
+def _g2_full(world: GridWorld) -> PolicyGraph:
+    """G2 over the whole map: complete indistinguishability (strictest)."""
+    return location_set_policy(world, list(world), name="G2")
+
+
+def _gc_default(world: GridWorld) -> PolicyGraph:
+    """Gc with a deterministic infected corner, for policy-only sweeps.
+
+    Real tracing runs derive the infected set from the diagnosed patient; the
+    sweeps need *some* fixed Gc instance, so the top-left 2x2 block plays the
+    infected area.
+    """
+    base = area_policy(world, 2, 2, name="Gb")
+    rows = min(2, world.height)
+    cols = min(2, world.width)
+    infected = [world.cell_of(r, c) for r in range(rows) for c in range(cols)]
+    return contact_tracing_policy(base, infected, name="Gc")
+
+
+#: name -> builder(world) for the paper's named policy graphs.
+POLICY_BUILDERS: dict[str, Callable[[GridWorld], PolicyGraph]] = {
+    "G1": lambda world: grid_policy(world, name="G1"),
+    "G2": _g2_full,
+    "Ga": lambda world: area_policy(world, 4, 4, name="Ga"),
+    "Gb": lambda world: area_policy(world, 2, 2, name="Gb"),
+    "Gc": _gc_default,
+}
+
+#: name -> factory(world, policy, epsilon) for the mechanisms under test.
+MECHANISM_FACTORIES: dict[str, Callable[[GridWorld, PolicyGraph, float], Mechanism]] = {
+    "P-LM": PolicyLaplaceMechanism,
+    "P-PIM": PolicyPlanarIsotropicMechanism,
+    "GraphExp": GraphExponentialMechanism,
+    "Geo-I": lambda world, policy, epsilon: GeoIndistinguishabilityMechanism(
+        world, epsilon, graph=policy
+    ),
+}
+
+
+def build_policy(name: str, world: GridWorld) -> PolicyGraph:
+    """Instantiate a named policy over ``world``."""
+    try:
+        return POLICY_BUILDERS[name](world)
+    except KeyError:
+        raise ValidationError(f"unknown policy {name!r}; choose from {sorted(POLICY_BUILDERS)}") from None
+
+
+def build_mechanism(name: str, world: GridWorld, policy: PolicyGraph, epsilon: float) -> Mechanism:
+    """Instantiate a named mechanism for ``policy``."""
+    try:
+        return MECHANISM_FACTORIES[name](world, policy, epsilon)
+    except KeyError:
+        raise ValidationError(
+            f"unknown mechanism {name!r}; choose from {sorted(MECHANISM_FACTORIES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for the E1-E8 runners (laptop-scale defaults).
+
+    The defaults keep each runner under a few seconds while preserving the
+    qualitative shapes recorded in EXPERIMENTS.md; crank ``world_size``,
+    ``n_users`` and ``trials`` for smoother curves.
+    """
+
+    world_size: int = 12
+    cell_size: float = 1.0
+    epsilons: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0)
+    policies: tuple[str, ...] = ("G1", "Gb", "Ga", "G2")
+    mechanisms: tuple[str, ...] = ("P-LM", "P-PIM")
+    n_users: int = 30
+    horizon: int = 72
+    trials: int = 3
+    seed: int = 2020
+    dataset: str = "geolife"
+    p_transmit: float = 0.3
+    sigma: float = 0.25
+    gamma: float = 0.1
+    tracing_window: int = 72
+    monitor_block: tuple[int, int] = (4, 4)
+
+    def make_world(self) -> GridWorld:
+        return GridWorld(self.world_size, self.world_size, cell_size=self.cell_size)
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)

@@ -1,0 +1,144 @@
+"""Result tables: the rows/series every benchmark prints.
+
+A :class:`ResultTable` is a light, dependency-free column-oriented table with
+pretty printing, CSV export, filtering and grouping — enough to reproduce the
+paper's figures as aligned text without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Callable, Iterable
+
+from repro.errors import ValidationError
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """An ordered collection of homogeneous result rows.
+
+    Parameters
+    ----------
+    columns:
+        Column names, fixed at construction.
+    title:
+        Heading used by :meth:`pretty` (usually the experiment id).
+    """
+
+    def __init__(self, columns: Iterable[str], title: str = "") -> None:
+        self.columns = tuple(str(c) for c in columns)
+        if not self.columns:
+            raise ValidationError("a result table needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise ValidationError("duplicate column names")
+        self.title = title
+        self._rows: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, positionally or by column name (not both)."""
+        if values and named:
+            raise ValidationError("pass values positionally or by name, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            extra = set(named) - set(self.columns)
+            if missing or extra:
+                raise ValidationError(f"row mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ValidationError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append(tuple(values))
+
+    @property
+    def rows(self) -> list[tuple]:
+        return list(self._rows)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        index = self._column_index(name)
+        return [row[index] for row in self._rows]
+
+    def where(self, **conditions: Any) -> "ResultTable":
+        """Rows matching all ``column=value`` equality conditions."""
+        indices = {self._column_index(name): value for name, value in conditions.items()}
+        out = ResultTable(self.columns, title=self.title)
+        for row in self._rows:
+            if all(row[i] == v for i, v in indices.items()):
+                out._rows.append(row)
+        return out
+
+    def group_by(self, name: str) -> dict[Any, "ResultTable"]:
+        """Split into sub-tables keyed by the values of one column."""
+        index = self._column_index(name)
+        groups: dict[Any, ResultTable] = {}
+        for row in self._rows:
+            groups.setdefault(row[index], ResultTable(self.columns, title=self.title))._rows.append(row)
+        return groups
+
+    def sort_by(self, *names: str) -> "ResultTable":
+        """New table sorted by the given columns (ascending)."""
+        indices = [self._column_index(n) for n in names]
+        out = ResultTable(self.columns, title=self.title)
+        out._rows = sorted(self._rows, key=lambda row: tuple(row[i] for i in indices))
+        return out
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+    # ------------------------------------------------------------------
+    def pretty(self, float_format: str = "{:.4g}") -> str:
+        """Aligned text rendering (what the benchmarks print)."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, bool):
+                return str(value)
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self._rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        if self.title:
+            out.write(f"== {self.title} ==\n")
+        header = "  ".join(name.ljust(width) for name, width in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("  ".join("-" * width for width in widths) + "\n")
+        for row in cells:
+            out.write("  ".join(cell.ljust(width) for cell, width in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering with a header line."""
+        lines = [",".join(self.columns)]
+        for row in self._rows:
+            lines.append(",".join(str(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def map_column(self, name: str, func: Callable[[Any], Any]) -> "ResultTable":
+        """New table with ``func`` applied to one column."""
+        index = self._column_index(name)
+        out = ResultTable(self.columns, title=self.title)
+        for row in self._rows:
+            mutated = list(row)
+            mutated[index] = func(row[index])
+            out._rows.append(tuple(mutated))
+        return out
+
+    # ------------------------------------------------------------------
+    def _column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise ValidationError(f"unknown column {name!r}; have {self.columns}") from None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"ResultTable(title={self.title!r}, columns={self.columns}, rows={len(self._rows)})"

@@ -1,0 +1,29 @@
+"""Geometric substrate: the discrete grid world and a 2-D geometry kernel.
+
+The grid world is the location universe of every experiment in the paper:
+locations on "the map" (Fig. 2 / Fig. 4) are cells of a regular grid, each
+with a continuous centre coordinate.  The geometry kernel provides the convex
+hull / K-norm machinery required by the Planar Isotropic Mechanism.
+"""
+
+from repro.geo.grid import GridWorld
+from repro.geo.geometry import (
+    ConvexPolygon,
+    convex_hull,
+    knorm,
+    sample_uniform_polygon,
+    isotropic_transform,
+)
+from repro.geo.distance import euclidean, manhattan, chebyshev
+
+__all__ = [
+    "GridWorld",
+    "ConvexPolygon",
+    "convex_hull",
+    "knorm",
+    "sample_uniform_polygon",
+    "isotropic_transform",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+]

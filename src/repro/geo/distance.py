@@ -1,0 +1,41 @@
+"""Planar distance functions used throughout the library.
+
+Points are ``(x, y)`` pairs (tuples, lists, or ndarrays of length 2).  The
+paper's utility metric for location monitoring is the Euclidean distance
+between the released and the true location (Sec. 3.2, evaluation 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["euclidean", "manhattan", "chebyshev", "pairwise_euclidean"]
+
+Point = Sequence[float]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean (L2) distance between two planar points."""
+    return math.hypot(float(a[0]) - float(b[0]), float(a[1]) - float(b[1]))
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Manhattan (L1) distance between two planar points."""
+    return abs(float(a[0]) - float(b[0])) + abs(float(a[1]) - float(b[1]))
+
+
+def chebyshev(a: Point, b: Point) -> float:
+    """Chebyshev (L-infinity) distance between two planar points."""
+    return max(abs(float(a[0]) - float(b[0])), abs(float(a[1]) - float(b[1])))
+
+
+def pairwise_euclidean(points: np.ndarray) -> np.ndarray:
+    """All-pairs Euclidean distance matrix for an ``(n, 2)`` array."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) array, got shape {pts.shape}")
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))

@@ -1,0 +1,187 @@
+"""The grid world: a discrete universe of locations on a map.
+
+The paper models "all possible locations" as cells of a regular grid (the
+dots of Fig. 2 and Fig. 4).  :class:`GridWorld` owns the bijection between
+integer cell identifiers and continuous planar coordinates, adjacency on the
+map, and the coarse-area partition used by the Ga/Gb policy graphs.
+
+Conventions
+-----------
+* Cells are identified by ``cell_id = row * width + col`` with ``row`` growing
+  northwards and ``col`` eastwards, matching the "(North)/(East)" axes in the
+  paper's figures.
+* The continuous coordinate of a cell is its centre:
+  ``((col + 0.5) * cell_size, (row + 0.5) * cell_size)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = ["GridWorld"]
+
+
+class GridWorld:
+    """A ``width x height`` grid of locations with continuous coordinates.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions in cells; both must be >= 1.
+    cell_size:
+        Side length of a cell in map units (e.g. kilometres).  Euclidean
+        utility numbers scale linearly with this.
+    """
+
+    def __init__(self, width: int, height: int, cell_size: float = 1.0) -> None:
+        self.width = check_integer("width", width, minimum=1)
+        self.height = check_integer("height", height, minimum=1)
+        self.cell_size = check_positive("cell_size", cell_size)
+
+    # ------------------------------------------------------------------
+    # Identity / container protocol
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells (locations) in the world."""
+        return self.width * self.height
+
+    def __len__(self) -> int:
+        return self.n_cells
+
+    def __contains__(self, cell: int) -> bool:
+        return isinstance(cell, (int, np.integer)) and 0 <= int(cell) < self.n_cells
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_cells))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GridWorld):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.height == other.height
+            and self.cell_size == other.cell_size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.height, self.cell_size))
+
+    def __repr__(self) -> str:
+        return f"GridWorld(width={self.width}, height={self.height}, cell_size={self.cell_size})"
+
+    # ------------------------------------------------------------------
+    # Cell id <-> (row, col) <-> coordinates
+    # ------------------------------------------------------------------
+    def check_cell(self, cell: int) -> int:
+        """Validate a cell id, returning it as a plain ``int``."""
+        if cell not in self:
+            raise ValidationError(f"cell {cell!r} outside grid with {self.n_cells} cells")
+        return int(cell)
+
+    def cell_of(self, row: int, col: int) -> int:
+        """Cell id of grid position ``(row, col)``."""
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise ValidationError(f"(row={row}, col={col}) outside {self.height}x{self.width} grid")
+        return row * self.width + col
+
+    def rowcol(self, cell: int) -> tuple[int, int]:
+        """Grid position ``(row, col)`` of a cell id."""
+        cell = self.check_cell(cell)
+        return divmod(cell, self.width)
+
+    def coords(self, cell: int) -> tuple[float, float]:
+        """Continuous centre coordinate ``(x, y)`` of a cell."""
+        row, col = self.rowcol(cell)
+        return ((col + 0.5) * self.cell_size, (row + 0.5) * self.cell_size)
+
+    def coords_array(self, cells=None) -> np.ndarray:
+        """``(n, 2)`` array of centre coordinates for ``cells`` (default: all)."""
+        if cells is None:
+            cells = np.arange(self.n_cells)
+        cells = np.asarray(list(cells), dtype=int)
+        if cells.size and (cells.min() < 0 or cells.max() >= self.n_cells):
+            raise ValidationError("cell id out of range in coords_array")
+        rows, cols = np.divmod(cells, self.width)
+        return np.column_stack(((cols + 0.5) * self.cell_size, (rows + 0.5) * self.cell_size))
+
+    def snap(self, point) -> int:
+        """Cell id containing the continuous point (clamped to the map edge).
+
+        Perturbed locations can land outside the map; the paper's utility and
+        tracing pipelines snap them back to the nearest cell, which this clamp
+        implements.
+        """
+        x = float(point[0]) / self.cell_size
+        y = float(point[1]) / self.cell_size
+        col = min(max(int(np.floor(x)), 0), self.width - 1)
+        row = min(max(int(np.floor(y)), 0), self.height - 1)
+        return self.cell_of(row, col)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between the centres of two cells."""
+        xa, ya = self.coords(a)
+        xb, yb = self.coords(b)
+        return float(np.hypot(xa - xb, ya - yb))
+
+    # ------------------------------------------------------------------
+    # Map adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, cell: int, connectivity: int = 8) -> list[int]:
+        """Cells adjacent on the map.
+
+        ``connectivity=8`` matches the paper's G1 ("every location has edges
+        with its closest eight locations on the map"); ``connectivity=4``
+        gives rook adjacency.
+        """
+        if connectivity not in (4, 8):
+            raise ValidationError(f"connectivity must be 4 or 8, got {connectivity}")
+        row, col = self.rowcol(cell)
+        if connectivity == 4:
+            offsets = ((-1, 0), (1, 0), (0, -1), (0, 1))
+        else:
+            offsets = tuple(
+                (dr, dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1) if (dr, dc) != (0, 0)
+            )
+        result = []
+        for drow, dcol in offsets:
+            nrow, ncol = row + drow, col + dcol
+            if 0 <= nrow < self.height and 0 <= ncol < self.width:
+                result.append(self.cell_of(nrow, ncol))
+        return result
+
+    # ------------------------------------------------------------------
+    # Coarse-area partition (for policies Ga / Gb)
+    # ------------------------------------------------------------------
+    def area_of(self, cell: int, block_rows: int, block_cols: int) -> int:
+        """Index of the coarse area containing ``cell``.
+
+        The map is tiled with ``block_rows x block_cols`` blocks ("cities or
+        provinces" in the paper's location-monitoring policy Ga).  Edge blocks
+        may be smaller when the grid is not an exact multiple.
+        """
+        check_integer("block_rows", block_rows, minimum=1)
+        check_integer("block_cols", block_cols, minimum=1)
+        row, col = self.rowcol(cell)
+        blocks_per_row = -(-self.width // block_cols)  # ceil division
+        return (row // block_rows) * blocks_per_row + (col // block_cols)
+
+    def areas(self, block_rows: int, block_cols: int) -> dict[int, list[int]]:
+        """Partition of all cells into coarse areas, ``{area_id: [cells]}``."""
+        partition: dict[int, list[int]] = {}
+        for cell in self:
+            partition.setdefault(self.area_of(cell, block_rows, block_cols), []).append(cell)
+        return partition
+
+    def area_centroid(self, cells: list[int]) -> tuple[float, float]:
+        """Mean centre coordinate of a set of cells (for flow aggregation)."""
+        if not cells:
+            raise ValidationError("cannot take the centroid of zero cells")
+        pts = self.coords_array(cells)
+        cx, cy = pts.mean(axis=0)
+        return (float(cx), float(cy))

@@ -1,0 +1,41 @@
+"""Mobility substrate: trajectories, mobility models, and synthetic datasets.
+
+Provides the data layer of PANDA: users' location histories (the local
+"location DB" of Fig. 1), a first-order Markov mobility model with Bayesian
+filtering (the machinery behind delta-location sets [19]), and synthetic
+stand-ins for the Geolife and Gowalla datasets used by the demo.
+"""
+
+from repro.mobility.trajectory import CheckIn, Trajectory, TraceDB
+from repro.mobility.markov import MarkovModel
+from repro.mobility.hmm import BayesFilter, delta_location_set
+from repro.mobility.synthetic import (
+    geolife_like,
+    gowalla_like,
+    random_waypoint,
+)
+from repro.mobility.datasets import make_dataset, dataset_summary
+from repro.mobility.stats import (
+    radius_of_gyration,
+    revisit_ratio,
+    hotspot_share,
+    mobility_summary,
+)
+
+__all__ = [
+    "radius_of_gyration",
+    "revisit_ratio",
+    "hotspot_share",
+    "mobility_summary",
+    "CheckIn",
+    "Trajectory",
+    "TraceDB",
+    "MarkovModel",
+    "BayesFilter",
+    "delta_location_set",
+    "geolife_like",
+    "gowalla_like",
+    "random_waypoint",
+    "make_dataset",
+    "dataset_summary",
+]

@@ -1,0 +1,150 @@
+"""First-order Markov mobility model over grid cells.
+
+Both the adversary's prior and the delta-location-set machinery of
+Xiao-Xiong [19] assume user movement follows a (public) Markov transition
+matrix.  The model here can be fit from trajectories, constructed as a lazy
+random walk on the map, sampled, and iterated for Bayesian prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import DataError, ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.trajectory import Trajectory
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["MarkovModel"]
+
+
+class MarkovModel:
+    """Row-stochastic transition matrix over the cells of a grid world."""
+
+    def __init__(self, world: GridWorld, transition: np.ndarray) -> None:
+        matrix = np.asarray(transition, dtype=float)
+        n = world.n_cells
+        if matrix.shape != (n, n):
+            raise ValidationError(f"transition must be ({n}, {n}), got {matrix.shape}")
+        if np.any(matrix < -1e-12):
+            raise ValidationError("transition probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise ValidationError("transition rows must sum to 1")
+        self.world = world
+        self.transition = np.clip(matrix, 0.0, None)
+        self.transition /= self.transition.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, world: GridWorld) -> "MarkovModel":
+        """Every cell equally likely next — the least-informative prior."""
+        n = world.n_cells
+        return cls(world, np.full((n, n), 1.0 / n))
+
+    @classmethod
+    def lazy_walk(cls, world: GridWorld, p_stay: float = 0.5, connectivity: int = 8) -> "MarkovModel":
+        """Lazy random walk: stay w.p. ``p_stay``, else uniform map neighbor."""
+        check_probability("p_stay", p_stay)
+        n = world.n_cells
+        matrix = np.zeros((n, n))
+        for cell in world:
+            neighbors = world.neighbors(cell, connectivity=connectivity)
+            matrix[cell, cell] += p_stay
+            share = (1.0 - p_stay) / len(neighbors)
+            for nbr in neighbors:
+                matrix[cell, nbr] += share
+        return cls(world, matrix)
+
+    @classmethod
+    def fit(
+        cls,
+        world: GridWorld,
+        trajectories: Iterable[Trajectory],
+        smoothing: float = 0.1,
+        connectivity: int | None = 8,
+    ) -> "MarkovModel":
+        """Maximum-likelihood transitions with additive smoothing.
+
+        ``connectivity`` restricts the smoothing mass to map-adjacent moves
+        (plus staying), which keeps fitted models from leaking probability to
+        teleport transitions; pass ``None`` to smooth over all cells.
+        """
+        if smoothing < 0:
+            raise ValidationError(f"smoothing must be >= 0, got {smoothing}")
+        n = world.n_cells
+        counts = np.zeros((n, n))
+        observed = 0
+        for trajectory in trajectories:
+            cells = trajectory.cells
+            for src, dst in zip(cells, cells[1:]):
+                counts[world.check_cell(src), world.check_cell(dst)] += 1.0
+                observed += 1
+        if observed == 0 and smoothing == 0:
+            raise DataError("no transitions observed and smoothing is 0")
+        if smoothing > 0:
+            if connectivity is None:
+                counts += smoothing
+            else:
+                for cell in world:
+                    counts[cell, cell] += smoothing
+                    for nbr in world.neighbors(cell, connectivity=connectivity):
+                        counts[cell, nbr] += smoothing
+        row_sums = counts.sum(axis=1, keepdims=True)
+        zero_rows = (row_sums[:, 0] == 0)
+        if np.any(zero_rows):
+            counts[zero_rows] = 1.0  # unseen, unsmoothed cells: uniform fallback
+            row_sums = counts.sum(axis=1, keepdims=True)
+        return cls(world, counts / row_sums)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def predict(self, prior: np.ndarray) -> np.ndarray:
+        """One-step Chapman-Kolmogorov prediction ``prior @ P``."""
+        probabilities = np.asarray(prior, dtype=float)
+        if probabilities.shape != (self.world.n_cells,):
+            raise ValidationError(
+                f"prior must have shape ({self.world.n_cells},), got {probabilities.shape}"
+            )
+        return probabilities @ self.transition
+
+    def stationary(self, tol: float = 1e-12, max_iter: int = 10_000) -> np.ndarray:
+        """Stationary distribution by power iteration from uniform."""
+        probabilities = np.full(self.world.n_cells, 1.0 / self.world.n_cells)
+        for _ in range(max_iter):
+            updated = probabilities @ self.transition
+            if np.abs(updated - probabilities).max() < tol:
+                return updated
+            probabilities = updated
+        return probabilities
+
+    def sample_step(self, cell: int, rng=None) -> int:
+        """Draw the next cell from the row of ``cell``."""
+        generator = ensure_rng(rng)
+        return int(generator.choice(self.world.n_cells, p=self.transition[self.world.check_cell(cell)]))
+
+    def sample_trajectory(self, start: int, length: int, rng=None, user: int = 0, start_time: int = 0) -> Trajectory:
+        """Sample a ``length``-step trajectory beginning at ``start``."""
+        if length < 1:
+            raise ValidationError(f"length must be >= 1, got {length}")
+        generator = ensure_rng(rng)
+        cells = [self.world.check_cell(start)]
+        for _ in range(length - 1):
+            cells.append(self.sample_step(cells[-1], rng=generator))
+        return Trajectory(user, cells, start_time=start_time)
+
+    def log_likelihood(self, trajectory: Trajectory) -> float:
+        """Log-probability of a trajectory's transitions under the model."""
+        total = 0.0
+        for src, dst in zip(trajectory.cells, trajectory.cells[1:]):
+            probability = self.transition[src, dst]
+            if probability <= 0:
+                return float("-inf")
+            total += float(np.log(probability))
+        return total

@@ -1,0 +1,178 @@
+"""Synthetic mobility generators standing in for Geolife and Gowalla.
+
+The demo evaluates on the Geolife GPS trajectories [20] and Gowalla
+check-ins [7]; neither ships with this offline reproduction, so we generate
+synthetic data preserving the statistics the experiments consume (documented
+in DESIGN.md):
+
+* :func:`geolife_like` — dense commuter trajectories.  Each user has a home
+  and a work anchor; movement is a schedule-driven walk (dwell at anchors,
+  shortest-path commutes with jitter), giving the strong revisit structure
+  and workplace co-locations that contact tracing and R0 estimation need.
+* :func:`gowalla_like` — sparse check-ins with Zipf-distributed venue
+  popularity and per-user hub sets, matching the heavy-tailed cell popularity
+  of location-based social networks.
+* :func:`random_waypoint` — the classic mobility baseline used for
+  worst-case/ablation runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.trajectory import CheckIn, Trajectory, TraceDB
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_integer, check_positive, check_probability
+
+__all__ = ["geolife_like", "gowalla_like", "random_waypoint"]
+
+
+def _grid_step_towards(world: GridWorld, cell: int, target: int, rng: np.random.Generator, jitter: float) -> int:
+    """One 8-connected step from ``cell`` toward ``target`` with jitter.
+
+    With probability ``jitter`` a uniformly random neighbor is taken instead
+    of the greedy move, so commute paths vary day to day.
+    """
+    if cell == target:
+        return cell
+    if rng.random() < jitter:
+        neighbors = world.neighbors(cell, connectivity=8)
+        return int(rng.choice(neighbors))
+    row, col = world.rowcol(cell)
+    trow, tcol = world.rowcol(target)
+    step_row = row + int(np.sign(trow - row))
+    step_col = col + int(np.sign(tcol - col))
+    return world.cell_of(step_row, step_col)
+
+
+def geolife_like(
+    world: GridWorld,
+    n_users: int = 50,
+    horizon: int = 14 * 24,
+    rng=None,
+    day_length: int = 24,
+    work_start: int = 9,
+    work_end: int = 17,
+    jitter: float = 0.15,
+    n_work_hubs: int | None = None,
+) -> TraceDB:
+    """Commuter trajectories with home/work anchors (Geolife stand-in).
+
+    Parameters
+    ----------
+    horizon:
+        Number of timesteps; default is 14 days of hourly samples — the
+        paper's "past two weeks" window.
+    day_length, work_start, work_end:
+        Daily schedule in timesteps: users dwell at home outside
+        ``[work_start, work_end)`` and at work inside it, commuting between.
+    n_work_hubs:
+        Number of distinct workplaces shared across users (default
+        ``max(2, n_users // 8)``); shared hubs create the co-locations that
+        drive contact tracing.
+    """
+    check_integer("n_users", n_users, minimum=1)
+    check_integer("horizon", horizon, minimum=1)
+    check_probability("jitter", jitter)
+    if not 0 <= work_start < work_end <= day_length:
+        raise ValidationError("need 0 <= work_start < work_end <= day_length")
+    generator = ensure_rng(rng)
+    hubs = n_work_hubs if n_work_hubs is not None else max(2, n_users // 8)
+    check_integer("n_work_hubs", hubs, minimum=1)
+    work_sites = generator.choice(world.n_cells, size=min(hubs, world.n_cells), replace=False)
+
+    trajectories = []
+    for user in range(n_users):
+        home = int(generator.integers(world.n_cells))
+        work = int(generator.choice(work_sites))
+        cell = home
+        cells = []
+        for t in range(horizon):
+            hour = t % day_length
+            target = work if work_start <= hour < work_end else home
+            cell = _grid_step_towards(world, cell, target, generator, jitter)
+            cells.append(cell)
+        trajectories.append(Trajectory(user, cells))
+    return TraceDB.from_trajectories(trajectories)
+
+
+def gowalla_like(
+    world: GridWorld,
+    n_users: int = 100,
+    checkins_per_user: int = 40,
+    horizon: int = 14 * 24,
+    rng=None,
+    zipf_exponent: float = 1.2,
+    n_hubs_per_user: int = 5,
+    p_hub: float = 0.7,
+) -> TraceDB:
+    """Sparse check-ins with Zipfian venue popularity (Gowalla stand-in).
+
+    Cell popularity follows a Zipf law with exponent ``zipf_exponent`` over a
+    random permutation of the grid.  Each user draws ``n_hubs_per_user``
+    personal hubs from that popularity law and checks in at a hub with
+    probability ``p_hub``, else at a popularity-weighted random cell.
+    Check-in times are uniform over the horizon (at most one per timestep
+    per user, like Gowalla's deduplicated feed).
+    """
+    check_integer("n_users", n_users, minimum=1)
+    check_integer("checkins_per_user", checkins_per_user, minimum=1)
+    check_integer("horizon", horizon, minimum=checkins_per_user)
+    check_positive("zipf_exponent", zipf_exponent)
+    check_integer("n_hubs_per_user", n_hubs_per_user, minimum=1)
+    check_probability("p_hub", p_hub)
+    generator = ensure_rng(rng)
+
+    ranks = np.arange(1, world.n_cells + 1, dtype=float)
+    popularity = ranks**-zipf_exponent
+    popularity /= popularity.sum()
+    cell_order = generator.permutation(world.n_cells)
+
+    def popular_cell() -> int:
+        return int(cell_order[generator.choice(world.n_cells, p=popularity)])
+
+    db = TraceDB()
+    for user in range(n_users):
+        hub_count = min(n_hubs_per_user, world.n_cells)
+        hub_cells = [popular_cell() for _ in range(hub_count)]
+        times = generator.choice(horizon, size=checkins_per_user, replace=False)
+        for time in sorted(times.tolist()):
+            if generator.random() < p_hub:
+                cell = int(generator.choice(hub_cells))
+            else:
+                cell = popular_cell()
+            db.add(CheckIn(time=int(time), user=user, cell=cell))
+    return db
+
+
+def random_waypoint(
+    world: GridWorld,
+    n_users: int = 50,
+    horizon: int = 14 * 24,
+    rng=None,
+    pause: int = 3,
+) -> TraceDB:
+    """Random-waypoint mobility: pick a waypoint, walk to it, pause, repeat."""
+    check_integer("n_users", n_users, minimum=1)
+    check_integer("horizon", horizon, minimum=1)
+    check_integer("pause", pause, minimum=0)
+    generator = ensure_rng(rng)
+    trajectories = []
+    for user in range(n_users):
+        cell = int(generator.integers(world.n_cells))
+        target = int(generator.integers(world.n_cells))
+        resting = 0
+        cells = []
+        for _ in range(horizon):
+            if cell == target:
+                if resting < pause:
+                    resting += 1
+                else:
+                    target = int(generator.integers(world.n_cells))
+                    resting = 0
+            cell = _grid_step_towards(world, cell, target, generator, jitter=0.0)
+            cells.append(cell)
+        trajectories.append(Trajectory(user, cells))
+    return TraceDB.from_trajectories(trajectories)

@@ -1,0 +1,25 @@
+"""System glue: clients, the untrusted server, and policy configuration.
+
+Implements the message flow of Fig. 1 / Fig. 3: clients keep a local 14-day
+location database, approve or reject policies pushed by the server's Location
+Policy Configuration module, and release perturbed locations; the semi-honest
+server accumulates the releases and can request history re-sends under an
+updated policy (contact tracing).
+"""
+
+from repro.server.localdb import LocalLocationDB
+from repro.server.policy_config import PolicyConfigurator, PolicyProposal
+from repro.server.pipeline import Client, Server, run_release_rounds
+from repro.server.audit import PolicyRecord, ReleaseRecord, TransparencyLog
+
+__all__ = [
+    "LocalLocationDB",
+    "PolicyConfigurator",
+    "PolicyProposal",
+    "Client",
+    "Server",
+    "run_release_rounds",
+    "PolicyRecord",
+    "ReleaseRecord",
+    "TransparencyLog",
+]

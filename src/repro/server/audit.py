@@ -1,0 +1,159 @@
+"""Transparency log for policies and releases.
+
+"By making the policy graph public, the system has a high level of
+transparency" (Sec. 2.1).  The :class:`TransparencyLog` is that public
+record: an append-only sequence of policy publications and release
+acknowledgements that anyone can query — which policy version governed a
+user's release at time t, what budget was charged, and whether a policy
+update (e.g. the tracing Gc push) happened before or after a given release.
+It stores policy *fingerprints* rather than locations, so the log itself
+leaks nothing beyond what the policies already make public.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import DataError
+
+__all__ = ["PolicyRecord", "ReleaseRecord", "TransparencyLog"]
+
+
+def _fingerprint(graph: PolicyGraph) -> str:
+    """Stable short hash of a policy graph's structure."""
+    payload = json.dumps(graph.to_dict(), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PolicyRecord:
+    """A policy publication: version, purpose, and structural fingerprint."""
+
+    sequence: int
+    version: int
+    purpose: str
+    policy_name: str
+    fingerprint: str
+    n_nodes: int
+    n_edges: int
+
+
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """A release acknowledgement: who released under which policy version."""
+
+    sequence: int
+    user: int
+    time: int
+    policy_version: int
+    epsilon: float
+    exact: bool
+
+
+class TransparencyLog:
+    """Append-only public record of policy publications and releases."""
+
+    def __init__(self) -> None:
+        self._entries: list[PolicyRecord | ReleaseRecord] = []
+        self._policies: dict[int, PolicyRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def publish_policy(self, version: int, purpose: str, graph: PolicyGraph) -> PolicyRecord:
+        """Record a policy publication; versions must be fresh and increasing."""
+        if version in self._policies:
+            raise DataError(f"policy version {version} already published")
+        if self._policies and version < max(self._policies):
+            raise DataError(f"policy version {version} is older than the latest published")
+        record = PolicyRecord(
+            sequence=len(self._entries),
+            version=version,
+            purpose=purpose,
+            policy_name=graph.name,
+            fingerprint=_fingerprint(graph),
+            n_nodes=graph.n_nodes,
+            n_edges=graph.n_edges,
+        )
+        self._entries.append(record)
+        self._policies[version] = record
+        return record
+
+    def acknowledge_release(
+        self, user: int, time: int, policy_version: int, epsilon: float, exact: bool
+    ) -> ReleaseRecord:
+        """Record that ``user`` released under a previously published policy."""
+        if policy_version not in self._policies:
+            raise DataError(f"policy version {policy_version} was never published")
+        record = ReleaseRecord(
+            sequence=len(self._entries),
+            user=int(user),
+            time=int(time),
+            policy_version=int(policy_version),
+            epsilon=float(epsilon),
+            exact=bool(exact),
+        )
+        self._entries.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def policy_at_sequence(self, sequence: int) -> PolicyRecord | None:
+        """The latest policy published at or before log position ``sequence``."""
+        latest: PolicyRecord | None = None
+        for entry in self._entries[: sequence + 1]:
+            if isinstance(entry, PolicyRecord):
+                latest = entry
+        return latest
+
+    def releases_of(self, user: int) -> list[ReleaseRecord]:
+        return [
+            entry
+            for entry in self._entries
+            if isinstance(entry, ReleaseRecord) and entry.user == int(user)
+        ]
+
+    def releases_under(self, version: int) -> list[ReleaseRecord]:
+        return [
+            entry
+            for entry in self._entries
+            if isinstance(entry, ReleaseRecord) and entry.policy_version == version
+        ]
+
+    def verify_chain(self) -> bool:
+        """Check append-only integrity: sequences dense, versions monotone."""
+        last_version = None
+        for position, entry in enumerate(self._entries):
+            if entry.sequence != position:
+                return False
+            if isinstance(entry, PolicyRecord):
+                if last_version is not None and entry.version < last_version:
+                    return False
+                last_version = entry.version
+        return True
+
+    def policy_versions(self) -> list[int]:
+        return sorted(self._policies)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PolicyRecord | ReleaseRecord]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise the whole log as JSON lines (one entry per line)."""
+        lines = []
+        for entry in self._entries:
+            payload = dict(entry.__dict__)
+            payload["kind"] = type(entry).__name__
+            lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")

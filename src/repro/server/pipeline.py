@@ -1,0 +1,168 @@
+"""Client / untrusted-server release pipeline (Fig. 1).
+
+``Client`` owns a true-location stream, a local rolling database, a consented
+policy and a mechanism; ``Server`` accumulates snapped releases and pushes
+policy updates.  :func:`run_release_rounds` drives a whole population through
+a time window — the loop every experiment's "server view" comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.accounting import BudgetLedger
+from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import DataError, PolicyError
+from repro.geo.grid import GridWorld
+from repro.mobility.trajectory import TraceDB
+from repro.server.localdb import LocalLocationDB
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = ["Client", "Server", "run_release_rounds"]
+
+MechanismFactory = Callable[[GridWorld, PolicyGraph, float], Mechanism]
+
+
+class Client:
+    """A user's device: local DB, consented policy, PGLP mechanism.
+
+    Parameters
+    ----------
+    user:
+        User id.
+    world:
+        Shared location universe.
+    mechanism_factory:
+        Builds the PGLP mechanism for whatever policy is currently consented.
+    epsilon:
+        Per-release budget.
+    policy:
+        Initially consented policy graph.
+    window:
+        Local retention window (the paper's two weeks).
+    """
+
+    def __init__(
+        self,
+        user: int,
+        world: GridWorld,
+        mechanism_factory: MechanismFactory,
+        epsilon: float,
+        policy: PolicyGraph,
+        window: int = 14 * 24,
+        rng=None,
+    ) -> None:
+        self.user = int(user)
+        self.world = world
+        self.mechanism_factory = mechanism_factory
+        self.epsilon = float(epsilon)
+        self.local_db = LocalLocationDB(window=window)
+        self.rng = ensure_rng(rng)
+        self._policy: PolicyGraph | None = None
+        self._mechanism: Mechanism | None = None
+        self.accept_policy(policy)
+
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> PolicyGraph:
+        if self._policy is None:
+            raise PolicyError(f"client {self.user} has no consented policy")
+        return self._policy
+
+    @property
+    def mechanism(self) -> Mechanism:
+        if self._mechanism is None:
+            raise PolicyError(f"client {self.user} has no consented policy")
+        return self._mechanism
+
+    def accept_policy(self, policy: PolicyGraph) -> None:
+        """Consent to ``policy`` and rebuild the mechanism."""
+        self._policy = policy
+        self._mechanism = self.mechanism_factory(self.world, policy, self.epsilon)
+
+    def reject_policy(self) -> None:
+        """Withdraw consent: no further locations are released."""
+        self._policy = None
+        self._mechanism = None
+
+    # ------------------------------------------------------------------
+    def observe(self, time: int, cell: int) -> None:
+        """Record the true location locally (never leaves the device raw)."""
+        self.local_db.record(time, self.world.check_cell(cell))
+
+    def release(self, time: int) -> Release:
+        """Perturb and share the location observed at ``time``."""
+        cell = self.local_db.location_at(time)
+        if cell is None:
+            raise DataError(f"client {self.user} has no observation at time {time}")
+        return self.mechanism.release(cell, rng=self.rng)
+
+    def resend_history(self, policy: PolicyGraph, start: int, end: int) -> list[tuple[int, Release]]:
+        """Re-release the stored window under an updated (tracing) policy."""
+        self.accept_policy(policy)
+        return [
+            (time, self.mechanism.release(cell, rng=self.rng))
+            for time, cell in self.local_db.history(start=start, end=end)
+        ]
+
+
+class Server:
+    """The semi-honest collector: snapped releases plus a budget ledger."""
+
+    def __init__(self, world: GridWorld, ledger: BudgetLedger | None = None) -> None:
+        self.world = world
+        self.released_db = TraceDB()
+        self.ledger = ledger if ledger is not None else BudgetLedger()
+
+    def ingest(self, user: int, time: int, release: Release, purpose: str = "stream") -> int:
+        """Store one release; returns the snapped cell recorded server-side."""
+        cell = self.world.snap(release.point)
+        self.released_db.record(user, time, cell)
+        self.ledger.charge(user, time, release.epsilon, purpose=purpose)
+        return cell
+
+    def push_policy(self, client: Client, policy: PolicyGraph) -> None:
+        """Offer a policy update; the demo's clients always consent."""
+        client.accept_policy(policy)
+
+
+def run_release_rounds(
+    world: GridWorld,
+    true_db: TraceDB,
+    policy: PolicyGraph,
+    mechanism_factory: MechanismFactory,
+    epsilon: float,
+    rng=None,
+    window: int = 14 * 24,
+) -> tuple[Server, dict[int, Client]]:
+    """Simulate the full population releasing its trace to a fresh server.
+
+    Every user in ``true_db`` becomes a :class:`Client` under ``policy``;
+    each of their check-ins is observed locally, released, and ingested.
+    Returns the server (with its released TraceDB and ledger) and the
+    clients, keyed by user id.
+    """
+    users = sorted(true_db.users())
+    if not users:
+        raise DataError("true trace database has no users")
+    rngs = spawn_rngs(rng, len(users))
+    clients = {
+        user: Client(
+            user,
+            world,
+            mechanism_factory,
+            epsilon,
+            policy,
+            window=window,
+            rng=user_rng,
+        )
+        for user, user_rng in zip(users, rngs)
+    }
+    server = Server(world)
+    for checkin in true_db.checkins():
+        client = clients[checkin.user]
+        client.observe(checkin.time, checkin.cell)
+        release = client.release(checkin.time)
+        server.ingest(checkin.user, checkin.time, release)
+    return server, clients

@@ -1,0 +1,103 @@
+"""Location Policy Configuration (Fig. 3, middle module).
+
+The server recommends policies per surveillance function; users consent or
+reject (Sec. 2.1: "The user has the right to reject a privacy policy so that
+no location will be released").  Policies are versioned so that dynamic
+updates during contact tracing are auditable, giving the "high level of
+transparency" the paper claims from public policy graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.policies import (
+    area_policy,
+    contact_tracing_policy,
+    full_disclosure_policy,
+    grid_policy,
+)
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import PolicyError
+from repro.geo.grid import GridWorld
+
+__all__ = ["PolicyProposal", "PolicyConfigurator"]
+
+
+@dataclass
+class PolicyProposal:
+    """A policy offered to a user, awaiting consent."""
+
+    policy: PolicyGraph
+    purpose: str
+    version: int
+    approved: bool | None = None
+
+    def approve(self) -> PolicyGraph:
+        self.approved = True
+        return self.policy
+
+    def reject(self) -> None:
+        """User declines: no location will be released under this proposal."""
+        self.approved = False
+
+
+@dataclass
+class PolicyConfigurator:
+    """Builds and versions the recommended policy per surveillance function.
+
+    The defaults mirror Fig. 4: coarse areas for monitoring (Ga), fine areas
+    for epidemic analysis (Gb), and the base-with-infected-isolated Gc for
+    tracing.
+    """
+
+    world: GridWorld
+    monitor_block: tuple[int, int] = (4, 4)
+    analysis_block: tuple[int, int] = (2, 2)
+    _version: int = field(default=0, init=False)
+    _log: list[tuple[int, str, str]] = field(default_factory=list, init=False)
+
+    # ------------------------------------------------------------------
+    def recommend(self, purpose: str, infected_locations: Iterable[int] = ()) -> PolicyProposal:
+        """Policy proposal for ``purpose``.
+
+        ``purpose`` is one of ``"monitoring"`` (Ga), ``"analysis"`` (Gb),
+        ``"tracing"`` (Gc over the analysis base; requires
+        ``infected_locations``), ``"patient"`` (full disclosure, consented by
+        the diagnosed user), or ``"geo-ind"`` (G1 grid adjacency).
+        """
+        if purpose == "monitoring":
+            policy = area_policy(self.world, *self.monitor_block, name="Ga")
+        elif purpose == "analysis":
+            policy = area_policy(self.world, *self.analysis_block, name="Gb")
+        elif purpose == "tracing":
+            infected = list(infected_locations)
+            if not infected:
+                raise PolicyError("tracing policy needs the infected locations")
+            base = area_policy(self.world, *self.analysis_block, name="Gb")
+            policy = contact_tracing_policy(base, infected, name="Gc")
+        elif purpose == "patient":
+            policy = full_disclosure_policy(self.world, name="patient-disclosure")
+        elif purpose == "geo-ind":
+            policy = grid_policy(self.world, name="G1")
+        else:
+            raise PolicyError(
+                f"unknown purpose {purpose!r}; expected monitoring/analysis/tracing/patient/geo-ind"
+            )
+        self._version += 1
+        self._log.append((self._version, purpose, policy.name))
+        return PolicyProposal(policy=policy, purpose=purpose, version=self._version)
+
+    def update_for_tracing(self, infected_locations: Iterable[int]) -> PolicyProposal:
+        """Dynamic policy update when a patient's trace is confirmed."""
+        return self.recommend("tracing", infected_locations=infected_locations)
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def audit_log(self) -> list[tuple[int, str, str]]:
+        """Versioned history of every recommendation: (version, purpose, name)."""
+        return list(self._log)

@@ -1,0 +1,22 @@
+"""Shared utilities: RNG handling and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_epsilon,
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_integer,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_epsilon",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+]

@@ -1,0 +1,82 @@
+"""Argument validation helpers shared across the library.
+
+All helpers raise :class:`repro.errors.ValidationError` (a ``ValueError``
+subclass) with a message naming the offending parameter, and return the
+validated value so they can be used inline::
+
+    self.epsilon = check_epsilon(epsilon)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_epsilon",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+]
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate a differential-privacy budget: finite and strictly positive."""
+    value = _as_float("epsilon", epsilon)
+    if value <= 0:
+        raise ValidationError(f"epsilon must be > 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate a probability in the closed interval [0, 1]."""
+    result = _as_float(name, value)
+    if not 0.0 <= result <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate a finite, strictly positive float."""
+    result = _as_float(name, value)
+    if result <= 0:
+        raise ValidationError(f"{name} must be > 0, got {result}")
+    return result
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate a finite float that is >= 0."""
+    result = _as_float(name, value)
+    if result < 0:
+        raise ValidationError(f"{name} must be >= 0, got {result}")
+    return result
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``low <= value <= high``."""
+    result = _as_float(name, value)
+    if not low <= result <= high:
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {result}")
+    return result
+
+
+def check_integer(name: str, value: int, minimum: int | None = None) -> int:
+    """Validate an integer, optionally bounded below by ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _as_float(name: str, value: float) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(result) or math.isinf(result):
+        raise ValidationError(f"{name} must be finite, got {result}")
+    return result

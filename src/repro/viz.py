@@ -1,0 +1,94 @@
+"""ASCII visualisation of worlds, policies, and beliefs.
+
+The PANDA demo is an interactive visual tool (Fig. 5); this module is its
+terminal-friendly counterpart, used by the examples: render a policy graph's
+structure over the map, a probability heat-map (adversary posterior,
+delta-location sets), or a trace snapshot.  Pure string assembly — no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+
+__all__ = ["render_policy", "render_heatmap", "render_cells"]
+
+#: Ten shades from empty to full, used by the heat-map renderer.
+_SHADES = " .:-=+*#%@"
+
+
+def render_policy(world: GridWorld, graph: PolicyGraph, max_width: int = 40) -> str:
+    """Render a policy graph as a degree map.
+
+    Each cell shows one character: ``X`` for disclosable (isolated) nodes,
+    ``.`` for untouched cells outside the policy, and a digit/letter scaling
+    with the node's degree — enough to see cliques, grids and isolated
+    infected cells at a glance.  Rows are printed north (top) to south.
+    """
+    if world.width > max_width:
+        raise ValidationError(f"world too wide to render (>{max_width} columns)")
+    lines = []
+    for row in reversed(range(world.height)):
+        cells = []
+        for col in range(world.width):
+            cell = world.cell_of(row, col)
+            if cell not in graph:
+                cells.append(".")
+            elif graph.is_disclosable(cell):
+                cells.append("X")
+            else:
+                degree = graph.degree(cell)
+                cells.append(_degree_glyph(degree))
+        lines.append(" ".join(cells))
+    legend = "legend: X=disclosable, 1-9=degree, a-z=degree 10+, .=outside policy"
+    return "\n".join(lines + [legend])
+
+
+def _degree_glyph(degree: int) -> str:
+    if degree <= 9:
+        return str(degree)
+    index = min(degree - 10, 25)
+    return chr(ord("a") + index)
+
+
+def render_heatmap(world: GridWorld, values, max_width: int = 40) -> str:
+    """Render a per-cell value vector as an ASCII heat-map.
+
+    Values are min-max normalised to ten shades; use it for adversary
+    posteriors, priors, or visit counts.
+    """
+    if world.width > max_width:
+        raise ValidationError(f"world too wide to render (>{max_width} columns)")
+    data = np.asarray(values, dtype=float)
+    if data.shape != (world.n_cells,):
+        raise ValidationError(f"values must have shape ({world.n_cells},), got {data.shape}")
+    low, high = float(data.min()), float(data.max())
+    span = high - low
+    lines = []
+    for row in reversed(range(world.height)):
+        glyphs = []
+        for col in range(world.width):
+            value = data[world.cell_of(row, col)]
+            level = 0 if span == 0 else int((value - low) / span * (len(_SHADES) - 1))
+            glyphs.append(_SHADES[level])
+        lines.append("".join(glyphs))
+    return "\n".join(lines)
+
+
+def render_cells(world: GridWorld, cells, marker: str = "#", max_width: int = 40) -> str:
+    """Render a set of cells (delta-location set, infected area) on the map."""
+    if world.width > max_width:
+        raise ValidationError(f"world too wide to render (>{max_width} columns)")
+    members = {world.check_cell(c) for c in cells}
+    lines = []
+    for row in reversed(range(world.height)):
+        glyphs = [
+            marker if world.cell_of(row, col) in members else "."
+            for col in range(world.width)
+        ]
+        lines.append("".join(glyphs))
+    return "\n".join(lines)

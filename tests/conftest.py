@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+A small 6x6 world keeps every mechanism construction fast (including the
+complete-graph G2) while remaining large enough for coarse areas, multi-hop
+graph distances, and multi-component policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridWorld,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+    area_policy,
+    complete_policy,
+    grid_policy,
+)
+
+
+@pytest.fixture
+def world() -> GridWorld:
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def big_world() -> GridWorld:
+    return GridWorld(12, 12)
+
+
+@pytest.fixture
+def g1(world):
+    """Grid-adjacency policy (paper's G1)."""
+    return grid_policy(world)
+
+
+@pytest.fixture
+def ga(world):
+    """Coarse-area clique policy (paper's Ga): 3x3 blocks on the 6x6 world."""
+    return area_policy(world, 3, 3, name="Ga")
+
+
+@pytest.fixture
+def gb(world):
+    """Fine-area clique policy (paper's Gb): 2x2 blocks."""
+    return area_policy(world, 2, 2, name="Gb")
+
+
+@pytest.fixture
+def g2_small(world):
+    """Complete policy over a small location set (paper's G2)."""
+    return complete_policy([0, 1, 7, 14, 21], name="G2")
+
+
+@pytest.fixture
+def laplace(world, g1):
+    return PolicyLaplaceMechanism(world, g1, epsilon=1.0)
+
+
+@pytest.fixture
+def pim(world, g1):
+    return PolicyPlanarIsotropicMechanism(world, g1, epsilon=1.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,95 @@
+"""Unit tests for the privacy-budget ledger."""
+
+import pytest
+
+from repro.core.accounting import BudgetLedger
+from repro.errors import BudgetError, ValidationError
+
+
+class TestCharging:
+    def test_accumulates(self):
+        ledger = BudgetLedger()
+        ledger.charge(1, 0, 0.5)
+        ledger.charge(1, 1, 0.25)
+        assert ledger.spent(1) == pytest.approx(0.75)
+
+    def test_users_separate(self):
+        ledger = BudgetLedger()
+        ledger.charge(1, 0, 0.5)
+        ledger.charge(2, 0, 1.5)
+        assert ledger.spent(1) == 0.5
+        assert ledger.spent(2) == 1.5
+
+    def test_zero_cost_disclosure(self):
+        ledger = BudgetLedger()
+        ledger.charge(1, 0, 0.0, purpose="exact-disclosure")
+        assert ledger.spent(1) == 0.0
+        assert len(ledger) == 1
+
+    def test_negative_rejected(self):
+        ledger = BudgetLedger()
+        with pytest.raises(ValidationError):
+            ledger.charge(1, 0, -0.1)
+
+    def test_unknown_user_spends_zero(self):
+        assert BudgetLedger().spent(99) == 0.0
+
+
+class TestCap:
+    def test_cap_enforced(self):
+        ledger = BudgetLedger(cap=1.0)
+        ledger.charge(1, 0, 0.6)
+        with pytest.raises(BudgetError):
+            ledger.charge(1, 1, 0.5)
+        # Failed charge must not have been recorded.
+        assert ledger.spent(1) == pytest.approx(0.6)
+
+    def test_exact_cap_allowed(self):
+        ledger = BudgetLedger(cap=1.0)
+        ledger.charge(1, 0, 0.5)
+        ledger.charge(1, 1, 0.5)
+        assert ledger.spent(1) == pytest.approx(1.0)
+
+    def test_remaining(self):
+        ledger = BudgetLedger(cap=2.0)
+        ledger.charge(1, 0, 0.5)
+        assert ledger.remaining(1) == pytest.approx(1.5)
+        assert ledger.remaining(2) == pytest.approx(2.0)
+
+    def test_remaining_without_cap_infinite(self):
+        assert BudgetLedger().remaining(1) == float("inf")
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValidationError):
+            BudgetLedger(cap=-1.0)
+
+
+class TestQueries:
+    def test_window(self):
+        ledger = BudgetLedger()
+        for time in range(5):
+            ledger.charge(1, time, 0.1)
+        assert ledger.spent_in_window(1, 1, 3) == pytest.approx(0.3)
+
+    def test_by_purpose(self):
+        ledger = BudgetLedger()
+        ledger.charge(1, 0, 0.5, purpose="stream")
+        ledger.charge(1, 1, 0.5, purpose="stream")
+        ledger.charge(1, 2, 1.0, purpose="tracing-resend")
+        totals = ledger.by_purpose()
+        assert totals["stream"] == pytest.approx(1.0)
+        assert totals["tracing-resend"] == pytest.approx(1.0)
+
+    def test_total_and_users(self):
+        ledger = BudgetLedger()
+        ledger.charge(1, 0, 0.5)
+        ledger.charge(2, 0, 0.25)
+        assert ledger.total_spent() == pytest.approx(0.75)
+        assert ledger.users() == frozenset({1, 2})
+
+    def test_entries_immutable_copy(self):
+        ledger = BudgetLedger()
+        ledger.charge(1, 0, 0.5)
+        entries = ledger.entries
+        assert len(entries) == 1
+        assert entries[0].epsilon == 0.5

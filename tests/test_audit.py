@@ -1,0 +1,111 @@
+"""Unit tests for the transparency log."""
+
+import json
+
+import pytest
+
+from repro.core.policies import area_policy, contact_tracing_policy, grid_policy
+from repro.errors import DataError
+from repro.geo.grid import GridWorld
+from repro.server.audit import PolicyRecord, ReleaseRecord, TransparencyLog
+
+
+@pytest.fixture
+def world():
+    return GridWorld(5, 5)
+
+
+@pytest.fixture
+def log(world):
+    log = TransparencyLog()
+    log.publish_policy(1, "analysis", area_policy(world, 2, 2, name="Gb"))
+    return log
+
+
+class TestPublishing:
+    def test_publish_records_fingerprint(self, world):
+        log = TransparencyLog()
+        record = log.publish_policy(1, "geo-ind", grid_policy(world))
+        assert record.policy_name == "G1"
+        assert len(record.fingerprint) == 16
+        assert record.n_nodes == 25
+
+    def test_same_structure_same_fingerprint(self, world):
+        log = TransparencyLog()
+        a = log.publish_policy(1, "x", grid_policy(world))
+        b = log.publish_policy(2, "y", grid_policy(world))
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_structure_different_fingerprint(self, world):
+        log = TransparencyLog()
+        a = log.publish_policy(1, "x", grid_policy(world))
+        gc = contact_tracing_policy(grid_policy(world), [0])
+        b = log.publish_policy(2, "tracing", gc)
+        assert a.fingerprint != b.fingerprint
+
+    def test_duplicate_version_rejected(self, log, world):
+        with pytest.raises(DataError):
+            log.publish_policy(1, "again", grid_policy(world))
+
+    def test_stale_version_rejected(self, log, world):
+        log.publish_policy(5, "later", grid_policy(world))
+        with pytest.raises(DataError):
+            log.publish_policy(3, "stale", grid_policy(world))
+
+
+class TestReleases:
+    def test_acknowledge(self, log):
+        record = log.acknowledge_release(7, 3, policy_version=1, epsilon=1.0, exact=False)
+        assert isinstance(record, ReleaseRecord)
+        assert log.releases_of(7) == [record]
+
+    def test_unpublished_version_rejected(self, log):
+        with pytest.raises(DataError):
+            log.acknowledge_release(7, 3, policy_version=99, epsilon=1.0, exact=False)
+
+    def test_releases_under_version(self, log, world):
+        log.publish_policy(2, "tracing", contact_tracing_policy(grid_policy(world), [0]))
+        log.acknowledge_release(1, 0, 1, 1.0, False)
+        log.acknowledge_release(1, 1, 2, 0.0, True)
+        log.acknowledge_release(2, 1, 2, 1.0, False)
+        assert len(log.releases_under(1)) == 1
+        assert len(log.releases_under(2)) == 2
+
+
+class TestQueriesAndIntegrity:
+    def test_policy_at_sequence(self, log, world):
+        log.acknowledge_release(1, 0, 1, 1.0, False)
+        log.publish_policy(2, "tracing", contact_tracing_policy(grid_policy(world), [0]))
+        assert log.policy_at_sequence(0).version == 1
+        assert log.policy_at_sequence(1).version == 1
+        assert log.policy_at_sequence(2).version == 2
+
+    def test_verify_chain(self, log):
+        log.acknowledge_release(1, 0, 1, 1.0, False)
+        assert log.verify_chain()
+
+    def test_iteration_and_len(self, log):
+        log.acknowledge_release(1, 0, 1, 1.0, False)
+        entries = list(log)
+        assert len(entries) == len(log) == 2
+        assert isinstance(entries[0], PolicyRecord)
+
+    def test_policy_versions_sorted(self, log, world):
+        log.publish_policy(4, "x", grid_policy(world))
+        log.publish_policy(9, "y", grid_policy(world))
+        assert log.policy_versions() == [1, 4, 9]
+
+
+class TestExport:
+    def test_jsonl_roundtrip_fields(self, log):
+        log.acknowledge_release(1, 0, 1, 1.0, False)
+        lines = log.to_jsonl().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "PolicyRecord"
+        second = json.loads(lines[1])
+        assert second["kind"] == "ReleaseRecord"
+        assert second["user"] == 1
+
+    def test_empty_log_exports_empty(self):
+        assert TransparencyLog().to_jsonl() == ""

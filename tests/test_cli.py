@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPolicyCommand:
+    def test_shows_stats(self, capsys):
+        assert main(["policy", "G1", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "policy G1" in out
+        assert "nodes        : 36" in out
+        assert "components   : 1" in out
+
+    def test_gc_has_disclosable(self, capsys):
+        assert main(["policy", "Gc", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "disclosable" in out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["policy", "G99"])
+
+
+class TestReleaseCommand:
+    def test_noisy_release(self, capsys):
+        code = main(["release", "--policy", "G1", "--epsilon", "1.0", "--cell", "27", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "true cell 27" in out
+        assert "exact=False" in out
+
+    def test_deterministic_with_seed(self, capsys):
+        main(["release", "--cell", "5", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["release", "--cell", "5", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_cell_out_of_range(self, capsys):
+        assert main(["release", "--cell", "10000"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_pim_mechanism(self, capsys):
+        assert main(["release", "--mechanism", "P-PIM", "--cell", "0", "--seed", "1"]) == 0
+
+
+class TestExperimentCommand:
+    def test_runs_e6(self, capsys):
+        code = main(
+            ["experiment", "e6", "--size", "6", "--users", "6", "--horizon", "12",
+             "--epsilons", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E6" in out and "True" in out
+
+    def test_runs_e7(self, capsys):
+        code = main(
+            ["experiment", "e7", "--size", "8", "--users", "10", "--horizon", "24"]
+        )
+        assert code == 0
+        assert "E7" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["geolife", "gowalla", "random_waypoint"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

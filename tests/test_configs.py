@@ -1,0 +1,76 @@
+"""Unit tests for the experiment registries."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.configs import (
+    MECHANISM_FACTORIES,
+    POLICY_BUILDERS,
+    ExperimentConfig,
+    build_mechanism,
+    build_policy,
+)
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+class TestPolicyRegistry:
+    def test_names(self):
+        assert set(POLICY_BUILDERS) == {"G1", "G2", "Ga", "Gb", "Gc"}
+
+    def test_g1_connected(self, world):
+        assert len(build_policy("G1", world).components()) == 1
+
+    def test_g2_complete(self, world):
+        policy = build_policy("G2", world)
+        n = world.n_cells
+        assert policy.n_edges == n * (n - 1) // 2
+
+    def test_ga_coarser_than_gb(self, world):
+        ga = build_policy("Ga", world)
+        gb = build_policy("Gb", world)
+        assert len(ga.components()) < len(gb.components())
+
+    def test_gc_has_disclosable(self, world):
+        gc = build_policy("Gc", world)
+        assert gc.disclosable_nodes()
+
+    def test_unknown_policy(self, world):
+        with pytest.raises(ValidationError):
+            build_policy("G9", world)
+
+
+class TestMechanismRegistry:
+    def test_names(self):
+        assert set(MECHANISM_FACTORIES) == {"P-LM", "P-PIM", "GraphExp", "Geo-I"}
+
+    @pytest.mark.parametrize("name", sorted(MECHANISM_FACTORIES))
+    def test_all_constructible(self, world, name):
+        policy = build_policy("G1", world)
+        mechanism = build_mechanism(name, world, policy, epsilon=1.0)
+        release = mechanism.release(0, rng=0)
+        assert len(release.point) == 2
+
+    def test_unknown_mechanism(self, world):
+        with pytest.raises(ValidationError):
+            build_mechanism("Gauss", world, build_policy("G1", world), 1.0)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.world_size == 12
+        assert config.make_world().n_cells == 144
+
+    def test_rng_deterministic(self):
+        config = ExperimentConfig(seed=5)
+        assert config.rng().random() == ExperimentConfig(seed=5).rng().random()
+
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(Exception):
+            config.world_size = 99

@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts' entry points run end to end.
+
+Only the fast examples run here (the heavier simulations are exercised by
+the benchmarks); each must complete and print its headline output.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_prints_story(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "true location" in out
+        assert "attacker's best guess" in out
+        assert "exact=True" in out
+
+
+class TestPolicyExplorer:
+    def test_tables_printed(self, capsys):
+        module = load_example("policy_explorer")
+        module.main()
+        out = capsys.readouterr().out
+        assert "named policy graphs" in out
+        assert "random policy graphs" in out
+        # Every named policy with protected nodes appears.
+        for name in ("G1", "G2", "Ga", "Gb"):
+            assert name in out
+
+
+class TestExamplesArePresent:
+    def test_all_examples_have_main(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 7
+        for script in scripts:
+            text = script.read_text(encoding="utf-8")
+            assert "def main()" in text, f"{script.name} lacks a main()"
+            assert '__name__ == "__main__"' in text, f"{script.name} lacks a guard"
+            assert text.startswith('"""'), f"{script.name} lacks a docstring"

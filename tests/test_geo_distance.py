@@ -1,0 +1,54 @@
+"""Unit tests for planar distance functions."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import chebyshev, euclidean, manhattan, pairwise_euclidean
+
+
+class TestScalarDistances:
+    def test_euclidean_345(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_manhattan(self):
+        assert manhattan((1, 2), (4, -2)) == 7.0
+
+    def test_chebyshev(self):
+        assert chebyshev((1, 2), (4, -2)) == 4.0
+
+    @pytest.mark.parametrize("fn", [euclidean, manhattan, chebyshev])
+    def test_identity(self, fn):
+        assert fn((2.5, -1.0), (2.5, -1.0)) == 0.0
+
+    @pytest.mark.parametrize("fn", [euclidean, manhattan, chebyshev])
+    def test_symmetry(self, fn):
+        a, b = (1.2, 3.4), (-0.7, 9.9)
+        assert fn(a, b) == fn(b, a)
+
+    def test_accepts_ndarray(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([0.0, 2.0])) == 2.0
+
+    def test_metric_ordering(self):
+        # chebyshev <= euclidean <= manhattan always.
+        a, b = (0.3, -2.0), (4.5, 1.1)
+        assert chebyshev(a, b) <= euclidean(a, b) <= manhattan(a, b)
+
+
+class TestPairwise:
+    def test_matches_scalar(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        matrix = pairwise_euclidean(pts)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == pytest.approx(5.0)
+        assert matrix[1, 2] == pytest.approx(euclidean(pts[1], pts[2]))
+
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(10, 2))
+        matrix = pairwise_euclidean(pts)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_euclidean(np.zeros((3, 3)))

@@ -1,0 +1,167 @@
+"""Unit tests for the grid world."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+
+
+class TestConstruction:
+    def test_basic(self):
+        world = GridWorld(4, 3, cell_size=2.0)
+        assert world.n_cells == 12
+        assert len(world) == 12
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_dimensions(self, bad):
+        with pytest.raises(ValidationError):
+            GridWorld(bad, 3)
+        with pytest.raises(ValidationError):
+            GridWorld(3, bad)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValidationError):
+            GridWorld(3, 3, cell_size=0.0)
+
+    def test_equality_and_hash(self):
+        assert GridWorld(3, 4) == GridWorld(3, 4)
+        assert GridWorld(3, 4) != GridWorld(4, 3)
+        assert hash(GridWorld(3, 4, 1.0)) == hash(GridWorld(3, 4, 1.0))
+
+
+class TestIndexing:
+    def test_cell_roundtrip(self):
+        world = GridWorld(5, 4)
+        for cell in world:
+            row, col = world.rowcol(cell)
+            assert world.cell_of(row, col) == cell
+
+    def test_cell_of_bounds(self):
+        world = GridWorld(5, 4)
+        with pytest.raises(ValidationError):
+            world.cell_of(4, 0)
+        with pytest.raises(ValidationError):
+            world.cell_of(0, 5)
+        with pytest.raises(ValidationError):
+            world.cell_of(-1, 0)
+
+    def test_contains(self):
+        world = GridWorld(3, 3)
+        assert 0 in world and 8 in world
+        assert 9 not in world and -1 not in world
+        assert "x" not in world
+
+    def test_check_cell(self):
+        world = GridWorld(3, 3)
+        assert world.check_cell(np.int64(4)) == 4
+        with pytest.raises(ValidationError):
+            world.check_cell(9)
+
+
+class TestCoordinates:
+    def test_centre_of_origin_cell(self):
+        world = GridWorld(3, 3, cell_size=2.0)
+        assert world.coords(0) == (1.0, 1.0)
+
+    def test_coords_match_rowcol(self):
+        world = GridWorld(4, 4, cell_size=0.5)
+        cell = world.cell_of(2, 3)
+        assert world.coords(cell) == ((3 + 0.5) * 0.5, (2 + 0.5) * 0.5)
+
+    def test_coords_array_all(self):
+        world = GridWorld(3, 2)
+        pts = world.coords_array()
+        assert pts.shape == (6, 2)
+        assert tuple(pts[4]) == world.coords(4)
+
+    def test_coords_array_subset_and_bounds(self):
+        world = GridWorld(3, 2)
+        pts = world.coords_array([5, 0])
+        assert tuple(pts[0]) == world.coords(5)
+        with pytest.raises(ValidationError):
+            world.coords_array([6])
+
+    def test_distance_symmetry(self):
+        world = GridWorld(5, 5)
+        assert world.distance(0, 24) == world.distance(24, 0)
+        assert world.distance(3, 3) == 0.0
+
+
+class TestSnap:
+    def test_snap_returns_containing_cell(self):
+        world = GridWorld(4, 4)
+        for cell in world:
+            assert world.snap(world.coords(cell)) == cell
+
+    def test_snap_clamps_outside_points(self):
+        world = GridWorld(4, 4)
+        assert world.snap((-10.0, -10.0)) == world.cell_of(0, 0)
+        assert world.snap((100.0, 100.0)) == world.cell_of(3, 3)
+        assert world.snap((100.0, -5.0)) == world.cell_of(0, 3)
+
+    def test_snap_respects_cell_size(self):
+        world = GridWorld(4, 4, cell_size=10.0)
+        assert world.snap((25.0, 5.0)) == world.cell_of(0, 2)
+
+
+class TestNeighbors:
+    def test_interior_eight(self):
+        world = GridWorld(5, 5)
+        centre = world.cell_of(2, 2)
+        assert len(world.neighbors(centre, connectivity=8)) == 8
+
+    def test_interior_four(self):
+        world = GridWorld(5, 5)
+        centre = world.cell_of(2, 2)
+        nbrs = world.neighbors(centre, connectivity=4)
+        assert len(nbrs) == 4
+        assert world.cell_of(1, 1) not in nbrs
+
+    def test_corner_has_three(self):
+        world = GridWorld(5, 5)
+        assert len(world.neighbors(0, connectivity=8)) == 3
+
+    def test_invalid_connectivity(self):
+        world = GridWorld(3, 3)
+        with pytest.raises(ValidationError):
+            world.neighbors(0, connectivity=6)
+
+    def test_neighbors_symmetric(self):
+        world = GridWorld(4, 4)
+        for cell in world:
+            for nbr in world.neighbors(cell):
+                assert cell in world.neighbors(nbr)
+
+
+class TestAreas:
+    def test_partition_covers_world(self):
+        world = GridWorld(6, 6)
+        areas = world.areas(3, 3)
+        cells = sorted(c for members in areas.values() for c in members)
+        assert cells == list(range(36))
+        assert len(areas) == 4
+
+    def test_uneven_blocks(self):
+        world = GridWorld(5, 5)
+        areas = world.areas(3, 3)
+        assert len(areas) == 4  # 2x2 blocks, edge blocks smaller
+        sizes = sorted(len(v) for v in areas.values())
+        assert sizes == [4, 6, 6, 9]
+
+    def test_area_of_consistent_with_areas(self):
+        world = GridWorld(7, 5)
+        areas = world.areas(2, 3)
+        for area_id, members in areas.items():
+            for cell in members:
+                assert world.area_of(cell, 2, 3) == area_id
+
+    def test_area_centroid(self):
+        world = GridWorld(4, 4)
+        cx, cy = world.area_centroid([0, 1, 4, 5])
+        assert (cx, cy) == (1.0, 1.0)
+
+    def test_area_centroid_empty_rejected(self):
+        world = GridWorld(4, 4)
+        with pytest.raises(ValidationError):
+            world.area_centroid([])

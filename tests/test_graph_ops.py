@@ -1,0 +1,118 @@
+"""Unit tests for the adjacency-dict graph algorithms."""
+
+import pytest
+
+from repro.core.graph_ops import (
+    bfs_distances,
+    bfs_limited,
+    component_of,
+    connected_components,
+    edge_iter,
+    graph_diameter,
+    induced_adjacency,
+    shortest_path,
+)
+
+
+def path_graph(n):
+    adjacency = {i: set() for i in range(n)}
+    for i in range(n - 1):
+        adjacency[i].add(i + 1)
+        adjacency[i + 1].add(i)
+    return adjacency
+
+
+def two_triangles():
+    # Components {0,1,2} and {3,4,5}.
+    adjacency = {i: set() for i in range(6)}
+    for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency
+
+
+class TestBfs:
+    def test_path_distances(self):
+        dist = bfs_distances(path_graph(5), 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_absent(self):
+        dist = bfs_distances(two_triangles(), 0)
+        assert set(dist) == {0, 1, 2}
+
+    def test_missing_source(self):
+        with pytest.raises(KeyError):
+            bfs_distances(path_graph(3), 99)
+
+    def test_limited_cutoff(self):
+        dist = bfs_limited(path_graph(10), 0, cutoff=3)
+        assert max(dist.values()) == 3
+        assert set(dist) == {0, 1, 2, 3}
+
+    def test_limited_zero(self):
+        assert bfs_limited(path_graph(4), 2, cutoff=0) == {2: 0}
+
+    def test_limited_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bfs_limited(path_graph(4), 0, cutoff=-1)
+
+
+class TestShortestPath:
+    def test_path_found(self):
+        assert shortest_path(path_graph(5), 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_trivial_path(self):
+        assert shortest_path(path_graph(3), 1, 1) == [1]
+
+    def test_disconnected_is_none(self):
+        assert shortest_path(two_triangles(), 0, 4) is None
+
+    def test_path_length_matches_bfs(self):
+        adjacency = two_triangles()
+        path = shortest_path(adjacency, 0, 2)
+        assert len(path) - 1 == bfs_distances(adjacency, 0)[2]
+
+    def test_missing_nodes(self):
+        with pytest.raises(KeyError):
+            shortest_path(path_graph(3), 0, 42)
+
+
+class TestComponents:
+    def test_two_components(self):
+        comps = connected_components(two_triangles())
+        assert sorted(sorted(c) for c in comps) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_isolated_nodes_are_singletons(self):
+        adjacency = {0: set(), 1: set(), 2: {3}, 3: {2}}
+        comps = connected_components(adjacency)
+        assert sorted(sorted(c) for c in comps) == [[0], [1], [2, 3]]
+
+    def test_component_of(self):
+        assert component_of(two_triangles(), 4) == frozenset({3, 4, 5})
+
+
+class TestInducedAndEdges:
+    def test_induced_drops_cross_edges(self):
+        induced = induced_adjacency(path_graph(5), [0, 1, 3])
+        assert induced == {0: {1}, 1: {0}, 3: set()}
+
+    def test_induced_ignores_unknown(self):
+        induced = induced_adjacency(path_graph(3), [1, 99])
+        assert induced == {1: set()}
+
+    def test_edge_iter_unique(self):
+        edges = list(edge_iter(two_triangles()))
+        assert len(edges) == 6
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 6
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert graph_diameter(path_graph(6)) == 5
+
+    def test_disconnected_takes_max_finite(self):
+        assert graph_diameter(two_triangles()) == 1
+
+    def test_edgeless(self):
+        assert graph_diameter({0: set(), 1: set()}) == 0

@@ -1,0 +1,80 @@
+"""Hypothesis property tests for the grid world.
+
+The grid is the substrate every guarantee stands on; these properties pin
+the invariants the rest of the library silently assumes: the id/rowcol/
+coordinate bijection, snap-of-centre identity, clamping, area partitioning,
+and neighbor symmetry — over random world shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.grid import GridWorld
+
+worlds = st.builds(
+    GridWorld,
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.1, max_value=25.0, allow_nan=False),
+)
+
+
+@given(worlds)
+@settings(max_examples=80, deadline=None)
+def test_rowcol_bijection(world):
+    for cell in world:
+        row, col = world.rowcol(cell)
+        assert world.cell_of(row, col) == cell
+
+
+@given(worlds)
+@settings(max_examples=80, deadline=None)
+def test_snap_of_centre_is_identity(world):
+    for cell in world:
+        assert world.snap(world.coords(cell)) == cell
+
+
+@given(worlds, st.floats(-1000, 1000, allow_nan=False), st.floats(-1000, 1000, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_snap_always_in_world(world, x, y):
+    assert world.snap((x, y)) in world
+
+
+@given(worlds)
+@settings(max_examples=60, deadline=None)
+def test_neighbors_symmetric_and_bounded(world):
+    for cell in world:
+        neighbors = world.neighbors(cell, connectivity=8)
+        assert 0 < len(neighbors) <= 8 or world.n_cells == 1
+        for nbr in neighbors:
+            assert cell in world.neighbors(nbr, connectivity=8)
+
+
+@given(worlds, st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_areas_partition_world(world, block_rows, block_cols):
+    areas = world.areas(block_rows, block_cols)
+    cells = sorted(c for members in areas.values() for c in members)
+    assert cells == list(range(world.n_cells))
+    for area_id, members in areas.items():
+        for cell in members:
+            assert world.area_of(cell, block_rows, block_cols) == area_id
+
+
+@given(worlds, st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_area_blocks_never_exceed_block_size(world, block_rows, block_cols):
+    for members in world.areas(block_rows, block_cols).values():
+        assert 1 <= len(members) <= block_rows * block_cols
+
+
+@given(worlds)
+@settings(max_examples=60, deadline=None)
+def test_distance_is_metric_on_samples(world):
+    cells = list(world)[:6]
+    for a in cells:
+        assert world.distance(a, a) == 0.0
+        for b in cells:
+            assert world.distance(a, b) == world.distance(b, a)
+            for c in cells:
+                assert world.distance(a, c) <= world.distance(a, b) + world.distance(b, c) + 1e-9

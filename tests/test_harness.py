@@ -1,0 +1,102 @@
+"""Tests for the experiment runners (small configurations).
+
+Each runner must produce a well-formed table and exhibit the qualitative
+shape the paper's evaluation describes (recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.harness import (
+    run_adversary_error,
+    run_contact_tracing,
+    run_monitoring_utility,
+    run_policy_matrix,
+    run_r0_estimation,
+    run_random_policy_tradeoff,
+    run_theorem_bounds,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        world_size=8,
+        n_users=12,
+        horizon=48,
+        epsilons=(0.5, 2.0),
+        policies=("G1", "Gb"),
+        mechanisms=("P-LM",),
+        trials=2,
+        tracing_window=48,
+        seed=11,
+    )
+
+
+class TestE1Monitoring:
+    def test_rows_and_shape(self, config):
+        table = run_monitoring_utility(config)
+        assert len(table) == 2 * 1 * 2  # policies x mechanisms x epsilons
+        for policy in ("G1", "Gb"):
+            rows = table.where(policy=policy, mechanism="P-LM")
+            by_eps = {row[2]: row[3] for row in rows.rows}
+            assert by_eps[2.0] < by_eps[0.5]  # more budget, less error
+
+
+class TestE2R0:
+    def test_rows(self, config):
+        table = run_r0_estimation(config)
+        assert len(table) == 4
+        for row in table.to_dicts():
+            assert row["r0_true"] > 0
+            assert row["abs_error"] == pytest.approx(abs(row["r0_true"] - row["r0_perturbed"]))
+
+
+class TestE3Tracing:
+    def test_dynamic_dominates_static(self, config):
+        table = run_contact_tracing(config)
+        for epsilon in config.epsilons:
+            dynamic = table.where(method="dynamic-Gc", epsilon=epsilon).rows[0]
+            static = table.where(method="static", epsilon=epsilon).rows[0]
+            f1_dynamic, f1_static = dynamic[4], static[4]
+            assert f1_dynamic >= f1_static
+            assert f1_dynamic == pytest.approx(1.0)  # full tracing utility
+
+
+class TestE4Adversary:
+    def test_privacy_grows_as_budget_falls(self, config):
+        table = run_adversary_error(config)
+        for policy in ("G1", "Gb"):
+            rows = table.where(policy=policy, mechanism="P-LM")
+            by_eps = {row[2]: row[3] for row in rows.rows}
+            assert by_eps[0.5] >= by_eps[2.0]
+
+
+class TestE5RandomPolicies:
+    def test_tradeoff_rows(self, config):
+        table = run_random_policy_tradeoff(config, sizes=(12,), densities=(0.1, 0.8))
+        assert 1 <= len(table) <= 2
+        for row in table.to_dicts():
+            assert row["utility_error"] > 0
+            assert row["adversary_error"] >= 0
+
+
+class TestE6Theorems:
+    def test_all_bounds_hold(self, config):
+        table = run_theorem_bounds(config, n_outputs=15, n_pairs=20)
+        assert len(table) == 2 * len(config.epsilons)
+        assert all(table.column("holds"))
+        for row in table.to_dicts():
+            assert row["max_log_ratio"] <= row["bound"] + 1e-9
+
+
+class TestE7PolicyMatrix:
+    def test_one_row_per_policy(self, config):
+        table = run_policy_matrix(config, epsilon=1.0)
+        assert table.column("policy") == ["Ga", "Gb", "Gc"]
+        matrix = {row["policy"]: row for row in table.to_dicts()}
+        # Finer Gb beats coarse Ga on raw monitoring error.
+        assert matrix["Gb"]["monitoring_error"] < matrix["Ga"]["monitoring_error"]
+        # Dynamic tracing keeps full utility regardless of base policy.
+        for row in matrix.values():
+            assert row["tracing_f1"] == pytest.approx(1.0)

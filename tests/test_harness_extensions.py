@@ -1,0 +1,88 @@
+"""Tests for the extension runners (E9 ablation, E10 temporal, E11 metapop)."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.harness import (
+    run_mechanism_ablation,
+    run_metapop_forecast,
+    run_temporal_privacy,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        world_size=8,
+        n_users=10,
+        horizon=30,
+        epsilons=(0.5, 2.0),
+        policies=("G1", "Ga"),
+        mechanisms=("P-LM",),
+        trials=2,
+        tracing_window=30,
+        seed=3,
+    )
+
+
+class TestE9Ablation:
+    def test_optimal_is_floor(self, config):
+        table = run_mechanism_ablation(config, epsilon=1.0, ablation_world_size=5)
+        assert len(table) == 8  # 2 policies x 4 mechanisms
+        for policy_table in table.group_by("policy").values():
+            errors = dict(
+                zip(policy_table.column("mechanism"), policy_table.column("mean_empirical_error"))
+            )
+            # Monte-Carlo slack on the empirical side.
+            assert errors["Optimal-LP"] <= min(errors.values()) + 0.2
+
+    def test_gap_column_consistent(self, config):
+        table = run_mechanism_ablation(config, epsilon=1.0, ablation_world_size=5)
+        for policy_table in table.group_by("policy").values():
+            rows = policy_table.to_dicts()
+            base = {r["mechanism"]: r for r in rows}
+            implied_floor_lm = base["P-LM"]["mean_empirical_error"] - base["P-LM"]["optimality_gap"]
+            implied_floor_pim = base["P-PIM"]["mean_empirical_error"] - base["P-PIM"]["optimality_gap"]
+            assert implied_floor_lm == pytest.approx(implied_floor_pim)
+
+
+class TestE10Temporal:
+    def test_set_size_monotone_in_delta(self, config):
+        table = run_temporal_privacy(
+            config, epsilon=1.0, deltas=(0.0, 0.1, 0.3), horizon=12, temporal_world_size=6
+        )
+        sizes = dict(zip(table.column("delta"), table.column("mean_set_size")))
+        assert sizes[0.0] >= sizes[0.1] >= sizes[0.3]
+
+    def test_delta_zero_never_surrogates(self, config):
+        table = run_temporal_privacy(
+            config, epsilon=1.0, deltas=(0.0,), horizon=10, temporal_world_size=6
+        )
+        assert table.column("surrogate_rate") == [0.0]
+
+    def test_columns(self, config):
+        table = run_temporal_privacy(
+            config, epsilon=1.0, deltas=(0.1,), horizon=8, temporal_world_size=6
+        )
+        assert set(table.columns) == {
+            "delta",
+            "mean_set_size",
+            "surrogate_rate",
+            "repaired_edges",
+            "utility_error",
+            "tracking_error",
+        }
+
+
+class TestE11Metapop:
+    def test_rows_and_improvement_with_budget(self, config):
+        table = run_metapop_forecast(config)
+        assert len(table) == 4  # 2 policies x 2 epsilons
+        for policy in ("G1", "Ga"):
+            rows = table.where(policy=policy)
+            divergence = dict(zip(rows.column("epsilon"), rows.column("forecast_divergence")))
+            assert divergence[2.0] <= divergence[0.5] + 0.05
+
+    def test_divergence_non_negative(self, config):
+        table = run_metapop_forecast(config)
+        assert all(value >= 0 for value in table.column("forecast_divergence"))

@@ -1,0 +1,113 @@
+"""Unit tests for the health-code service."""
+
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import area_policy, contact_tracing_policy
+from repro.epidemic.analysis import perturb_tracedb
+from repro.epidemic.healthcode import GREEN, RED, YELLOW, HealthCodeService
+from repro.errors import DataError
+from repro.geo.grid import GridWorld
+from repro.mobility.trajectory import TraceDB, Trajectory
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def db():
+    return TraceDB.from_trajectories(
+        [
+            Trajectory(0, [5, 5, 5, 5]),   # never near infection
+            Trajectory(1, [0, 9, 9, 9]),   # one visit to infected cell 0
+            Trajectory(2, [0, 0, 9, 9]),   # two visits
+            Trajectory(3, [9, 9, 9, 0]),   # one visit, late
+        ]
+    )
+
+
+@pytest.fixture
+def service():
+    return HealthCodeService([0], window=4, red_threshold=2)
+
+
+class TestCodes:
+    def test_green(self, db, service):
+        assert service.code_for(db, 0, now=3).status == GREEN
+
+    def test_yellow(self, db, service):
+        code = service.code_for(db, 1, now=3)
+        assert code.status == YELLOW
+        assert code.infected_visits == 1
+
+    def test_red(self, db, service):
+        assert service.code_for(db, 2, now=3).status == RED
+
+    def test_window_cuts_old_visits(self, db):
+        service = HealthCodeService([0], window=2, red_threshold=2)
+        # At now=3 the window is {2, 3}: user 1's visit at t=0 is stale.
+        assert service.code_for(db, 1, now=3).status == GREEN
+        assert service.code_for(db, 3, now=3).status == YELLOW
+
+    def test_codes_for_everyone(self, db, service):
+        codes = service.codes(db, now=3)
+        assert {u: c.status for u, c in codes.items()} == {
+            0: GREEN, 1: YELLOW, 2: RED, 3: YELLOW,
+        }
+
+    def test_needs_infected_locations(self):
+        with pytest.raises(DataError):
+            HealthCodeService([])
+
+
+class TestEvaluation:
+    def test_identical_streams_perfect(self, db, service):
+        report = service.evaluate(db, db, now=3)
+        assert report.accuracy == 1.0
+        assert report.false_green_rate == 0.0
+        assert report.false_red_rate == 0.0
+
+    def test_green_everywhere_observed(self, db, service):
+        blind = TraceDB.from_trajectories([Trajectory(u, [9] * 4) for u in range(4)])
+        report = service.evaluate(db, blind, now=3)
+        # Users 1, 2, 3 are truly exposed but look green: all missed.
+        assert report.false_green_rate == 1.0
+        assert report.accuracy == pytest.approx(0.25)
+
+    def test_confusion_matrix_totals(self, db, service):
+        report = service.evaluate(db, db, now=3)
+        assert sum(report.confusion.values()) == report.n_users == 4
+
+    def test_disjoint_users_rejected(self, db, service):
+        other = TraceDB.from_trajectories([Trajectory(99, [0])])
+        with pytest.raises(DataError):
+            service.evaluate(db, other, now=3)
+
+
+class TestWithMechanisms:
+    def test_gc_policy_gives_exact_codes(self, world):
+        # Under Gc the infected cell is disclosed, so codes are exact.
+        infected = [0]
+        traces = TraceDB.from_trajectories(
+            [Trajectory(0, [0, 0, 7, 7]), Trajectory(1, [7, 7, 7, 7])]
+        )
+        base = area_policy(world, 2, 2)
+        gc = contact_tracing_policy(base, infected)
+        mechanism = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        released = perturb_tracedb(world, mechanism, traces, rng=0)
+        service = HealthCodeService(infected, window=4, red_threshold=2)
+        truth = service.code_for(traces, 0, now=3)
+        observed = service.code_for(released, 0, now=3)
+        assert truth.status == observed.status == RED
+
+    def test_noisy_policy_misclassifies_sometimes(self, world):
+        infected = [0]
+        users = [Trajectory(u, [0, 0, 0, 0]) for u in range(10)]
+        traces = TraceDB.from_trajectories(users)
+        mechanism = PolicyLaplaceMechanism(world, area_policy(world, 3, 3), epsilon=0.5)
+        released = perturb_tracedb(world, mechanism, traces, rng=1)
+        service = HealthCodeService(infected, window=4, red_threshold=2)
+        report = service.evaluate(traces, released, now=3)
+        assert report.accuracy < 1.0  # heavy noise must lose some codes

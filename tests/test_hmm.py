@@ -1,0 +1,123 @@
+"""Unit tests for Bayesian filtering and delta-location sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import grid_policy
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.hmm import BayesFilter, delta_location_set
+from repro.mobility.markov import MarkovModel
+
+
+@pytest.fixture
+def world():
+    return GridWorld(4, 4)
+
+
+@pytest.fixture
+def markov(world):
+    return MarkovModel.lazy_walk(world, p_stay=0.5)
+
+
+@pytest.fixture
+def mechanism(world):
+    return PolicyLaplaceMechanism(world, grid_policy(world), epsilon=2.0)
+
+
+class TestDeltaLocationSet:
+    def test_full_support_for_delta_zero(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        assert delta_location_set(probs, 0.0) == {0, 1, 2, 3}
+
+    def test_top_mass_selected(self):
+        probs = np.array([0.5, 0.3, 0.15, 0.05])
+        assert delta_location_set(probs, 0.2) == {0, 1}
+        assert delta_location_set(probs, 0.05) == {0, 1, 2}
+
+    def test_smallest_set(self):
+        probs = np.array([0.9, 0.05, 0.05])
+        assert delta_location_set(probs, 0.1) == {0}
+
+    def test_ties_broken_by_cell_id(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        assert delta_location_set(probs, 0.5) == {0, 1}
+
+    def test_zero_probability_cells_excluded(self):
+        probs = np.array([0.6, 0.4, 0.0, 0.0])
+        assert delta_location_set(probs, 0.0) == {0, 1}
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValidationError):
+            delta_location_set(np.array([0.5, 0.2]), 0.1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValidationError):
+            delta_location_set(np.array([1.0]), 1.5)
+
+
+class TestBayesFilter:
+    def test_default_prior_is_stationary(self, markov):
+        filt = BayesFilter(markov)
+        assert np.allclose(filt.probabilities, markov.stationary())
+
+    def test_explicit_prior_validated(self, markov):
+        with pytest.raises(ValidationError):
+            BayesFilter(markov, prior=np.ones(16))  # sums to 16
+
+    def test_predict_spreads_mass(self, world, markov):
+        prior = np.zeros(16)
+        prior[5] = 1.0
+        filt = BayesFilter(markov, prior=prior)
+        filt.predict()
+        support = set(np.nonzero(filt.probabilities)[0].tolist())
+        assert support == set(world.neighbors(5)) | {5}
+
+    def test_update_concentrates_near_release(self, world, markov, mechanism):
+        filt = BayesFilter(markov)
+        release = mechanism.release(5, rng=0)
+        posterior = filt.update(release, mechanism)
+        assert posterior.sum() == pytest.approx(1.0)
+        # The MAP estimate should be close to the true cell on average; at
+        # minimum the posterior must not be uniform any more.
+        assert posterior.max() > 1.5 / 16
+
+    def test_exact_release_collapses_belief(self, world, markov):
+        from repro.core.policies import contact_tracing_policy
+
+        policy = contact_tracing_policy(grid_policy(world), [9])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        filt = BayesFilter(markov)
+        release = mech.release(9, rng=0)
+        posterior = filt.update(release, mech)
+        assert posterior[9] == 1.0
+        assert filt.map_estimate() == 9
+
+    def test_step_is_predict_then_update(self, markov, mechanism):
+        release = mechanism.release(5, rng=1)
+        a = BayesFilter(markov)
+        a.step(release, mechanism)
+        b = BayesFilter(markov)
+        b.predict()
+        b.update(release, mechanism)
+        assert np.allclose(a.probabilities, b.probabilities)
+
+    def test_delta_set_shrinks_with_observations(self, markov, mechanism):
+        rng = np.random.default_rng(3)
+        filt = BayesFilter(markov)
+        before = len(filt.delta_set(0.1))
+        for _ in range(5):
+            filt.step(mechanism.release(5, rng=rng), mechanism)
+        after = len(filt.delta_set(0.1))
+        assert after <= before
+
+    def test_filter_tracks_true_location(self, world, markov, mechanism):
+        # Repeated releases from the same cell should pull the MAP estimate
+        # onto (or next to) that cell.
+        rng = np.random.default_rng(4)
+        filt = BayesFilter(markov)
+        for _ in range(12):
+            filt.update(mechanism.release(10, rng=rng), mechanism)
+        estimate = filt.map_estimate()
+        assert world.distance(estimate, 10) <= world.cell_size * 1.5

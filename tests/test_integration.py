@@ -1,0 +1,145 @@
+"""End-to-end integration tests across all subsystems.
+
+These walk the paper's full story: a population releases under a policy, an
+outbreak unfolds, the server monitors, analyses, and traces — with privacy
+accounted — exactly the scenario of Figs. 1 and 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BayesFilter,
+    BayesianAttacker,
+    BudgetLedger,
+    ContactTracingProtocol,
+    GridWorld,
+    MarkovModel,
+    PolicyConfigurator,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+    delta_location_set,
+    geolife_like,
+    location_set_policy,
+    monitoring_utility,
+    r0_estimation_error,
+    run_release_rounds,
+    simulate_outbreak,
+    static_tracing,
+)
+from repro.epidemic.analysis import perturb_tracedb
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(8, 8)
+
+
+@pytest.fixture(scope="module")
+def population(world):
+    return geolife_like(world, n_users=16, horizon=48, rng=123, n_work_hubs=2)
+
+
+class TestFullSurveillanceRound:
+    def test_monitoring_analysis_tracing_pipeline(self, world, population):
+        configurator = PolicyConfigurator(world, monitor_block=(4, 4), analysis_block=(2, 2))
+        policy = configurator.recommend("analysis").approve()
+        server, clients = run_release_rounds(
+            world, population, policy, PolicyLaplaceMechanism, epsilon=1.5, rng=1, window=48
+        )
+        # 1. Monitoring works off the released stream.
+        mech = clients[0].mechanism
+        report = monitoring_utility(world, mech, population, rng=2)
+        assert 0 < report.area_accuracy <= 1
+
+        # 2. Epidemic analysis: R0 from perturbed vs true traces.
+        r0_true, r0_perturbed, error = r0_estimation_error(
+            world, mech, population, p_transmit=0.3, gamma=0.1, rng=3
+        )
+        assert r0_true > 0 and r0_perturbed >= 0
+
+        # 3. Contact tracing with a dynamic policy update.
+        end = population.times()[-1]
+        patient = sorted(population.users())[0]
+        protocol = ContactTracingProtocol(
+            world, policy, PolicyLaplaceMechanism, epsilon=1.5, window=48
+        )
+        ledger = BudgetLedger()
+        outcome = protocol.run(
+            population, patient, end, rng=4, released_db=server.released_db, ledger=ledger
+        )
+        assert outcome.recall == 1.0
+        # Tracing re-sends are the only extra privacy cost.
+        assert set(ledger.by_purpose()) == {"tracing-resend"} or outcome.epsilon_spent == 0
+
+
+class TestOutbreakDrivenTracing:
+    def test_trace_a_simulated_patient(self, world, population):
+        outbreak = simulate_outbreak(population, seeds=[0], p_transmit=0.4, rng=5)
+        assert outbreak.infected_users  # the epidemic took off or at least seeded
+        patient = 0
+        end = population.times()[-1]
+        protocol = ContactTracingProtocol(
+            world,
+            location_set_policy(world, list(world), name="G2").without_node_edges([]),
+            PolicyLaplaceMechanism,
+            epsilon=1.0,
+            window=48,
+        )
+        outcome = protocol.run(population, patient, end, rng=6)
+        # Every ground-truth contact (by the rule of two) is found.
+        assert outcome.recall == 1.0
+
+    def test_static_baseline_weaker_on_average(self, world, population):
+        end = population.times()[-1]
+        patient = max(
+            population.users(),
+            key=lambda u: len(population.contacts_of(u, min_count=2, end=end)),
+        )
+        from repro.core.policies import area_policy
+
+        policy = area_policy(world, 2, 2)
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        f1_static = []
+        for seed in range(3):
+            released = perturb_tracedb(world, mech, population, rng=seed)
+            f1_static.append(
+                static_tracing(world, released, population, patient, end, window=48).f1
+            )
+        protocol = ContactTracingProtocol(world, policy, PolicyLaplaceMechanism, 1.0, window=48)
+        f1_dynamic = protocol.run(population, patient, end, rng=9).f1
+        assert f1_dynamic >= max(f1_static)
+
+
+class TestInferenceLoop:
+    def test_filter_and_attacker_agree_on_exact_release(self, world):
+        from repro.core.policies import contact_tracing_policy, grid_policy
+
+        policy = contact_tracing_policy(grid_policy(world), [9])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        markov = MarkovModel.lazy_walk(world)
+        release = mech.release(9, rng=0)
+
+        filt = BayesFilter(markov)
+        posterior_filter = filt.update(release, mech)
+        attacker = BayesianAttacker(world, mech, prior=markov.stationary())
+        posterior_attacker = attacker.posterior(release)
+        assert np.argmax(posterior_filter) == np.argmax(posterior_attacker) == 9
+
+    def test_delta_set_policy_closes_the_loop(self, world):
+        # delta-location set from filtering -> G2 policy -> PIM release.
+        from repro.core.policies import grid_policy
+
+        markov = MarkovModel.lazy_walk(world)
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        filt = BayesFilter(markov)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            filt.step(mech.release(20, rng=rng), mech)
+        delta_set = delta_location_set(filt.probabilities, delta=0.1)
+        assert delta_set
+        policy = location_set_policy(world, delta_set)
+        pim = PolicyPlanarIsotropicMechanism(world, policy, epsilon=1.0)
+        if len(delta_set) > 1:
+            release = pim.release(sorted(delta_set)[0], rng=8)
+            assert not release.exact

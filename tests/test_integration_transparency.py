@@ -1,0 +1,74 @@
+"""Integration: the transparency log wrapped around a full release round.
+
+Walks the paper's transparency story: the configuration module publishes
+every policy version to the public log, clients release under the published
+version, the tracing update publishes Gc, and anyone can audit — which
+policy governed which release, and how much budget each user spent under
+each version.
+"""
+
+import pytest
+
+from repro import (
+    GridWorld,
+    PolicyConfigurator,
+    PolicyLaplaceMechanism,
+    TransparencyLog,
+    geolife_like,
+    run_release_rounds,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture(scope="module")
+def population(world):
+    return geolife_like(world, n_users=6, horizon=12, rng=9)
+
+
+class TestAuditedRound:
+    def test_full_round_is_auditable(self, world, population):
+        configurator = PolicyConfigurator(world)
+        log = TransparencyLog()
+
+        proposal = configurator.recommend("analysis")
+        log.publish_policy(proposal.version, proposal.purpose, proposal.policy)
+        policy = proposal.approve()
+
+        server, clients = run_release_rounds(
+            world, population, policy, PolicyLaplaceMechanism, epsilon=1.0, rng=10, window=12
+        )
+        for entry in server.ledger.entries:
+            log.acknowledge_release(
+                entry.user, entry.time, proposal.version, entry.epsilon, exact=entry.epsilon == 0
+            )
+
+        # Tracing update: a new version lands in the log after the stream.
+        update = configurator.update_for_tracing([0, 1])
+        log.publish_policy(update.version, update.purpose, update.policy)
+
+        assert log.verify_chain()
+        assert log.policy_versions() == [proposal.version, update.version]
+        # Every streamed release is attributed to the analysis policy.
+        stream = log.releases_under(proposal.version)
+        assert len(stream) == len(population)
+        # Per-user audit: budget from the log matches the server ledger.
+        for user in population.users():
+            logged = sum(r.epsilon for r in log.releases_of(user))
+            assert logged == pytest.approx(server.ledger.spent(user))
+
+    def test_policy_at_sequence_tracks_updates(self, world):
+        configurator = PolicyConfigurator(world)
+        log = TransparencyLog()
+        first = configurator.recommend("monitoring")
+        log.publish_policy(first.version, first.purpose, first.policy)
+        log.acknowledge_release(1, 0, first.version, 1.0, False)
+        second = configurator.update_for_tracing([3])
+        log.publish_policy(second.version, second.purpose, second.policy)
+        log.acknowledge_release(1, 1, second.version, 1.0, False)
+
+        assert log.policy_at_sequence(1).policy_name == "Ga"
+        assert log.policy_at_sequence(3).policy_name == "Gc"

@@ -1,0 +1,68 @@
+"""Unit tests for the client-side rolling location database."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.server.localdb import LocalLocationDB
+
+
+class TestRecord:
+    def test_basic(self):
+        db = LocalLocationDB(window=10)
+        db.record(0, 5)
+        db.record(1, 6)
+        assert len(db) == 2
+        assert db.location_at(0) == 5
+        assert db.location_at(1) == 6
+        assert db.location_at(2) is None
+
+    def test_overwrite(self):
+        db = LocalLocationDB(window=10)
+        db.record(0, 5)
+        db.record(0, 7)
+        assert len(db) == 1
+        assert db.location_at(0) == 7
+
+    def test_pruning(self):
+        db = LocalLocationDB(window=3)
+        for time in range(6):
+            db.record(time, time)
+        assert db.times() == [3, 4, 5]
+        assert 0 not in db
+        assert 5 in db
+
+    def test_out_of_window_insert_rejected(self):
+        db = LocalLocationDB(window=3)
+        db.record(10, 1)
+        with pytest.raises(DataError):
+            db.record(5, 1)
+
+    def test_out_of_order_within_window(self):
+        db = LocalLocationDB(window=5)
+        db.record(10, 1)
+        db.record(8, 2)
+        assert db.times() == [8, 10]
+
+
+class TestHistory:
+    def test_sorted(self):
+        db = LocalLocationDB(window=10)
+        db.record(3, 30)
+        db.record(1, 10)
+        db.record(2, 20)
+        assert db.history() == [(1, 10), (2, 20), (3, 30)]
+
+    def test_window_filter(self):
+        db = LocalLocationDB(window=10)
+        for time in range(5):
+            db.record(time, time)
+        assert db.history(start=1, end=3) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_repr_shows_span(self):
+        db = LocalLocationDB(window=10)
+        db.record(2, 0)
+        assert "2..2" in repr(db)
+
+    def test_window_validation(self):
+        with pytest.raises(Exception):
+            LocalLocationDB(window=0)

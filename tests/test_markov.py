@@ -1,0 +1,134 @@
+"""Unit tests for the Markov mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.markov import MarkovModel
+from repro.mobility.trajectory import Trajectory
+
+
+@pytest.fixture
+def world():
+    return GridWorld(4, 4)
+
+
+class TestConstruction:
+    def test_rejects_bad_shape(self, world):
+        with pytest.raises(ValidationError):
+            MarkovModel(world, np.eye(3))
+
+    def test_rejects_non_stochastic(self, world):
+        matrix = np.zeros((16, 16))
+        with pytest.raises(ValidationError):
+            MarkovModel(world, matrix)
+
+    def test_rejects_negative(self, world):
+        matrix = np.full((16, 16), 1.0 / 16)
+        matrix[0, 0] = -0.5
+        matrix[0, 1] = 0.5 + 2.0 / 16
+        with pytest.raises(ValidationError):
+            MarkovModel(world, matrix)
+
+    def test_uniform(self, world):
+        model = MarkovModel.uniform(world)
+        assert np.allclose(model.transition, 1.0 / 16)
+
+    def test_lazy_walk_rows_stochastic(self, world):
+        model = MarkovModel.lazy_walk(world, p_stay=0.6)
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert model.transition[5, 5] == pytest.approx(0.6)
+
+    def test_lazy_walk_only_neighbors(self, world):
+        model = MarkovModel.lazy_walk(world, p_stay=0.5)
+        for cell in world:
+            allowed = set(world.neighbors(cell)) | {cell}
+            support = set(np.nonzero(model.transition[cell])[0].tolist())
+            assert support <= allowed
+
+
+class TestFit:
+    def test_fit_recovers_deterministic_cycle(self, world):
+        # A trajectory looping 0 -> 1 -> 0 ... with no smoothing.
+        traj = Trajectory(1, [0, 1] * 50)
+        model = MarkovModel.fit(world, [traj], smoothing=0.0)
+        assert model.transition[0, 1] == pytest.approx(1.0)
+        assert model.transition[1, 0] == pytest.approx(1.0)
+
+    def test_unseen_rows_uniform(self, world):
+        traj = Trajectory(1, [0, 1, 0, 1])
+        model = MarkovModel.fit(world, [traj], smoothing=0.0)
+        assert np.allclose(model.transition[10], 1.0 / 16)
+
+    def test_smoothing_spreads_to_neighbors(self, world):
+        traj = Trajectory(1, [0, 1, 0, 1])
+        model = MarkovModel.fit(world, [traj], smoothing=0.5)
+        # Smoothed mass lands on map neighbors of 0 (e.g. cell 4) but not far cells.
+        assert model.transition[0, 4] > 0
+        assert model.transition[0, 15] == 0
+
+    def test_global_smoothing(self, world):
+        traj = Trajectory(1, [0, 1])
+        model = MarkovModel.fit(world, [traj], smoothing=0.5, connectivity=None)
+        assert np.all(model.transition > 0)
+
+    def test_no_data_no_smoothing_rejected(self, world):
+        with pytest.raises(Exception):
+            MarkovModel.fit(world, [], smoothing=0.0)
+
+    def test_negative_smoothing_rejected(self, world):
+        with pytest.raises(ValidationError):
+            MarkovModel.fit(world, [], smoothing=-1.0)
+
+
+class TestDynamics:
+    def test_predict_preserves_mass(self, world):
+        model = MarkovModel.lazy_walk(world)
+        prior = np.zeros(16)
+        prior[0] = 1.0
+        posterior = model.predict(prior)
+        assert posterior.sum() == pytest.approx(1.0)
+        assert posterior[0] == pytest.approx(0.5)
+
+    def test_predict_shape_checked(self, world):
+        model = MarkovModel.uniform(world)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones(3))
+
+    def test_stationary_fixed_point(self, world):
+        model = MarkovModel.lazy_walk(world, p_stay=0.3)
+        pi = model.stationary()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.allclose(pi @ model.transition, pi, atol=1e-9)
+
+    def test_uniform_stationary_is_uniform(self, world):
+        model = MarkovModel.uniform(world)
+        assert np.allclose(model.stationary(), 1.0 / 16)
+
+    def test_sample_step_support(self, world):
+        model = MarkovModel.lazy_walk(world)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            nxt = model.sample_step(5, rng=rng)
+            assert nxt in set(world.neighbors(5)) | {5}
+
+    def test_sample_trajectory(self, world):
+        model = MarkovModel.lazy_walk(world)
+        traj = model.sample_trajectory(0, length=20, rng=1, user=7, start_time=3)
+        assert traj.user == 7
+        assert len(traj) == 20
+        assert traj.start_time == 3
+        assert traj.cells[0] == 0
+
+    def test_sample_trajectory_length_validated(self, world):
+        model = MarkovModel.uniform(world)
+        with pytest.raises(ValidationError):
+            model.sample_trajectory(0, length=0)
+
+    def test_log_likelihood(self, world):
+        model = MarkovModel.lazy_walk(world, p_stay=0.5)
+        stay = Trajectory(1, [5, 5])
+        assert model.log_likelihood(stay) == pytest.approx(np.log(0.5))
+        impossible = Trajectory(1, [0, 15])
+        assert model.log_likelihood(impossible) == float("-inf")

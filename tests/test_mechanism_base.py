@@ -1,0 +1,98 @@
+"""Unit tests for the Mechanism interface and Release records."""
+
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism, Release
+from repro.core.policies import contact_tracing_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError, ValidationError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(5, 5)
+
+
+@pytest.fixture
+def gc(world):
+    """Grid policy with cell 12 infected (disclosable)."""
+    return contact_tracing_policy(grid_policy(world), [12])
+
+
+class TestConstruction:
+    def test_rejects_bad_epsilon(self, world):
+        with pytest.raises(ValidationError):
+            PolicyLaplaceMechanism(world, grid_policy(world), epsilon=0.0)
+
+    def test_rejects_policy_outside_world(self, world):
+        rogue = PolicyGraph([0, 1, 999], [(0, 1)])
+        with pytest.raises(MechanismError):
+            PolicyLaplaceMechanism(world, rogue, epsilon=1.0)
+
+    def test_repr_mentions_policy(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        assert "G1" in repr(mech)
+
+
+class TestRelease:
+    def test_noisy_release_fields(self, world, gc):
+        mech = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        release = mech.release(0, rng=0)
+        assert not release.exact
+        assert release.epsilon == 1.0
+        assert release.mechanism == "PolicyLaplaceMechanism"
+        assert len(release.point) == 2
+
+    def test_exact_release_for_disclosable(self, world, gc):
+        mech = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        release = mech.release(12, rng=0)
+        assert release.exact
+        assert release.epsilon == 0.0
+        assert release.point == world.coords(12)
+
+    def test_release_outside_policy_rejected(self, world):
+        policy = PolicyGraph([0, 1], [(0, 1)])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        with pytest.raises(MechanismError):
+            mech.release(5)
+
+    def test_release_is_deterministic_given_seed(self, world, gc):
+        mech = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        assert mech.release(0, rng=7).point == mech.release(0, rng=7).point
+
+
+class TestPdf:
+    def test_pdf_positive(self, world, gc):
+        mech = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        assert mech.pdf((2.0, 2.0), 0) > 0
+
+    def test_pdf_rejects_disclosable_cell(self, world, gc):
+        mech = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        with pytest.raises(MechanismError):
+            mech.pdf((2.0, 2.0), 12)
+
+    def test_pdf_rejects_unknown_cell(self, world):
+        policy = PolicyGraph([0, 1], [(0, 1)])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        with pytest.raises(MechanismError):
+            mech.pdf((0.0, 0.0), 3)
+
+    def test_pdf_vector_zero_for_exact_and_uncovered(self, world, gc):
+        mech = PolicyLaplaceMechanism(world, gc, epsilon=1.0)
+        values = mech.pdf_vector((2.0, 2.0), [0, 12, 24])
+        assert values[0] > 0
+        assert values[1] == 0.0  # disclosable
+        assert values[2] > 0
+
+
+class TestReleaseDataclass:
+    def test_frozen(self):
+        release = Release(point=(0.0, 0.0))
+        with pytest.raises(AttributeError):
+            release.point = (1.0, 1.0)
+
+    def test_metadata_not_compared(self):
+        a = Release(point=(0.0, 0.0), metadata={"k": 1})
+        b = Release(point=(0.0, 0.0), metadata={"k": 2})
+        assert a == b

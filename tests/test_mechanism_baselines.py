@@ -1,0 +1,96 @@
+"""Unit tests for the Geo-I and Location-Set-PIM baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    LocationSetPIMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.policies import complete_policy
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+class TestGeoI:
+    def test_never_exact(self, world):
+        mech = GeoIndistinguishabilityMechanism(world, epsilon=1.0)
+        for cell in [0, 14, 35]:
+            assert not mech.is_exact(cell)
+            assert not mech.release(cell, rng=0).exact
+
+    def test_pdf_is_planar_laplace(self, world):
+        mech = GeoIndistinguishabilityMechanism(world, epsilon=2.0)
+        x, y = world.coords(14)
+        expected = 2.0**2 / (2 * math.pi) * math.exp(-2.0 * 1.5)
+        assert mech.pdf((x + 1.5, y), 14) == pytest.approx(expected)
+
+    def test_geo_i_guarantee_epsilon_times_distance(self, world):
+        # For ALL pairs (not just policy edges): ratio <= exp(eps * d_E).
+        mech = GeoIndistinguishabilityMechanism(world, epsilon=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            a, b = rng.choice(world.n_cells, size=2, replace=False)
+            z = rng.uniform(-5, 11, size=2)
+            log_ratio = math.log(mech.pdf(z, int(a))) - math.log(mech.pdf(z, int(b)))
+            assert log_ratio <= 1.0 * world.distance(int(a), int(b)) + 1e-9
+
+    def test_noise_scale(self, world):
+        rng = np.random.default_rng(1)
+        centre = np.array(world.coords(14))
+
+        def spread(epsilon):
+            mech = GeoIndistinguishabilityMechanism(world, epsilon=epsilon)
+            return np.mean(
+                [
+                    np.linalg.norm(np.array(mech.release(14, rng=rng).point) - centre)
+                    for _ in range(1000)
+                ]
+            )
+
+        # Mean radius of planar Laplace is 2 / eps.
+        assert spread(1.0) == pytest.approx(2.0, rel=0.15)
+
+
+class TestLocationSetPIM:
+    def test_matches_policy_pim_on_complete_graph(self, world):
+        cells = [0, 3, 18, 21]
+        baseline = LocationSetPIMechanism(world, cells, epsilon=1.0)
+        reference = PolicyPlanarIsotropicMechanism(world, complete_policy(cells), epsilon=1.0)
+        z = (2.5, 2.5)
+        for cell in cells:
+            assert baseline.pdf(z, cell) == pytest.approx(reference.pdf(z, cell))
+
+    def test_location_set_recorded(self, world):
+        mech = LocationSetPIMechanism(world, [5, 2, 9], epsilon=1.0)
+        assert mech.location_set == (2, 5, 9)
+
+    def test_embedded_world_discloses_outside(self, world):
+        mech = LocationSetPIMechanism(world, [0, 1, 2], epsilon=1.0, embed_in_world=True)
+        release = mech.release(35, rng=0)
+        assert release.exact
+        inside = mech.release(0, rng=0)
+        assert not inside.exact
+
+    def test_indistinguishability_within_set(self, world):
+        # Non-collinear set: a collinear one has a sliver hull whose
+        # off-line densities underflow to 0 (line-supported noise).
+        cells = [0, 5, 14, 30]
+        mech = LocationSetPIMechanism(world, cells, epsilon=1.0)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            z = rng.uniform(-3, 9, size=2)
+            values = [mech.pdf(z, cell) for cell in cells]
+            ratio = max(values) / min(values)
+            assert ratio <= math.exp(1.0) + 1e-9
+
+    def test_single_cell_set_discloses(self, world):
+        mech = LocationSetPIMechanism(world, [5], epsilon=1.0)
+        assert mech.release(5, rng=0).exact

@@ -1,0 +1,113 @@
+"""Goodness-of-fit tests for the mechanisms' noise distributions.
+
+Moment checks catch gross bugs; these Kolmogorov-Smirnov tests pin the full
+sampling *laws* the privacy proofs assume: planar-Laplace radii are
+Gamma(2, 1/rate), P-PIM displacement gauges are Gamma(2, 1/eps), the
+planar-Laplace angle is uniform, and the P-PIM direction is uniform over the
+hull (checked via the area-law of the gauge of the directional part).
+"""
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.core.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.policies import grid_policy
+from repro.geo.geometry import ConvexPolygon
+from repro.geo.grid import GridWorld
+
+N_SAMPLES = 3000
+ALPHA = 1e-3  # KS rejection level; failures at this level indicate real bugs
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(6, 6)
+
+
+def displacement_samples(mechanism, world, cell, n=N_SAMPLES, seed=0):
+    rng = np.random.default_rng(seed)
+    centre = np.array(world.coords(cell))
+    return np.array([np.array(mechanism.release(cell, rng=rng).point) - centre for _ in range(n)])
+
+
+class TestPlanarLaplaceLaw:
+    def test_radius_is_gamma2(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        samples = displacement_samples(mech, world, 14)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        scale = 1.0 / mech.noise_rate(14)
+        result = scipy_stats.kstest(radii, "gamma", args=(2.0, 0.0, scale))
+        assert result.pvalue > ALPHA
+
+    def test_angle_is_uniform(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        samples = displacement_samples(mech, world, 14, seed=1)
+        angles = np.arctan2(samples[:, 1], samples[:, 0])
+        result = scipy_stats.kstest(angles, "uniform", args=(-np.pi, 2 * np.pi))
+        assert result.pvalue > ALPHA
+
+    def test_geo_i_radius_scale(self, world):
+        epsilon = 2.0
+        mech = GeoIndistinguishabilityMechanism(world, epsilon=epsilon)
+        samples = displacement_samples(mech, world, 14, seed=2)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        result = scipy_stats.kstest(radii, "gamma", args=(2.0, 0.0, 1.0 / epsilon))
+        assert result.pvalue > ALPHA
+
+
+class TestPIMLaw:
+    def test_gauge_is_gamma2(self, world):
+        epsilon = 1.0
+        mech = PolicyPlanarIsotropicMechanism(world, grid_policy(world), epsilon=epsilon)
+        hull = mech.sensitivity_hull(14)
+        samples = displacement_samples(mech, world, 14, seed=3)
+        gauges = np.array([hull.gauge(v) for v in samples])
+        result = scipy_stats.kstest(gauges, "gamma", args=(2.0, 0.0, 1.0 / epsilon))
+        assert result.pvalue > ALPHA
+
+    def test_direction_uniform_over_hull(self, world):
+        # If v = r*u with u ~ Uniform(K), then w = v / ||v||_K is on the
+        # boundary; the *fraction of hull area* swept up to w's direction is
+        # uniform.  Test a simpler sufficient property: the gauge of u itself
+        # (recovered by resampling) has CDF t^2 (area law).
+        hull = ConvexPolygon(np.array([(1.5, 0.0), (0.0, 0.5), (-1.5, 0.0), (0.0, -0.5)]))
+        samples = hull.sample(rng=4, size=N_SAMPLES)
+        gauges = np.array([hull.gauge(p) for p in samples])
+        result = scipy_stats.kstest(gauges, "powerlaw", args=(2.0,))
+        assert result.pvalue > ALPHA
+
+    def test_epsilon_scales_the_law(self, world):
+        # Doubling epsilon halves the gauge scale: KS between rescaled samples.
+        fast = PolicyPlanarIsotropicMechanism(world, grid_policy(world), epsilon=2.0)
+        slow = PolicyPlanarIsotropicMechanism(world, grid_policy(world), epsilon=1.0)
+        hull = fast.sensitivity_hull(14)
+        g_fast = np.array([hull.gauge(v) for v in displacement_samples(fast, world, 14, seed=5)])
+        g_slow = np.array([hull.gauge(v) for v in displacement_samples(slow, world, 14, seed=6)])
+        result = scipy_stats.ks_2samp(2.0 * g_fast, g_slow)
+        assert result.pvalue > ALPHA
+
+
+class TestDiscreteLaw:
+    def test_exponential_mechanism_chi_square(self, world):
+        from repro.core.mechanisms import GraphExponentialMechanism
+
+        mech = GraphExponentialMechanism(world, grid_policy(world), epsilon=1.0)
+        rng = np.random.default_rng(7)
+        support = mech.support(14)
+        pmf = mech.pmf(14)
+        counts = np.zeros(len(support))
+        index = {cell: i for i, cell in enumerate(support)}
+        n = 5000
+        for _ in range(n):
+            counts[index[world.snap(mech.release(14, rng=rng).point)]] += 1
+        expected = pmf * n
+        mask = expected >= 5  # chi-square validity
+        rescale = counts[mask].sum() / expected[mask].sum()
+        result = scipy_stats.chisquare(counts[mask], expected[mask] * rescale)
+        assert result.pvalue > ALPHA

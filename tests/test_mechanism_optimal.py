@@ -1,0 +1,136 @@
+"""Unit tests for the LP-optimal discrete mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+pytest.importorskip("scipy")
+
+from repro.core.mechanisms import (
+    GraphExponentialMechanism,
+    OptimalDiscreteMechanism,
+    PolicyLaplaceMechanism,
+)
+from repro.core.policies import area_policy, complete_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(4, 4)
+
+
+@pytest.fixture
+def optimal(world):
+    return OptimalDiscreteMechanism(world, grid_policy(world), epsilon=1.0, max_component_size=16)
+
+
+class TestConstruction:
+    def test_component_size_guard(self):
+        world = GridWorld(10, 10)
+        with pytest.raises(MechanismError):
+            OptimalDiscreteMechanism(world, grid_policy(world), 1.0, max_component_size=50)
+
+    def test_bad_prior_rejected(self, world):
+        with pytest.raises(MechanismError):
+            OptimalDiscreteMechanism(world, grid_policy(world), 1.0, prior=np.ones(3), max_component_size=16)
+
+    def test_disclosable_cells_skipped(self, world):
+        policy = PolicyGraph(world, [(0, 1)])
+        mech = OptimalDiscreteMechanism(world, policy, 1.0)
+        assert mech.release(5, rng=0).exact
+        with pytest.raises(MechanismError):
+            mech.pmf(5)
+
+
+class TestPrivacy:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_edge_constraints_hold(self, world, epsilon):
+        graph = grid_policy(world)
+        mech = OptimalDiscreteMechanism(world, graph, epsilon, max_component_size=16)
+        bound = math.exp(epsilon)
+        for u, v in graph.edges():
+            pmf_u = dict(zip(mech.support(u), mech.pmf(u)))
+            pmf_v = dict(zip(mech.support(v), mech.pmf(v)))
+            for cell in pmf_u:
+                # Allow tiny LP solver slack.
+                assert pmf_u[cell] <= bound * pmf_v[cell] + 1e-7
+
+    def test_pmf_rows_are_distributions(self, optimal):
+        for cell in optimal.support(0):
+            pmf = optimal.pmf(cell)
+            assert pmf.sum() == pytest.approx(1.0)
+            assert np.all(pmf >= 0)
+
+
+class TestOptimality:
+    def test_beats_graph_exponential_and_laplace(self, world):
+        graph = grid_policy(world)
+        epsilon = 1.0
+        optimal = OptimalDiscreteMechanism(world, graph, epsilon, max_component_size=16)
+        exponential = GraphExponentialMechanism(world, graph, epsilon)
+        laplace = PolicyLaplaceMechanism(world, graph, epsilon)
+        cells = list(range(16))
+
+        def mean_expected_error(mechanism):
+            return np.mean([mechanism.expected_error(cell) for cell in cells])
+
+        def exp_mech_error(cell):
+            support = exponential.support(cell)
+            coords = world.coords_array(support)
+            x, y = world.coords(cell)
+            distances = np.sqrt(((coords - (x, y)) ** 2).sum(axis=1))
+            return float(exponential.pmf(cell) @ distances)
+
+        optimal_error = mean_expected_error(optimal)
+        assert optimal_error <= np.mean([exp_mech_error(c) for c in cells]) + 1e-6
+        assert optimal_error <= mean_expected_error(laplace) + 1e-6
+
+    def test_error_decreases_with_epsilon(self, world):
+        graph = grid_policy(world)
+        loose = OptimalDiscreteMechanism(world, graph, 0.5, max_component_size=16)
+        tight = OptimalDiscreteMechanism(world, graph, 3.0, max_component_size=16)
+        assert tight.expected_error(5) < loose.expected_error(5)
+
+    def test_complete_graph_flat_epsilon(self, world):
+        # On a complete graph every pair must be eps-indistinguishable.
+        cells = [0, 3, 12, 15]
+        mech = OptimalDiscreteMechanism(world, complete_policy(cells), 1.0)
+        bound = math.exp(1.0)
+        for u in cells:
+            pmf_u = dict(zip(mech.support(u), mech.pmf(u)))
+            for v in cells:
+                pmf_v = dict(zip(mech.support(v), mech.pmf(v)))
+                for cell in pmf_u:
+                    assert pmf_u[cell] <= bound * pmf_v[cell] + 1e-7
+
+
+class TestRelease:
+    def test_release_on_cell_centres(self, world, optimal):
+        release = optimal.release(5, rng=0)
+        snapped = world.snap(release.point)
+        assert world.coords(snapped) == release.point
+
+    def test_empirical_matches_pmf(self, world, optimal):
+        rng = np.random.default_rng(1)
+        support = optimal.support(5)
+        counts = {cell: 0 for cell in support}
+        n = 4000
+        for _ in range(n):
+            counts[world.snap(optimal.release(5, rng=rng).point)] += 1
+        pmf = dict(zip(support, optimal.pmf(5)))
+        for cell in support:
+            assert counts[cell] / n == pytest.approx(pmf[cell], abs=0.025)
+
+    def test_pdf_interface(self, world, optimal):
+        pmf = dict(zip(optimal.support(5), optimal.pmf(5)))
+        assert optimal.pdf(world.coords(6), 5) == pytest.approx(pmf[6])
+
+    def test_per_area_components_solved_separately(self, world):
+        policy = area_policy(world, 2, 2)
+        mech = OptimalDiscreteMechanism(world, policy, 1.0)
+        assert set(mech.support(0)) == set(policy.component_of(0))
+        assert set(mech.support(15)) == set(policy.component_of(15))

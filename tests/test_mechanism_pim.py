@@ -1,0 +1,142 @@
+"""Unit tests for the policy-aware Planar Isotropic Mechanism (P-PIM)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import PolicyPlanarIsotropicMechanism
+from repro.core.policies import complete_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import MechanismError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def pim(world):
+    return PolicyPlanarIsotropicMechanism(world, grid_policy(world), epsilon=1.0)
+
+
+class TestSensitivityHull:
+    def test_g1_hull_is_unit_square(self, world, pim):
+        # Differences of 8-adjacent unit cells span {-1,0,1}^2 \ {0}; their
+        # hull is the square [-1,1]^2 with area 4.
+        hull = pim.sensitivity_hull(14)
+        assert hull.area == pytest.approx(4.0)
+        assert hull.contains((1, 1)) and hull.contains((-1, 0))
+
+    def test_hull_symmetric(self, pim):
+        hull = pim.sensitivity_hull(0)
+        for vertex in hull.vertices:
+            assert hull.contains(-vertex, tol=1e-9)
+
+    def test_edge_differences_have_knorm_at_most_one(self, world, pim):
+        graph = grid_policy(world)
+        for u, v in list(graph.edges())[:40]:
+            xu, yu = world.coords(u)
+            xv, yv = world.coords(v)
+            assert pim.knorm(u, (xu - xv, yu - yv)) <= 1 + 1e-9
+
+    def test_disclosable_cell_has_no_hull(self, world):
+        policy = PolicyGraph(world, [(0, 1)])
+        mech = PolicyPlanarIsotropicMechanism(world, policy, epsilon=1.0)
+        with pytest.raises(MechanismError):
+            mech.sensitivity_hull(20)
+
+    def test_anisotropic_hull_eccentricity(self, world):
+        # Horizontal-only edges give a sliver hull -> huge eccentricity.
+        policy = PolicyGraph(world, [(0, 1), (1, 2)])
+        mech = PolicyPlanarIsotropicMechanism(world, policy, epsilon=1.0)
+        assert mech.hull_eccentricity(0) > 100
+        # G1's square hull is perfectly isotropic.
+        iso = PolicyPlanarIsotropicMechanism(world, grid_policy(world), epsilon=1.0)
+        assert iso.hull_eccentricity(14) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestPdf:
+    def test_pdf_integrates_to_one(self, world, pim):
+        rng = np.random.default_rng(0)
+        box = 80.0
+        pts = rng.uniform(-box / 2, box / 2, size=(200_000, 2)) + world.coords(14)
+        values = np.array([pim.pdf(p, 14) for p in pts])
+        assert values.mean() * box * box == pytest.approx(1.0, abs=0.05)
+
+    def test_pdf_level_sets_follow_knorm(self, world, pim):
+        # Two points with equal K-norm displacement have equal density.
+        x, y = world.coords(14)
+        assert pim.pdf((x + 1, y), 14) == pytest.approx(pim.pdf((x, y + 1), 14))
+        assert pim.pdf((x + 1, y + 1), 14) == pytest.approx(pim.pdf((x + 1, y - 1), 14))
+
+    def test_pdf_closed_form(self, world, pim):
+        hull = pim.sensitivity_hull(14)
+        x, y = world.coords(14)
+        z = (x + 0.7, y - 0.3)
+        gauge = hull.gauge((0.7, -0.3))
+        expected = 1.0**2 / (2 * hull.area) * math.exp(-1.0 * gauge)
+        assert pim.pdf(z, 14) == pytest.approx(expected)
+
+
+class TestSampling:
+    def test_radius_distribution_gamma2(self, world, pim):
+        # The density exp(-eps * ||v||_K) in 2-D has radial law Gamma(2, eps):
+        # mean 2/eps, variance 2/eps^2.  (The sampler's Gamma(3) radius is
+        # shrunk by the uniform-in-hull direction, whose gauge averages 2/3.)
+        rng = np.random.default_rng(1)
+        hull = pim.sensitivity_hull(14)
+        centre = np.array(world.coords(14))
+        gauges = []
+        for _ in range(4000):
+            release = np.array(pim.release(14, rng=rng).point)
+            gauges.append(hull.gauge(release - centre))
+        assert np.mean(gauges) == pytest.approx(2.0, rel=0.08)
+        assert np.var(gauges) == pytest.approx(2.0, rel=0.2)
+
+    def test_unbiased(self, world, pim):
+        rng = np.random.default_rng(2)
+        pts = np.array([pim.release(14, rng=rng).point for _ in range(4000)])
+        assert np.allclose(pts.mean(axis=0), world.coords(14), atol=0.25)
+
+    def test_epsilon_scales_noise(self, world):
+        rng = np.random.default_rng(3)
+        centre = np.array(world.coords(14))
+
+        def spread(epsilon):
+            mech = PolicyPlanarIsotropicMechanism(world, grid_policy(world), epsilon=epsilon)
+            return np.mean(
+                [
+                    np.linalg.norm(np.array(mech.release(14, rng=rng).point) - centre)
+                    for _ in range(1500)
+                ]
+            )
+
+        assert spread(2.0) < spread(0.5)
+
+    def test_noise_follows_hull_anisotropy(self, world):
+        # With horizontal-only edges the hull is a horizontal sliver, so the
+        # mechanism should spread far along x and barely along y.
+        policy = PolicyGraph(world, [(0, 1), (1, 2)])
+        mech = PolicyPlanarIsotropicMechanism(world, policy, epsilon=1.0)
+        rng = np.random.default_rng(4)
+        centre = np.array(world.coords(1))
+        pts = np.array([mech.release(1, rng=rng).point for _ in range(1000)]) - centre
+        assert pts[:, 0].std() > 100 * pts[:, 1].std()
+
+
+class TestCompleteGraphEquivalence:
+    def test_hull_of_complete_policy_matches_location_set(self, world):
+        cells = [0, 5, 30, 35]
+        mech = PolicyPlanarIsotropicMechanism(world, complete_policy(cells), epsilon=1.0)
+        hull = mech.sensitivity_hull(0)
+        coords = [np.array(world.coords(c)) for c in cells]
+        for a in coords:
+            for b in coords:
+                if not np.array_equal(a, b):
+                    assert hull.contains(a - b, tol=1e-9)
+
+    def test_expected_error_positive(self, world, pim):
+        assert pim.expected_error(14) > 0

@@ -1,0 +1,134 @@
+"""Unit tests for the metapopulation SEIR layer."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import area_policy, full_disclosure_policy
+from repro.epidemic.analysis import perturb_tracedb
+from repro.epidemic.metapop import (
+    MetapopulationSEIR,
+    flow_matrix,
+    forecast_divergence,
+)
+from repro.epidemic.monitor import LocationMonitor
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+
+
+class TestFlowMatrix:
+    def test_basic_normalisation(self):
+        flows = Counter({(0, 0): 3, (0, 1): 1, (1, 0): 2})
+        matrix = flow_matrix(flows, 2)
+        assert matrix[0] == pytest.approx([0.75, 0.25])
+        assert matrix[1] == pytest.approx([1.0, 0.0])
+
+    def test_unseen_rows_stay_put(self):
+        matrix = flow_matrix(Counter(), 3)
+        assert np.allclose(matrix, np.eye(3))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            flow_matrix(Counter({(0, 5): 1}), 2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            flow_matrix(Counter({(0, 1): -1}), 2)
+
+    def test_zero_areas_rejected(self):
+        with pytest.raises(ValidationError):
+            flow_matrix(Counter(), 0)
+
+
+class TestMetapopulationSEIR:
+    @pytest.fixture
+    def model(self):
+        mobility = np.array([[0.8, 0.2], [0.3, 0.7]])
+        return MetapopulationSEIR(mobility, beta=0.5, sigma=0.3, gamma=0.1, mobility_rate=0.2)
+
+    def test_population_conserved(self, model):
+        run = model.simulate(np.array([500.0, 500.0]), seed_area=0, steps=100)
+        totals = run.susceptible + run.exposed + run.infectious + run.recovered
+        assert np.allclose(totals.sum(axis=1), 1000.0, rtol=1e-8)
+
+    def test_epidemic_spreads_to_coupled_area(self, model):
+        run = model.simulate(np.array([500.0, 500.0]), seed_area=0, steps=150)
+        assert run.infectious[:, 1].max() > 1.0  # area 1 catches the wave
+
+    def test_isolated_areas_stay_clean(self):
+        model = MetapopulationSEIR(np.eye(2), beta=0.5, sigma=0.3, gamma=0.1, mobility_rate=0.2)
+        run = model.simulate(np.array([500.0, 500.0]), seed_area=0, steps=150)
+        assert run.infectious[:, 1].max() == pytest.approx(0.0)
+        assert run.recovered[-1, 1] == pytest.approx(0.0)
+
+    def test_peak_time_later_downstream(self, model):
+        run = model.simulate(np.array([800.0, 800.0]), seed_area=0, steps=200)
+        peak_seeded = int(np.argmax(run.infectious[:, 0]))
+        peak_coupled = int(np.argmax(run.infectious[:, 1]))
+        assert peak_coupled >= peak_seeded
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MetapopulationSEIR(np.ones((2, 3)), 0.5, 0.3, 0.1)
+        with pytest.raises(ValidationError):
+            MetapopulationSEIR(np.ones((2, 2)), 0.5, 0.3, 0.1)  # rows sum to 2
+        model = MetapopulationSEIR(np.eye(2), 0.5, 0.3, 0.1)
+        with pytest.raises(ValidationError):
+            model.simulate(np.array([1.0]), seed_area=0)
+        with pytest.raises(ValidationError):
+            model.simulate(np.array([1.0, 1.0]), seed_area=5)
+
+    def test_mobility_rate_bounds(self):
+        with pytest.raises(ValidationError):
+            MetapopulationSEIR(np.eye(2), 0.5, 0.3, 0.1, mobility_rate=1.5)
+
+
+class TestForecastDivergence:
+    def test_identical_zero(self):
+        model = MetapopulationSEIR(np.eye(2), 0.5, 0.3, 0.1)
+        run = model.simulate(np.array([100.0, 100.0]), seed_area=0, steps=50)
+        assert forecast_divergence(run, run) == 0.0
+
+    def test_length_mismatch(self):
+        model = MetapopulationSEIR(np.eye(2), 0.5, 0.3, 0.1)
+        a = model.simulate(np.array([100.0, 100.0]), seed_area=0, steps=50)
+        b = model.simulate(np.array([100.0, 100.0]), seed_area=0, steps=40)
+        with pytest.raises(ValidationError):
+            forecast_divergence(a, b)
+
+
+class TestEndToEndForecasting:
+    def test_exact_flows_give_zero_divergence(self):
+        world = GridWorld(8, 8)
+        db = geolife_like(world, n_users=20, horizon=48, rng=0)
+        monitor = LocationMonitor(world, 4, 4)
+        n_areas = 4
+        mech = PolicyLaplaceMechanism(world, full_disclosure_policy(world), epsilon=1.0)
+        released = perturb_tracedb(world, mech, db, rng=1)
+        truth = flow_matrix(monitor.flows(db), n_areas)
+        observed = flow_matrix(monitor.flows(released), n_areas)
+        assert np.allclose(truth, observed)
+
+    def test_noise_inflates_divergence(self):
+        world = GridWorld(8, 8)
+        db = geolife_like(world, n_users=20, horizon=48, rng=2)
+        monitor = LocationMonitor(world, 4, 4)
+        n_areas = 4
+        populations = np.full(n_areas, 250.0)
+
+        def forecast(flows):
+            model = MetapopulationSEIR(
+                flow_matrix(flows, n_areas), beta=0.6, sigma=0.3, gamma=0.1, mobility_rate=0.3
+            )
+            return model.simulate(populations, seed_area=0, steps=120)
+
+        reference = forecast(monitor.flows(db))
+        policy = area_policy(world, 2, 2)
+        mech = PolicyLaplaceMechanism(world, policy, epsilon=0.3)
+        released = perturb_tracedb(world, mech, db, rng=3)
+        candidate = forecast(monitor.flows(released))
+        divergence = forecast_divergence(reference, candidate)
+        assert divergence > 0.0

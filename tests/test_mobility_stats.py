@@ -1,0 +1,117 @@
+"""Unit tests for mobility statistics — and the substitution validation.
+
+The last test class is the *evidence* for DESIGN.md's dataset-substitution
+table: the synthetic Geolife keeps commuter revisit structure, the synthetic
+Gowalla keeps heavy-tailed hotspot concentration, and random waypoint roams
+wider than both.
+"""
+
+import pytest
+
+from repro.errors import DataError
+from repro.geo.grid import GridWorld
+from repro.mobility.stats import (
+    hotspot_share,
+    mobility_summary,
+    radius_of_gyration,
+    revisit_ratio,
+)
+from repro.mobility.synthetic import geolife_like, gowalla_like, random_waypoint
+from repro.mobility.trajectory import TraceDB, Trajectory
+
+
+@pytest.fixture
+def world():
+    return GridWorld(10, 10)
+
+
+class TestRadiusOfGyration:
+    def test_stationary_user_zero(self, world):
+        db = TraceDB.from_trajectories([Trajectory(0, [5] * 10)])
+        assert radius_of_gyration(world, db, 0) == 0.0
+
+    def test_two_point_commuter(self, world):
+        home, work = world.cell_of(0, 0), world.cell_of(0, 4)
+        db = TraceDB.from_trajectories([Trajectory(0, [home, work] * 5)])
+        # Points are +-2 around the midpoint: RMS distance is 2.
+        assert radius_of_gyration(world, db, 0) == pytest.approx(2.0)
+
+    def test_unknown_user(self, world):
+        with pytest.raises(DataError):
+            radius_of_gyration(world, TraceDB(), 7)
+
+
+class TestRevisitRatio:
+    def test_always_new(self, world):
+        db = TraceDB.from_trajectories([Trajectory(0, [0, 1, 2, 3])])
+        assert revisit_ratio(db, 0) == 0.0
+
+    def test_always_same(self, world):
+        db = TraceDB.from_trajectories([Trajectory(0, [4] * 8)])
+        assert revisit_ratio(db, 0) == pytest.approx(7 / 8)
+
+    def test_mixed(self, world):
+        db = TraceDB.from_trajectories([Trajectory(0, [0, 1, 0, 1])])
+        assert revisit_ratio(db, 0) == 0.5
+
+
+class TestHotspotShare:
+    def test_uniform_visits(self, world):
+        db = TraceDB()
+        for i, cell in enumerate(range(10)):
+            db.record(0, i, cell)
+        assert hotspot_share(db, 0.1) == pytest.approx(0.1)
+
+    def test_single_hotspot(self, world):
+        db = TraceDB()
+        for t in range(9):
+            db.record(0, t, 5)
+        db.record(0, 9, 6)
+        assert hotspot_share(db, 0.5) == pytest.approx(0.9)
+
+    def test_bad_fraction(self):
+        with pytest.raises(DataError):
+            hotspot_share(TraceDB.from_trajectories([Trajectory(0, [0])]), 0.0)
+
+    def test_empty_db(self):
+        with pytest.raises(DataError):
+            hotspot_share(TraceDB(), 0.1)
+
+
+class TestSubstitutionClaims:
+    """DESIGN.md's substitution table, validated quantitatively."""
+
+    def test_geolife_like_is_commuter_shaped(self, world):
+        db = geolife_like(world, n_users=15, horizon=14 * 24, rng=0)
+        summary = mobility_summary(world, db)
+        # Strong revisit structure and compact daily ranges.
+        assert summary["mean_revisit_ratio"] > 0.8
+        assert summary["mean_radius_of_gyration"] < 6.0
+
+    def test_gowalla_like_is_heavy_tailed(self, world):
+        db = gowalla_like(world, n_users=60, checkins_per_user=30, horizon=300, rng=1)
+        # Top 10% of venues concentrate a large share of check-ins.
+        assert hotspot_share(db, 0.1) > 0.3
+
+    def test_random_waypoint_roams_widest(self, world):
+        horizon = 200
+        waypoint = random_waypoint(world, n_users=10, horizon=horizon, rng=2, pause=0)
+        commuter = geolife_like(world, n_users=10, horizon=horizon, rng=2)
+        roam_waypoint = mobility_summary(world, waypoint)["mean_radius_of_gyration"]
+        roam_commuter = mobility_summary(world, commuter)["mean_radius_of_gyration"]
+        assert roam_waypoint > roam_commuter
+
+    def test_summary_fields(self, world):
+        db = geolife_like(world, n_users=5, horizon=24, rng=3)
+        summary = mobility_summary(world, db)
+        assert set(summary) == {
+            "mean_radius_of_gyration",
+            "mean_revisit_ratio",
+            "hotspot_share_top10pct",
+            "n_users",
+        }
+        assert summary["n_users"] == 5.0
+
+    def test_summary_empty_rejected(self, world):
+        with pytest.raises(DataError):
+            mobility_summary(world, TraceDB())

@@ -1,0 +1,92 @@
+"""Unit tests for the location-monitoring app."""
+
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import full_disclosure_policy, grid_policy
+from repro.epidemic.monitor import LocationMonitor, monitoring_utility
+from repro.errors import DataError
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.mobility.trajectory import TraceDB, Trajectory
+
+
+@pytest.fixture
+def world():
+    return GridWorld(8, 8)
+
+
+class TestLocationMonitor:
+    def test_area_counts(self, world):
+        monitor = LocationMonitor(world, 4, 4)
+        db = TraceDB()
+        db.record(1, 0, world.cell_of(0, 0))
+        db.record(2, 0, world.cell_of(1, 1))
+        db.record(3, 0, world.cell_of(5, 5))
+        counts = monitor.area_counts(db, 0)
+        assert counts[monitor.area_of_cell(world.cell_of(0, 0))] == 2
+        assert counts[monitor.area_of_cell(world.cell_of(5, 5))] == 1
+
+    def test_flows_cross_area(self, world):
+        monitor = LocationMonitor(world, 4, 4)
+        db = TraceDB()
+        db.record(1, 0, world.cell_of(0, 0))
+        db.record(1, 1, world.cell_of(0, 7))  # moves to the east area
+        flows = monitor.flows(db)
+        west = monitor.area_of_cell(world.cell_of(0, 0))
+        east = monitor.area_of_cell(world.cell_of(0, 7))
+        assert flows[(west, east)] == 1
+
+    def test_flows_same_area_recorded(self, world):
+        monitor = LocationMonitor(world, 4, 4)
+        db = TraceDB.from_trajectories([Trajectory(1, [0, 1])])
+        area = monitor.area_of_cell(0)
+        assert monitor.flows(db)[(area, area)] == 1
+
+    def test_flows_skip_time_gaps(self, world):
+        monitor = LocationMonitor(world, 4, 4)
+        db = TraceDB()
+        db.record(1, 0, 0)
+        db.record(1, 5, 63)  # not consecutive: no flow
+        assert sum(monitor.flows(db).values()) == 0
+
+
+class TestMonitoringUtility:
+    def test_full_disclosure_is_lossless(self, world):
+        db = geolife_like(world, n_users=5, horizon=24, rng=0)
+        mech = PolicyLaplaceMechanism(world, full_disclosure_policy(world), epsilon=1.0)
+        report = monitoring_utility(world, mech, db, rng=1)
+        assert report.mean_euclidean_error == 0.0
+        assert report.area_accuracy == 1.0
+        assert report.flow_l1_error == 0.0
+
+    def test_noisy_release_degrades(self, world):
+        db = geolife_like(world, n_users=5, horizon=24, rng=0)
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=0.5)
+        report = monitoring_utility(world, mech, db, rng=1)
+        assert report.mean_euclidean_error > 0
+        assert report.area_accuracy < 1.0
+        assert report.n_releases == len(db)
+
+    def test_error_shrinks_with_budget(self, world):
+        db = geolife_like(world, n_users=5, horizon=24, rng=0)
+        low = monitoring_utility(
+            world, PolicyLaplaceMechanism(world, grid_policy(world), epsilon=0.3), db, rng=2
+        )
+        high = monitoring_utility(
+            world, PolicyLaplaceMechanism(world, grid_policy(world), epsilon=3.0), db, rng=2
+        )
+        assert high.mean_euclidean_error < low.mean_euclidean_error
+        assert high.area_accuracy > low.area_accuracy
+
+    def test_empty_db_rejected(self, world):
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        with pytest.raises(DataError):
+            monitoring_utility(world, mech, TraceDB(), rng=0)
+
+    def test_deterministic(self, world):
+        db = geolife_like(world, n_users=4, horizon=12, rng=3)
+        mech = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        a = monitoring_utility(world, mech, db, rng=9)
+        b = monitoring_utility(world, mech, db, rng=9)
+        assert a == b

@@ -1,0 +1,99 @@
+"""Unit tests for the agent-based outbreak simulation."""
+
+import pytest
+
+from repro.epidemic.outbreak import INFECTIOUS, RECOVERED, SUSCEPTIBLE, simulate_outbreak
+from repro.errors import DataError
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.mobility.trajectory import TraceDB, Trajectory
+
+
+@pytest.fixture
+def world():
+    return GridWorld(8, 8)
+
+
+@pytest.fixture
+def colocated_db():
+    # Three users stuck in the same cell forever: transmission is certain
+    # with p_transmit=1.
+    return TraceDB.from_trajectories(
+        [Trajectory(user, [0] * 20) for user in range(3)]
+    )
+
+
+class TestValidation:
+    def test_unknown_seed_rejected(self, colocated_db):
+        with pytest.raises(DataError):
+            simulate_outbreak(colocated_db, seeds=[99], rng=0)
+
+    def test_empty_seeds_rejected(self, colocated_db):
+        with pytest.raises(DataError):
+            simulate_outbreak(colocated_db, seeds=[], rng=0)
+
+    def test_bad_probability_rejected(self, colocated_db):
+        with pytest.raises(Exception):
+            simulate_outbreak(colocated_db, seeds=[0], p_transmit=1.5, rng=0)
+
+
+class TestDynamics:
+    def test_certain_transmission_infects_all(self, colocated_db):
+        result = simulate_outbreak(colocated_db, seeds=[0], p_transmit=1.0, gamma=0.0, rng=0)
+        assert result.infected_users == {0, 1, 2}
+        assert result.attack_rate == 1.0
+
+    def test_zero_transmission_infects_none(self, colocated_db):
+        result = simulate_outbreak(colocated_db, seeds=[0], p_transmit=0.0, rng=0)
+        assert result.infected_users == {0}
+        assert not result.events
+
+    def test_no_colocation_no_spread(self):
+        db = TraceDB.from_trajectories(
+            [Trajectory(0, [0] * 10), Trajectory(1, [5] * 10)]
+        )
+        result = simulate_outbreak(db, seeds=[0], p_transmit=1.0, rng=0)
+        assert result.infected_users == {0}
+
+    def test_events_reference_colocations(self, world):
+        db = geolife_like(world, n_users=15, horizon=48, rng=0, n_work_hubs=2)
+        result = simulate_outbreak(db, seeds=[0], p_transmit=0.5, rng=1)
+        for event in result.events:
+            assert db.location(event.source, event.time) == event.cell
+            assert db.location(event.target, event.time) == event.cell
+
+    def test_exposed_wait_at_least_one_step(self, colocated_db):
+        result = simulate_outbreak(colocated_db, seeds=[0], p_transmit=1.0, sigma=1.0, gamma=0.0, rng=0)
+        for event in result.events:
+            state_at_event = result.state_history[event.time][event.target]
+            assert state_at_event == SUSCEPTIBLE
+
+    def test_recovered_stay_recovered(self, colocated_db):
+        result = simulate_outbreak(colocated_db, seeds=[0], p_transmit=1.0, gamma=0.9, rng=2)
+        seen_recovered = set()
+        for time in sorted(result.state_history):
+            for user, state in result.state_history[time].items():
+                if user in seen_recovered:
+                    assert state == RECOVERED
+                if state == RECOVERED:
+                    seen_recovered.add(user)
+
+    def test_incidence_counts_events(self, world):
+        db = geolife_like(world, n_users=20, horizon=48, rng=3, n_work_hubs=2)
+        result = simulate_outbreak(db, seeds=[0, 1], p_transmit=0.4, rng=4)
+        assert result.incidence().sum() == len(result.events)
+
+    def test_deterministic_with_seed(self, world):
+        db = geolife_like(world, n_users=10, horizon=36, rng=5)
+        a = simulate_outbreak(db, seeds=[0], p_transmit=0.5, rng=42)
+        b = simulate_outbreak(db, seeds=[0], p_transmit=0.5, rng=42)
+        assert a.events == b.events
+
+    def test_infectious_cells(self, colocated_db):
+        result = simulate_outbreak(colocated_db, seeds=[0], p_transmit=0.0, gamma=0.0, rng=0)
+        pairs = result.infectious_cells(0, colocated_db, 0, 19)
+        assert pairs == {(0, t) for t in range(20)}
+
+    def test_seed_starts_infectious(self, colocated_db):
+        result = simulate_outbreak(colocated_db, seeds=[1], p_transmit=0.0, gamma=0.0, rng=0)
+        assert result.state_history[0][1] == INFECTIOUS

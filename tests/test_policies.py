@@ -1,0 +1,171 @@
+"""Unit tests for the paper's policy builders (Fig. 2 / Fig. 4)."""
+
+import pytest
+
+from repro.core.policies import (
+    area_policy,
+    complete_policy,
+    contact_tracing_policy,
+    full_disclosure_policy,
+    grid_policy,
+    location_set_policy,
+    random_policy,
+)
+from repro.errors import PolicyError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+class TestG1Grid:
+    def test_interior_degree_eight(self, world):
+        g1 = grid_policy(world)
+        centre = world.cell_of(3, 3)
+        assert g1.degree(centre) == 8
+
+    def test_corner_degree_three(self, world):
+        g1 = grid_policy(world)
+        assert g1.degree(0) == 3
+
+    def test_connected(self, world):
+        g1 = grid_policy(world)
+        assert len(g1.components()) == 1
+
+    def test_four_connectivity(self, world):
+        g1 = grid_policy(world, connectivity=4)
+        assert g1.degree(world.cell_of(3, 3)) == 4
+
+    def test_edges_match_map_adjacency(self, world):
+        g1 = grid_policy(world)
+        for u, v in g1.edges():
+            assert v in world.neighbors(u, connectivity=8)
+
+
+class TestG2Complete:
+    def test_complete(self):
+        g2 = complete_policy([1, 5, 9, 13])
+        assert g2.n_edges == 6
+        assert g2.diameter() == 1
+
+    def test_single_node(self):
+        g2 = complete_policy([3])
+        assert g2.n_nodes == 1 and g2.n_edges == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            complete_policy([])
+
+    def test_location_set_embeds_in_world(self, world):
+        policy = location_set_policy(world, [0, 1, 2])
+        assert policy.n_nodes == world.n_cells
+        assert policy.has_edge(0, 2)
+        assert policy.is_disclosable(35)
+
+    def test_location_set_without_rest(self, world):
+        policy = location_set_policy(world, [0, 1, 2], include_rest=False)
+        assert policy.n_nodes == 3
+
+    def test_location_set_rejects_outside_cells(self, world):
+        with pytest.raises(Exception):
+            location_set_policy(world, [999])
+
+
+class TestAreaPolicies:
+    def test_clique_within_area(self, world):
+        ga = area_policy(world, 3, 3)
+        members = [c for c in world if world.area_of(c, 3, 3) == 0]
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert ga.has_edge(u, v)
+
+    def test_no_cross_area_edges(self, world):
+        ga = area_policy(world, 3, 3)
+        for u, v in ga.edges():
+            assert world.area_of(u, 3, 3) == world.area_of(v, 3, 3)
+
+    def test_component_per_area(self, world):
+        ga = area_policy(world, 3, 3)
+        assert len(ga.components()) == 4
+
+    def test_grid_mode_sparser(self, world):
+        clique = area_policy(world, 3, 3, mode="clique")
+        sparse = area_policy(world, 3, 3, mode="grid")
+        assert sparse.n_edges < clique.n_edges
+        # but components identical
+        assert sorted(map(sorted, sparse.components())) == sorted(map(sorted, clique.components()))
+
+    def test_fine_blocks_give_more_components(self, world):
+        gb = area_policy(world, 2, 2)
+        assert len(gb.components()) == 9
+
+    def test_bad_mode(self, world):
+        with pytest.raises(PolicyError):
+            area_policy(world, 2, 2, mode="star")
+
+
+class TestGcTracing:
+    def test_infected_become_disclosable(self, world):
+        base = area_policy(world, 2, 2, name="Gb")
+        gc = contact_tracing_policy(base, [0, 1])
+        assert gc.is_disclosable(0) and gc.is_disclosable(1)
+
+    def test_others_keep_protection(self, world):
+        base = area_policy(world, 2, 2)
+        gc = contact_tracing_policy(base, [0])
+        # 0's area-mates lose only the edge to 0.
+        assert gc.degree(1) == base.degree(1) - 1
+        # a far-away cell is untouched
+        far = world.cell_of(5, 5)
+        assert gc.neighbors(far) == base.neighbors(far)
+
+    def test_unknown_infected_rejected(self, world):
+        base = area_policy(world, 2, 2)
+        with pytest.raises(PolicyError):
+            contact_tracing_policy(base, [10_000])
+
+    def test_name(self, world):
+        gc = contact_tracing_policy(area_policy(world, 2, 2), [5])
+        assert gc.name == "Gc"
+
+
+class TestRandomPolicy:
+    def test_size_and_rest(self, world):
+        policy = random_policy(world, size=10, density=0.5, rng=0)
+        assert policy.n_nodes == world.n_cells
+        protected_or_chosen = {n for n in policy.nodes if policy.degree(n) > 0}
+        assert len(protected_or_chosen) <= 10
+
+    def test_density_zero_gives_no_edges(self, world):
+        policy = random_policy(world, size=10, density=0.0, rng=0)
+        assert policy.n_edges == 0
+
+    def test_density_one_gives_clique(self, world):
+        policy = random_policy(world, size=8, density=1.0, rng=0, include_rest=False)
+        assert policy.n_edges == 8 * 7 // 2
+
+    def test_deterministic_with_seed(self, world):
+        a = random_policy(world, size=12, density=0.3, rng=42)
+        b = random_policy(world, size=12, density=0.3, rng=42)
+        assert a == b
+
+    def test_size_exceeding_world_rejected(self, world):
+        with pytest.raises(PolicyError):
+            random_policy(world, size=37, density=0.5, rng=0)
+
+    def test_single_node(self, world):
+        policy = random_policy(world, size=1, density=1.0, rng=0, include_rest=False)
+        assert policy.n_nodes == 1 and policy.n_edges == 0
+
+
+class TestFullDisclosure:
+    def test_all_isolated(self, world):
+        policy = full_disclosure_policy(world)
+        assert policy.n_edges == 0
+        assert policy.disclosable_nodes() == policy.nodes
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            full_disclosure_policy([])

@@ -1,0 +1,73 @@
+"""Unit tests for the Location Policy Configuration module."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.geo.grid import GridWorld
+from repro.server.policy_config import PolicyConfigurator
+
+
+@pytest.fixture
+def config():
+    return PolicyConfigurator(GridWorld(8, 8))
+
+
+class TestRecommendations:
+    def test_monitoring_is_ga(self, config):
+        proposal = config.recommend("monitoring")
+        assert proposal.policy.name == "Ga"
+        assert proposal.purpose == "monitoring"
+
+    def test_analysis_is_gb(self, config):
+        assert config.recommend("analysis").policy.name == "Gb"
+
+    def test_geo_ind_is_g1(self, config):
+        assert config.recommend("geo-ind").policy.name == "G1"
+
+    def test_tracing_isolates_infected(self, config):
+        proposal = config.recommend("tracing", infected_locations=[0, 1])
+        assert proposal.policy.name == "Gc"
+        assert proposal.policy.is_disclosable(0)
+        assert proposal.policy.is_disclosable(1)
+
+    def test_tracing_requires_infected(self, config):
+        with pytest.raises(PolicyError):
+            config.recommend("tracing")
+
+    def test_patient_policy_discloses_everything(self, config):
+        proposal = config.recommend("patient")
+        assert proposal.policy.n_edges == 0
+
+    def test_unknown_purpose(self, config):
+        with pytest.raises(PolicyError):
+            config.recommend("surveillance-forever")
+
+    def test_update_for_tracing_alias(self, config):
+        proposal = config.update_for_tracing([5])
+        assert proposal.purpose == "tracing"
+        assert proposal.policy.is_disclosable(5)
+
+
+class TestConsentAndVersioning:
+    def test_versions_increment(self, config):
+        first = config.recommend("monitoring")
+        second = config.recommend("analysis")
+        assert second.version == first.version + 1
+        assert config.version == second.version
+
+    def test_audit_log(self, config):
+        config.recommend("monitoring")
+        config.recommend("patient")
+        log = config.audit_log()
+        assert [(v, p) for v, p, _ in log] == [(1, "monitoring"), (2, "patient")]
+
+    def test_approve(self, config):
+        proposal = config.recommend("monitoring")
+        policy = proposal.approve()
+        assert proposal.approved is True
+        assert policy is proposal.policy
+
+    def test_reject(self, config):
+        proposal = config.recommend("monitoring")
+        proposal.reject()
+        assert proposal.approved is False

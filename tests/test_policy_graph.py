@@ -1,0 +1,156 @@
+"""Unit tests for PolicyGraph (paper Definitions 2.1-2.3)."""
+
+import math
+
+import pytest
+
+from repro.core.policy_graph import INFINITY, PolicyGraph
+from repro.errors import PolicyError
+
+
+@pytest.fixture
+def diamond():
+    # 0-1, 1-2, 2-3, 3-0 plus isolated node 4.
+    return PolicyGraph(range(5), [(0, 1), (1, 2), (2, 3), (3, 0)], name="diamond")
+
+
+class TestConstruction:
+    def test_counts(self, diamond):
+        assert diamond.n_nodes == 5
+        assert diamond.n_edges == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(PolicyError):
+            PolicyGraph([])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(PolicyError):
+            PolicyGraph([0, 1], [(0, 0)])
+
+    def test_rejects_edge_outside_nodes(self):
+        with pytest.raises(PolicyError):
+            PolicyGraph([0, 1], [(0, 2)])
+
+    def test_duplicate_edges_collapse(self):
+        graph = PolicyGraph([0, 1], [(0, 1), (1, 0), (0, 1)])
+        assert graph.n_edges == 1
+
+    def test_container_protocol(self, diamond):
+        assert 4 in diamond and 5 not in diamond
+        assert len(diamond) == 5
+        assert sorted(diamond) == [0, 1, 2, 3, 4]
+
+
+class TestDefinition22Distance:
+    def test_adjacent(self, diamond):
+        assert diamond.distance(0, 1) == 1
+
+    def test_two_hops(self, diamond):
+        assert diamond.distance(0, 2) == 2
+
+    def test_self_zero(self, diamond):
+        assert diamond.distance(2, 2) == 0
+
+    def test_disconnected_infinite(self, diamond):
+        assert diamond.distance(0, 4) == INFINITY
+        assert math.isinf(diamond.distance(0, 4))
+
+    def test_symmetric(self, diamond):
+        for u in range(4):
+            for v in range(4):
+                assert diamond.distance(u, v) == diamond.distance(v, u)
+
+    def test_unknown_node(self, diamond):
+        with pytest.raises(PolicyError):
+            diamond.distance(0, 99)
+
+
+class TestDefinition23KNeighbors:
+    def test_one_neighbors_include_self(self, diamond):
+        assert diamond.k_neighbors(0, 1) == frozenset({0, 1, 3})
+
+    def test_zero_neighbors(self, diamond):
+        assert diamond.k_neighbors(0, 0) == frozenset({0})
+
+    def test_monotone_in_k(self, diamond):
+        for k in range(3):
+            assert diamond.k_neighbors(0, k) <= diamond.k_neighbors(0, k + 1)
+
+    def test_infinity_neighbors_is_component(self, diamond):
+        assert diamond.infinity_neighbors(0) == frozenset({0, 1, 2, 3})
+        assert diamond.infinity_neighbors(4) == frozenset({4})
+
+    def test_negative_k_rejected(self, diamond):
+        with pytest.raises(PolicyError):
+            diamond.k_neighbors(0, -1)
+
+
+class TestStructure:
+    def test_components(self, diamond):
+        comps = sorted(sorted(c) for c in diamond.components())
+        assert comps == [[0, 1, 2, 3], [4]]
+
+    def test_component_of(self, diamond):
+        assert diamond.component_of(4) == frozenset({4})
+
+    def test_disclosable(self, diamond):
+        assert diamond.is_disclosable(4)
+        assert not diamond.is_disclosable(0)
+        assert diamond.disclosable_nodes() == frozenset({4})
+
+    def test_density(self, diamond):
+        assert diamond.density() == pytest.approx(4 / 10)
+
+    def test_density_single_node(self):
+        assert PolicyGraph([7]).density() == 0.0
+
+    def test_diameter(self, diamond):
+        assert diamond.diameter() == 2
+
+    def test_neighbors_and_degree(self, diamond):
+        assert diamond.neighbors(1) == frozenset({0, 2})
+        assert diamond.degree(1) == 2
+        assert diamond.has_edge(0, 1) and not diamond.has_edge(0, 2)
+
+
+class TestDerivation:
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph([0, 1, 2])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 2
+        assert not sub.has_edge(0, 2)
+
+    def test_subgraph_ignores_unknown(self, diamond):
+        sub = diamond.subgraph([0, 99])
+        assert sub.nodes == frozenset({0})
+
+    def test_subgraph_empty_rejected(self, diamond):
+        with pytest.raises(PolicyError):
+            diamond.subgraph([99])
+
+    def test_with_edges(self, diamond):
+        bigger = diamond.with_edges([(0, 2)])
+        assert bigger.has_edge(0, 2)
+        assert diamond.n_edges == 4  # original untouched
+
+    def test_without_node_edges_isolates(self, diamond):
+        stripped = diamond.without_node_edges([1])
+        assert stripped.is_disclosable(1)
+        assert stripped.has_edge(2, 3) and stripped.has_edge(3, 0)
+        assert stripped.n_edges == 2
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self, diamond):
+        clone = PolicyGraph.from_dict(diamond.to_dict())
+        assert clone == diamond
+        assert clone.name == "diamond"
+
+    def test_roundtrip_json(self, diamond):
+        clone = PolicyGraph.from_json(diamond.to_json())
+        assert clone == diamond
+
+    def test_equality_ignores_name(self):
+        a = PolicyGraph([0, 1], [(0, 1)], name="a")
+        b = PolicyGraph([0, 1], [(0, 1)], name="b")
+        assert a == b

@@ -1,0 +1,99 @@
+"""Hypothesis property tests for policy graphs.
+
+Lemma 2.1 reduces PGLP to graph-distance-scaled indistinguishability, so the
+graph distance must be a genuine extended metric and the k-neighbor sets must
+behave like closed balls.  Random Erdos-Renyi-style policies exercise both.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy_graph import INFINITY, PolicyGraph
+
+
+@st.composite
+def random_policy_graph(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible), unique=True))
+    return PolicyGraph(range(n), edges)
+
+
+@given(random_policy_graph())
+@settings(max_examples=80, deadline=None)
+def test_distance_identity_and_symmetry(graph):
+    nodes = sorted(graph.nodes)
+    for u in nodes[:5]:
+        assert graph.distance(u, u) == 0
+        for v in nodes[:5]:
+            assert graph.distance(u, v) == graph.distance(v, u)
+
+
+@given(random_policy_graph())
+@settings(max_examples=60, deadline=None)
+def test_distance_triangle_inequality(graph):
+    nodes = sorted(graph.nodes)[:6]
+    for u in nodes:
+        for v in nodes:
+            for w in nodes:
+                duv, dvw, duw = graph.distance(u, v), graph.distance(v, w), graph.distance(u, w)
+                if duv < INFINITY and dvw < INFINITY:
+                    assert duw <= duv + dvw
+
+
+@given(random_policy_graph(), st.integers(min_value=0, max_value=6))
+@settings(max_examples=80, deadline=None)
+def test_k_neighbors_are_distance_balls(graph, k):
+    source = min(graph.nodes)
+    ball = graph.k_neighbors(source, k)
+    for node in graph.nodes:
+        if graph.distance(source, node) <= k:
+            assert node in ball
+        else:
+            assert node not in ball
+
+
+@given(random_policy_graph())
+@settings(max_examples=60, deadline=None)
+def test_components_partition_nodes(graph):
+    components = graph.components()
+    union = set()
+    total = 0
+    for component in components:
+        total += len(component)
+        union |= component
+    assert union == set(graph.nodes)
+    assert total == graph.n_nodes
+
+
+@given(random_policy_graph())
+@settings(max_examples=60, deadline=None)
+def test_infinity_neighbors_match_components(graph):
+    for node in sorted(graph.nodes)[:6]:
+        assert graph.infinity_neighbors(node) == graph.component_of(node)
+
+
+@given(random_policy_graph())
+@settings(max_examples=60, deadline=None)
+def test_edges_exactly_distance_one(graph):
+    for u, v in graph.edges():
+        assert graph.distance(u, v) == 1
+    # and every distance-1 pair is an edge
+    nodes = sorted(graph.nodes)[:8]
+    for u in nodes:
+        for v in nodes:
+            if u < v and graph.distance(u, v) == 1:
+                assert graph.has_edge(u, v)
+
+
+@given(random_policy_graph())
+@settings(max_examples=60, deadline=None)
+def test_serialization_roundtrip(graph):
+    assert PolicyGraph.from_json(graph.to_json()) == graph
+
+
+@given(random_policy_graph())
+@settings(max_examples=60, deadline=None)
+def test_disclosable_iff_degree_zero(graph):
+    for node in graph.nodes:
+        assert graph.is_disclosable(node) == (graph.degree(node) == 0)

@@ -1,0 +1,210 @@
+"""Analytic verification of the paper's privacy definitions and theorems.
+
+Because every mechanism exposes a closed-form density, Definition 2.4
+({eps,G}-location privacy), Lemma 2.1 (eps * d_G for connected pairs), and
+Theorems 2.1/2.2 (implication of Geo-I and Location Set Privacy) can be
+checked *exactly* on grids of output points — no sampling slack, only float
+tolerance.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import (
+    GraphExponentialMechanism,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.policies import (
+    area_policy,
+    complete_policy,
+    contact_tracing_policy,
+    grid_policy,
+    location_set_policy,
+    random_policy,
+)
+from repro.geo.grid import GridWorld
+
+EPSILONS = [0.2, 1.0, 3.0]
+TOL = 1e-9
+
+
+def output_points(world, rng, count=60):
+    """Output locations spread well beyond the map (support is all of R^2)."""
+    span_x = world.width * world.cell_size
+    span_y = world.height * world.cell_size
+    return np.column_stack(
+        (
+            rng.uniform(-span_x, 2 * span_x, count),
+            rng.uniform(-span_y, 2 * span_y, count),
+        )
+    )
+
+
+def max_log_ratio_over_edges(world, mechanism, graph, points):
+    worst = -math.inf
+    for u, v in graph.edges():
+        for z in points:
+            ratio = math.log(mechanism.pdf(z, u)) - math.log(mechanism.pdf(z, v))
+            worst = max(worst, abs(ratio))
+    return worst
+
+
+@pytest.fixture
+def world():
+    return GridWorld(5, 5)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestDefinition24:
+    """Every pair of 1-neighbors must be eps-indistinguishable."""
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_laplace_on_g1(self, world, rng, epsilon):
+        graph = grid_policy(world)
+        mech = PolicyLaplaceMechanism(world, graph, epsilon)
+        worst = max_log_ratio_over_edges(world, mech, graph, output_points(world, rng))
+        assert worst <= epsilon + TOL
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_pim_on_g1(self, world, rng, epsilon):
+        graph = grid_policy(world)
+        mech = PolicyPlanarIsotropicMechanism(world, graph, epsilon)
+        worst = max_log_ratio_over_edges(world, mech, graph, output_points(world, rng))
+        assert worst <= epsilon + TOL
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_laplace_on_area_cliques(self, world, rng, epsilon):
+        graph = area_policy(world, 3, 3)
+        mech = PolicyLaplaceMechanism(world, graph, epsilon)
+        worst = max_log_ratio_over_edges(world, mech, graph, output_points(world, rng))
+        assert worst <= epsilon + TOL
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_pim_on_random_policy(self, world, rng, epsilon):
+        graph = random_policy(world, size=12, density=0.4, rng=5)
+        if graph.n_edges == 0:
+            pytest.skip("random draw produced an edgeless policy")
+        mech = PolicyPlanarIsotropicMechanism(world, graph, epsilon)
+        worst = max_log_ratio_over_edges(world, mech, graph, output_points(world, rng))
+        assert worst <= epsilon + TOL
+
+    @pytest.mark.parametrize("epsilon", [0.5, 2.0])
+    def test_exponential_mechanism_on_edges(self, world, epsilon):
+        graph = grid_policy(world)
+        mech = GraphExponentialMechanism(world, graph, epsilon)
+        for u, v in list(graph.edges())[:30]:
+            pmf_u = dict(zip(mech.support(u), mech.pmf(u)))
+            pmf_v = dict(zip(mech.support(v), mech.pmf(v)))
+            for cell in pmf_u:
+                ratio = math.log(pmf_u[cell]) - math.log(pmf_v[cell])
+                assert abs(ratio) <= epsilon + TOL
+
+
+class TestLemma21:
+    """Connected pairs at distance d are (eps * d)-indistinguishable."""
+
+    @pytest.mark.parametrize(
+        "factory", [PolicyLaplaceMechanism, PolicyPlanarIsotropicMechanism]
+    )
+    def test_k_hop_bound(self, world, rng, factory):
+        epsilon = 1.0
+        graph = grid_policy(world)
+        mech = factory(world, graph, epsilon)
+        points = output_points(world, rng, count=30)
+        pairs = rng.choice(world.n_cells, size=(20, 2))
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            hops = graph.distance(u, v)
+            for z in points:
+                ratio = abs(math.log(mech.pdf(z, u)) - math.log(mech.pdf(z, v)))
+                assert ratio <= epsilon * hops + TOL
+
+    def test_disconnected_pairs_unconstrained(self, world, rng):
+        # Area cliques: cross-area ratios may exceed eps (no edge, no promise).
+        epsilon = 1.0
+        graph = area_policy(world, 2, 2)
+        mech = PolicyLaplaceMechanism(world, graph, epsilon)
+        u = world.cell_of(0, 0)
+        v = world.cell_of(3, 3)  # a full 2x2 block (cell (4,4) is a singleton area)
+        assert graph.distance(u, v) == math.inf
+        worst = 0.0
+        for z in output_points(world, rng, count=200):
+            worst = max(worst, abs(math.log(mech.pdf(z, u)) - math.log(mech.pdf(z, v))))
+        assert worst > epsilon  # the policy deliberately does not protect this pair
+
+    def test_disclosable_node_released_exactly(self, world):
+        # Lemma 2.1 extreme case: isolated node -> no perturbation.
+        graph = contact_tracing_policy(grid_policy(world), [12])
+        mech = PolicyLaplaceMechanism(world, graph, epsilon=1.0)
+        release = mech.release(12, rng=0)
+        assert release.exact
+        assert release.point == world.coords(12)
+
+
+class TestTheorem21:
+    """{eps, G1}-location privacy implies eps-Geo-Indistinguishability."""
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    @pytest.mark.parametrize(
+        "factory", [PolicyLaplaceMechanism, PolicyPlanarIsotropicMechanism]
+    )
+    def test_geo_i_ratio_bound(self, world, rng, epsilon, factory):
+        graph = grid_policy(world)
+        mech = factory(world, graph, epsilon)
+        points = output_points(world, rng, count=25)
+        pairs = rng.choice(world.n_cells, size=(25, 2))
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            euclid = world.distance(u, v)
+            for z in points:
+                ratio = abs(math.log(mech.pdf(z, u)) - math.log(mech.pdf(z, v)))
+                assert ratio <= epsilon * euclid + TOL
+
+
+class TestTheorem22:
+    """{eps, G2} over a location set implies eps-Location-Set privacy."""
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_location_set_flat_bound(self, world, rng, epsilon):
+        subset = [0, 3, 7, 12, 18, 24]
+        graph = location_set_policy(world, subset)
+        mech = PolicyPlanarIsotropicMechanism(world, graph, epsilon)
+        points = output_points(world, rng, count=40)
+        for u in subset:
+            for v in subset:
+                if u == v:
+                    continue
+                for z in points:
+                    ratio = math.log(mech.pdf(z, u)) - math.log(mech.pdf(z, v))
+                    assert ratio <= epsilon + TOL
+
+    def test_complete_policy_distance_is_one(self):
+        graph = complete_policy(range(8))
+        for u in range(8):
+            for v in range(u + 1, 8):
+                assert graph.distance(u, v) == 1
+
+
+class TestGcDisclosureBoundary:
+    """Gc: infected cells leak exactly; the rest stay eps-protected."""
+
+    def test_partition_of_guarantees(self, world, rng):
+        epsilon = 1.0
+        infected = [0, 1, 5]
+        graph = contact_tracing_policy(area_policy(world, 5, 5, name="Gb"), infected)
+        mech = PolicyLaplaceMechanism(world, graph, epsilon)
+        for cell in infected:
+            assert mech.release(cell, rng=rng).exact
+        worst = max_log_ratio_over_edges(world, mech, graph, output_points(world, rng, 20))
+        assert worst <= epsilon + TOL

@@ -1,0 +1,93 @@
+"""Unit tests for policy restriction + repair (protectable graphs)."""
+
+import pytest
+
+from repro.core.policies import area_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.core.repair import restrict_policy
+from repro.errors import PolicyError
+from repro.geo.grid import GridWorld
+
+
+@pytest.fixture
+def path():
+    # 0-1-2-3-4 path plus originally-disclosable node 5.
+    return PolicyGraph(range(6), [(0, 1), (1, 2), (2, 3), (3, 4)], name="path")
+
+
+class TestRestriction:
+    def test_simple_restriction(self, path):
+        report = restrict_policy(path, [0, 1, 2])
+        assert report.graph.nodes == frozenset({0, 1, 2})
+        assert report.removed_nodes == frozenset({3, 4, 5})
+        assert not report.stranded_nodes
+        assert report.is_protectable
+
+    def test_empty_intersection_rejected(self, path):
+        with pytest.raises(PolicyError):
+            restrict_policy(path, [100, 200])
+
+    def test_originally_disclosable_stays_disclosable(self, path):
+        report = restrict_policy(path, [0, 1, 5])
+        assert report.graph.is_disclosable(5)
+        assert 5 not in report.stranded_nodes
+
+
+class TestRepair:
+    def test_stranded_node_reconnected(self, path):
+        # Feasible {0, 2, 4}: all three lose their neighbors.
+        report = restrict_policy(path, [0, 2, 4])
+        assert report.stranded_nodes == frozenset({0, 2, 4})
+        assert report.added_edges  # repair happened
+        assert report.is_protectable
+        for node in (0, 2, 4):
+            assert not report.graph.is_disclosable(node)
+
+    def test_repair_prefers_nearest(self, path):
+        report = restrict_policy(path, [0, 2, 3])
+        # 0 is stranded; nearest feasible in its component is 2 (d=2) not 3.
+        assert (0, 2) in report.added_edges
+
+    def test_no_repair_flag(self, path):
+        report = restrict_policy(path, [0, 2, 4], repair=False)
+        assert not report.added_edges
+        assert report.unprotectable_nodes == frozenset({0, 2, 4})
+        assert not report.is_protectable
+
+    def test_unprotectable_when_component_gone(self):
+        graph = PolicyGraph(range(4), [(0, 1), (2, 3)])
+        # Only node 0 of component {0,1} is feasible; 2-3 survive whole.
+        report = restrict_policy(graph, [0, 2, 3])
+        assert 0 in report.stranded_nodes
+        assert 0 in report.unprotectable_nodes
+        assert not report.is_protectable
+
+    def test_repair_edges_land_in_graph(self, path):
+        report = restrict_policy(path, [0, 2, 4])
+        for u, v in report.added_edges:
+            assert report.graph.has_edge(u, v)
+
+
+class TestRealPolicies:
+    def test_grid_policy_restriction_connected_region(self):
+        world = GridWorld(5, 5)
+        g1 = grid_policy(world)
+        block = [world.cell_of(r, c) for r in range(2) for c in range(2)]
+        report = restrict_policy(g1, block)
+        assert report.is_protectable
+        assert len(report.graph.components()) == 1
+
+    def test_area_policy_restriction_across_areas(self):
+        world = GridWorld(4, 4)
+        ga = area_policy(world, 2, 2)
+        # One feasible cell per area: all four stranded, each unprotectable
+        # (their area-mates are infeasible).
+        feasible = [world.cell_of(0, 0), world.cell_of(0, 2), world.cell_of(2, 0), world.cell_of(2, 2)]
+        report = restrict_policy(ga, feasible)
+        assert report.stranded_nodes == frozenset(feasible)
+        assert report.unprotectable_nodes == frozenset(feasible)
+
+    def test_deterministic(self, path):
+        a = restrict_policy(path, [0, 2, 4])
+        b = restrict_policy(path, [0, 2, 4])
+        assert a.added_edges == b.added_edges

@@ -1,0 +1,105 @@
+"""Unit tests for ResultTable."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.reporting import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(["policy", "epsilon", "error"], title="demo")
+    t.add_row("G1", 0.5, 2.0)
+    t.add_row("G1", 1.0, 1.0)
+    t.add_row("Ga", 0.5, 8.0)
+    return t
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ValidationError):
+            ResultTable([])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            ResultTable(["a", "a"])
+
+
+class TestRows:
+    def test_positional(self, table):
+        assert len(table) == 3
+        assert table.rows[0] == ("G1", 0.5, 2.0)
+
+    def test_named(self):
+        t = ResultTable(["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows == [(1, 2)]
+
+    def test_mixed_rejected(self):
+        t = ResultTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.add_row(1, b=2)
+
+    def test_wrong_arity(self):
+        t = ResultTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.add_row(1)
+
+    def test_named_mismatch(self):
+        t = ResultTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.add_row(a=1, c=2)
+
+
+class TestQueries:
+    def test_column(self, table):
+        assert table.column("policy") == ["G1", "G1", "Ga"]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(ValidationError):
+            table.column("nope")
+
+    def test_where(self, table):
+        filtered = table.where(policy="G1")
+        assert len(filtered) == 2
+        both = table.where(policy="G1", epsilon=0.5)
+        assert len(both) == 1
+
+    def test_group_by(self, table):
+        groups = table.group_by("policy")
+        assert set(groups) == {"G1", "Ga"}
+        assert len(groups["G1"]) == 2
+
+    def test_sort_by(self, table):
+        ordered = table.sort_by("epsilon", "policy")
+        assert ordered.column("epsilon") == [0.5, 0.5, 1.0]
+
+    def test_to_dicts(self, table):
+        dicts = table.to_dicts()
+        assert dicts[0] == {"policy": "G1", "epsilon": 0.5, "error": 2.0}
+
+    def test_map_column(self, table):
+        doubled = table.map_column("error", lambda e: e * 2)
+        assert doubled.column("error") == [4.0, 2.0, 16.0]
+        assert table.column("error") == [2.0, 1.0, 8.0]  # original intact
+
+
+class TestRendering:
+    def test_pretty_contains_title_and_rows(self, table):
+        text = table.pretty()
+        assert "== demo ==" in text
+        assert "policy" in text and "G1" in text and "Ga" in text
+
+    def test_pretty_aligns(self, table):
+        lines = table.pretty().splitlines()
+        header, separator = lines[1], lines[2]
+        assert len(header) == len(separator)
+
+    def test_csv(self, table):
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "policy,epsilon,error"
+        assert csv.splitlines()[1] == "G1,0.5,2.0"
+
+    def test_empty_table_pretty(self):
+        t = ResultTable(["x"])
+        assert "x" in t.pretty()

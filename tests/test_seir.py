@@ -1,0 +1,93 @@
+"""Unit tests for the SEIR model and beta fitting."""
+
+import numpy as np
+import pytest
+
+from repro.epidemic.seir import SEIRModel, fit_beta
+from repro.errors import ValidationError
+
+
+class TestModel:
+    def test_r0(self):
+        assert SEIRModel(beta=0.4, sigma=0.2, gamma=0.1).r0 == pytest.approx(4.0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValidationError):
+            SEIRModel(beta=-0.1, sigma=0.2, gamma=0.1)
+        with pytest.raises(ValidationError):
+            SEIRModel(beta=0.1, sigma=0.0, gamma=0.1)
+        with pytest.raises(ValidationError):
+            SEIRModel(beta=0.1, sigma=0.2, gamma=0.0)
+
+
+class TestSimulation:
+    def test_population_conserved(self):
+        model = SEIRModel(beta=0.5, sigma=0.25, gamma=0.1)
+        run = model.simulate(s0=990, e0=0, i0=10, steps=200)
+        totals = run.susceptible + run.exposed + run.infectious + run.recovered
+        assert np.allclose(totals, 1000, rtol=1e-6)
+
+    def test_susceptible_monotone_decreasing(self):
+        model = SEIRModel(beta=0.5, sigma=0.25, gamma=0.1)
+        run = model.simulate(s0=990, e0=0, i0=10, steps=200)
+        assert np.all(np.diff(run.susceptible) <= 1e-9)
+
+    def test_recovered_monotone_increasing(self):
+        model = SEIRModel(beta=0.5, sigma=0.25, gamma=0.1)
+        run = model.simulate(s0=990, e0=0, i0=10, steps=200)
+        assert np.all(np.diff(run.recovered) >= -1e-9)
+
+    def test_epidemic_grows_iff_r0_above_one(self):
+        growing = SEIRModel(beta=0.5, sigma=0.5, gamma=0.1)
+        run = growing.simulate(s0=9_990, e0=0, i0=10, steps=400)
+        assert run.infectious.max() > 50
+
+        dying = SEIRModel(beta=0.05, sigma=0.5, gamma=0.1)
+        run = dying.simulate(s0=9_990, e0=0, i0=10, steps=400)
+        assert run.infectious.max() <= 10 + 1e-6
+
+    def test_incidence_non_negative(self):
+        model = SEIRModel(beta=0.4, sigma=0.3, gamma=0.1)
+        run = model.simulate(s0=500, e0=0, i0=5, steps=100)
+        assert np.all(run.incidence >= 0)
+        assert len(run.incidence) == 100
+
+    def test_zero_beta_no_new_infections(self):
+        model = SEIRModel(beta=0.0, sigma=0.3, gamma=0.1)
+        run = model.simulate(s0=100, e0=0, i0=5, steps=50)
+        assert np.allclose(run.incidence, 0.0)
+
+    def test_validation(self):
+        model = SEIRModel(beta=0.4, sigma=0.3, gamma=0.1)
+        with pytest.raises(ValidationError):
+            model.simulate(s0=-1, e0=0, i0=1, steps=10)
+        with pytest.raises(ValidationError):
+            model.simulate(s0=1, e0=0, i0=1, steps=0)
+        with pytest.raises(ValidationError):
+            model.simulate(s0=1, e0=0, i0=1, steps=10, dt=0)
+
+    def test_population_property(self):
+        run = SEIRModel(beta=0.4, sigma=0.3, gamma=0.1).simulate(90, 5, 5, steps=10)
+        assert run.population == pytest.approx(100)
+
+
+class TestFitBeta:
+    def test_recovers_known_beta(self):
+        true = SEIRModel(beta=0.45, sigma=0.25, gamma=0.1)
+        run = true.simulate(s0=999, e0=0, i0=1, steps=120)
+        recovered = fit_beta(run.incidence, population=1000, sigma=0.25, gamma=0.1)
+        assert recovered == pytest.approx(0.45, rel=0.05)
+
+    def test_r0_recovery(self):
+        true = SEIRModel(beta=0.3, sigma=0.25, gamma=0.1)
+        run = true.simulate(s0=999, e0=0, i0=1, steps=150)
+        beta = fit_beta(run.incidence, population=1000, sigma=0.25, gamma=0.1)
+        assert beta / 0.1 == pytest.approx(true.r0, rel=0.05)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValidationError):
+            fit_beta(np.array([1.0]), population=100, sigma=0.2, gamma=0.1)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValidationError):
+            fit_beta(np.array([1.0, 2.0]), population=0, sigma=0.2, gamma=0.1)

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the epidemic substrate.
+
+SEIR conservation / monotonicity under random rates, the outbreak
+simulation's bookkeeping invariants, and the ledger's additivity — the
+quantities the R0 and tracing experiments implicitly trust.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accounting import BudgetLedger
+from repro.epidemic.outbreak import simulate_outbreak
+from repro.epidemic.seir import SEIRModel
+from repro.mobility.trajectory import TraceDB, Trajectory
+
+rates = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+@given(beta=st.floats(0.0, 2.0), sigma=rates, gamma=rates, i0=st.floats(1.0, 50.0))
+@settings(max_examples=60, deadline=None)
+def test_seir_conserves_population(beta, sigma, gamma, i0):
+    model = SEIRModel(beta=beta, sigma=sigma, gamma=gamma)
+    run = model.simulate(s0=1000.0 - i0, e0=0.0, i0=i0, steps=80)
+    totals = run.susceptible + run.exposed + run.infectious + run.recovered
+    assert np.allclose(totals, 1000.0, rtol=1e-6)
+
+
+@given(beta=st.floats(0.0, 2.0), sigma=rates, gamma=rates)
+@settings(max_examples=60, deadline=None)
+def test_seir_susceptible_never_increases(beta, sigma, gamma):
+    model = SEIRModel(beta=beta, sigma=sigma, gamma=gamma)
+    run = model.simulate(s0=990.0, e0=0.0, i0=10.0, steps=80)
+    assert np.all(np.diff(run.susceptible) <= 1e-9)
+    assert np.all(np.diff(run.recovered) >= -1e-9)
+
+
+@given(beta=st.floats(0.0, 2.0), sigma=rates, gamma=rates)
+@settings(max_examples=60, deadline=None)
+def test_seir_compartments_stay_non_negative(beta, sigma, gamma):
+    model = SEIRModel(beta=beta, sigma=sigma, gamma=gamma)
+    run = model.simulate(s0=500.0, e0=20.0, i0=5.0, steps=120)
+    for series in (run.susceptible, run.exposed, run.infectious, run.recovered):
+        assert np.all(series >= -1e-9)
+
+
+@st.composite
+def small_population(draw):
+    n_users = draw(st.integers(2, 6))
+    horizon = draw(st.integers(3, 12))
+    trajectories = []
+    for user in range(n_users):
+        cells = draw(st.lists(st.integers(0, 3), min_size=horizon, max_size=horizon))
+        trajectories.append(Trajectory(user, cells))
+    return TraceDB.from_trajectories(trajectories)
+
+
+@given(small_population(), st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_outbreak_infections_only_from_colocation(db, p_transmit, seed):
+    result = simulate_outbreak(db, seeds=[0], p_transmit=p_transmit, rng=seed)
+    for event in result.events:
+        assert db.location(event.source, event.time) == event.cell
+        assert db.location(event.target, event.time) == event.cell
+
+
+@given(small_population(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_outbreak_each_user_infected_at_most_once(db, seed):
+    result = simulate_outbreak(db, seeds=[0], p_transmit=0.7, rng=seed)
+    targets = [event.target for event in result.events]
+    assert len(targets) == len(set(targets))
+    assert 0 not in targets  # the seed is never re-infected
+
+
+@given(small_population(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_outbreak_attack_rate_bounds(db, seed):
+    result = simulate_outbreak(db, seeds=[0], p_transmit=0.5, rng=seed)
+    assert 1 / len(db.users()) <= result.attack_rate <= 1.0
+    assert result.incidence().sum() == len(result.events)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 10), st.floats(0.0, 2.0)),
+        max_size=40,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_ledger_total_is_sum_of_user_totals(charges):
+    ledger = BudgetLedger()
+    for user, time, epsilon in charges:
+        ledger.charge(user, time, epsilon)
+    per_user = sum(ledger.spent(user) for user in ledger.users())
+    assert per_user == pytest.approx(ledger.total_spent())

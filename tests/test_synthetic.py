@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic Geolife/Gowalla stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like, gowalla_like, random_waypoint
+
+
+@pytest.fixture
+def world():
+    return GridWorld(8, 8)
+
+
+class TestGeolifeLike:
+    def test_shape(self, world):
+        db = geolife_like(world, n_users=5, horizon=48, rng=0)
+        assert db.users() == frozenset(range(5))
+        for user in range(5):
+            assert len(db.user_history(user)) == 48
+
+    def test_deterministic(self, world):
+        a = geolife_like(world, n_users=3, horizon=24, rng=7)
+        b = geolife_like(world, n_users=3, horizon=24, rng=7)
+        assert list(a.checkins()) == list(b.checkins())
+
+    def test_moves_are_grid_steps(self, world):
+        db = geolife_like(world, n_users=4, horizon=48, rng=1)
+        for user in range(4):
+            cells = [c.cell for c in db.user_history(user)]
+            for src, dst in zip(cells, cells[1:]):
+                assert dst in set(world.neighbors(src)) | {src}
+
+    def test_commuters_revisit(self, world):
+        # Two weeks of commuting should visit far fewer distinct cells than
+        # timesteps — the revisit structure real Geolife shows.
+        db = geolife_like(world, n_users=5, horizon=14 * 24, rng=2)
+        for user in range(5):
+            distinct = len(db.cells_visited(user))
+            assert distinct < 14 * 24 / 4
+
+    def test_shared_hubs_create_colocations(self, world):
+        db = geolife_like(world, n_users=20, horizon=72, rng=3, n_work_hubs=2)
+        assert db.total_colocation_events() > 0
+
+    def test_schedule_validation(self, world):
+        with pytest.raises(ValidationError):
+            geolife_like(world, work_start=10, work_end=9, rng=0)
+
+    def test_bad_counts(self, world):
+        with pytest.raises(ValidationError):
+            geolife_like(world, n_users=0, rng=0)
+
+
+class TestGowallaLike:
+    def test_checkin_count(self, world):
+        db = gowalla_like(world, n_users=10, checkins_per_user=20, horizon=100, rng=0)
+        assert len(db) == 200
+        for user in range(10):
+            assert len(db.user_history(user)) == 20
+
+    def test_at_most_one_checkin_per_step(self, world):
+        db = gowalla_like(world, n_users=5, checkins_per_user=30, horizon=60, rng=1)
+        for user in range(5):
+            times = [c.time for c in db.user_history(user)]
+            assert len(times) == len(set(times))
+
+    def test_popularity_heavy_tailed(self, world):
+        db = gowalla_like(world, n_users=60, checkins_per_user=30, horizon=200, rng=2)
+        counts = {}
+        for checkin in db.checkins():
+            counts[checkin.cell] = counts.get(checkin.cell, 0) + 1
+        frequencies = sorted(counts.values(), reverse=True)
+        total = sum(frequencies)
+        # Top 10% of visited cells should hold a large share of check-ins.
+        top = frequencies[: max(1, len(frequencies) // 10)]
+        assert sum(top) / total > 0.3
+
+    def test_horizon_must_fit_checkins(self, world):
+        with pytest.raises(ValidationError):
+            gowalla_like(world, n_users=2, checkins_per_user=50, horizon=20, rng=0)
+
+    def test_deterministic(self, world):
+        a = gowalla_like(world, n_users=4, checkins_per_user=5, horizon=50, rng=9)
+        b = gowalla_like(world, n_users=4, checkins_per_user=5, horizon=50, rng=9)
+        assert list(a.checkins()) == list(b.checkins())
+
+
+class TestRandomWaypoint:
+    def test_shape(self, world):
+        db = random_waypoint(world, n_users=4, horizon=30, rng=0)
+        assert db.users() == frozenset(range(4))
+        for user in range(4):
+            assert len(db.user_history(user)) == 30
+
+    def test_moves_are_grid_steps(self, world):
+        db = random_waypoint(world, n_users=3, horizon=40, rng=1)
+        for user in range(3):
+            cells = [c.cell for c in db.user_history(user)]
+            for src, dst in zip(cells, cells[1:]):
+                assert dst in set(world.neighbors(src)) | {src}
+
+    def test_covers_more_ground_than_commuters(self, world):
+        waypoint = random_waypoint(world, n_users=5, horizon=200, rng=2, pause=0)
+        commuter = geolife_like(world, n_users=5, horizon=200, rng=2)
+        waypoint_cells = np.mean([len(waypoint.cells_visited(u)) for u in range(5)])
+        commuter_cells = np.mean([len(commuter.cells_visited(u)) for u in range(5)])
+        assert waypoint_cells > commuter_cells

@@ -1,0 +1,124 @@
+"""Unit tests for the temporal releaser (delta sets + repair loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import grid_policy
+from repro.core.temporal import TemporalReleaser
+from repro.errors import PolicyError
+from repro.geo.grid import GridWorld
+from repro.mobility.markov import MarkovModel
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def markov(world):
+    return MarkovModel.lazy_walk(world, p_stay=0.5)
+
+
+@pytest.fixture
+def releaser(world, markov):
+    return TemporalReleaser(
+        world,
+        grid_policy(world),
+        markov,
+        PolicyLaplaceMechanism,
+        epsilon=1.0,
+        delta=0.1,
+    )
+
+
+class TestStep:
+    def test_step_produces_record(self, releaser):
+        record = releaser.step(14, rng=0)
+        assert record.true_cell == 14
+        assert record.delta_set
+        assert record.release.point is not None
+        assert len(releaser.history) == 1
+
+    def test_delta_zero_keeps_whole_support(self, world, markov):
+        releaser = TemporalReleaser(
+            world, grid_policy(world), markov, PolicyLaplaceMechanism, 1.0, delta=0.0
+        )
+        record = releaser.step(0, rng=0)
+        # Stationary prior of the lazy walk is strictly positive everywhere.
+        assert len(record.delta_set) == world.n_cells
+        assert not record.used_surrogate
+
+    def test_surrogate_used_when_truth_outside_set(self, world, markov):
+        releaser = TemporalReleaser(
+            world, grid_policy(world), markov, PolicyLaplaceMechanism, 1.0, delta=0.6
+        )
+        # Huge delta -> tiny set; a far-away truth must be substituted.
+        record = releaser.step(0, rng=0)
+        if 0 not in record.delta_set:
+            assert record.used_surrogate
+            assert record.input_cell in record.delta_set
+
+    def test_surrogate_is_nearest(self, world, markov, releaser):
+        record = releaser.step(14, rng=0)
+        if record.used_surrogate:
+            nearest = min(
+                record.delta_set,
+                key=lambda c: (world.distance(record.true_cell, c), c),
+            )
+            assert record.input_cell == nearest
+
+    def test_cell_outside_policy_rejected(self, world, markov):
+        from repro.core.policy_graph import PolicyGraph
+
+        policy = PolicyGraph([0, 1], [(0, 1)])
+        releaser = TemporalReleaser(world, policy, markov, PolicyLaplaceMechanism, 1.0)
+        with pytest.raises(PolicyError):
+            releaser.step(20, rng=0)
+
+
+class TestRunAndMetrics:
+    def test_run_full_trajectory(self, world, markov, releaser):
+        trajectory = markov.sample_trajectory(14, 10, rng=1)
+        records = releaser.run(trajectory.cells, rng=2)
+        assert len(records) == 10
+        assert releaser.mean_utility_error() > 0
+        assert 0.0 <= releaser.surrogate_rate() <= 1.0
+
+    def test_metrics_require_history(self, releaser):
+        with pytest.raises(PolicyError):
+            releaser.mean_utility_error()
+        with pytest.raises(PolicyError):
+            releaser.surrogate_rate()
+
+    def test_filter_tightens_over_time(self, world, markov, releaser):
+        # Releasing from a fixed cell should shrink the delta set.
+        rng = np.random.default_rng(3)
+        sizes = [len(releaser.step(14, rng=rng).delta_set) for _ in range(8)]
+        assert sizes[-1] <= sizes[0]
+
+    def test_repair_keeps_nodes_protected(self, world, markov):
+        # With repair on, no originally protected node in the feasible set
+        # becomes disclosable.
+        releaser = TemporalReleaser(
+            world, grid_policy(world), markov, PolicyLaplaceMechanism, 1.0, delta=0.3
+        )
+        rng = np.random.default_rng(4)
+        for _ in range(6):
+            record = releaser.step(20, rng=rng)
+            for node in record.repair.graph.nodes:
+                if not record.repair.graph.is_disclosable(node):
+                    continue
+                # Any disclosable node must be unprotectable (reported), not silent.
+                assert node in record.repair.unprotectable_nodes
+
+    def test_deterministic_given_seed(self, world, markov):
+        def run():
+            releaser = TemporalReleaser(
+                world, grid_policy(world), markov, PolicyLaplaceMechanism, 1.0, delta=0.1
+            )
+            releaser.run([14, 15, 16], rng=9)
+            return [r.release.point for r in releaser.history]
+
+        assert run() == run()

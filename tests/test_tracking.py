@@ -1,0 +1,99 @@
+"""Unit tests for the trajectory-tracking adversary."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.tracking import TrajectoryAttacker
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.core.policies import grid_policy
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.markov import MarkovModel
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def markov(world):
+    return MarkovModel.lazy_walk(world, p_stay=0.5)
+
+
+@pytest.fixture
+def mechanism(world):
+    return PolicyLaplaceMechanism(world, grid_policy(world), epsilon=2.0)
+
+
+class TestValidation:
+    def test_length_mismatch(self, world, markov, mechanism):
+        attacker = TrajectoryAttacker(world, markov)
+        release = mechanism.release(0, rng=0)
+        with pytest.raises(ValidationError):
+            attacker.track([release], mechanism, [0, 1])
+
+    def test_empty_rejected(self, world, markov, mechanism):
+        attacker = TrajectoryAttacker(world, markov)
+        with pytest.raises(ValidationError):
+            attacker.track([], mechanism, [])
+
+    def test_mechanism_list_length(self, world, markov, mechanism):
+        attacker = TrajectoryAttacker(world, markov)
+        release = mechanism.release(0, rng=0)
+        with pytest.raises(ValidationError):
+            attacker.track([release, release], [mechanism], [0, 0])
+
+
+class TestTracking:
+    def test_result_shape(self, world, markov, mechanism):
+        rng = np.random.default_rng(1)
+        cells = markov.sample_trajectory(14, 8, rng=rng).cells
+        releases = [mechanism.release(cell, rng=rng) for cell in cells]
+        attacker = TrajectoryAttacker(world, markov)
+        result = attacker.track(releases, mechanism, cells)
+        assert len(result.estimates) == len(result.errors) == 8
+        assert result.mean_error == pytest.approx(float(np.mean(result.errors)))
+        assert result.final_error == result.errors[-1]
+
+    def test_filtering_beats_single_release_attack(self, world, markov):
+        # Averaged over trajectories, the tracking attacker's error should
+        # not exceed an attacker that forgets the past (memoryless posterior
+        # with the stationary prior each step).
+        from repro.adversary.inference import BayesianAttacker
+
+        mechanism = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=1.0)
+        rng = np.random.default_rng(2)
+        stationary = markov.stationary()
+        tracking_errors = []
+        memoryless_errors = []
+        for _ in range(6):
+            cells = markov.sample_trajectory(int(rng.integers(36)), 10, rng=rng).cells
+            releases = [mechanism.release(cell, rng=rng) for cell in cells]
+            tracker = TrajectoryAttacker(world, markov)
+            tracking_errors.append(tracker.track(releases, mechanism, cells).mean_error)
+            single = BayesianAttacker(world, mechanism, prior=stationary)
+            memoryless_errors.append(
+                np.mean(
+                    [single.inference_error(rel, cell) for rel, cell in zip(releases, cells)]
+                )
+            )
+        assert np.mean(tracking_errors) <= np.mean(memoryless_errors) + 0.1
+
+    def test_high_budget_tracks_closely(self, world, markov):
+        mechanism = PolicyLaplaceMechanism(world, grid_policy(world), epsilon=10.0)
+        rng = np.random.default_rng(3)
+        cells = markov.sample_trajectory(14, 10, rng=rng).cells
+        releases = [mechanism.release(cell, rng=rng) for cell in cells]
+        result = TrajectoryAttacker(world, markov).track(releases, mechanism, cells)
+        assert result.mean_error < 1.5
+
+    def test_per_step_mechanisms(self, world, markov):
+        # Dynamic policies: a different mechanism per step must be accepted.
+        rng = np.random.default_rng(4)
+        policies = [grid_policy(world), grid_policy(world, connectivity=4)]
+        mechanisms = [PolicyLaplaceMechanism(world, p, 1.0) for p in policies]
+        cells = [14, 15]
+        releases = [m.release(c, rng=rng) for m, c in zip(mechanisms, cells)]
+        result = TrajectoryAttacker(world, markov).track(releases, mechanisms, cells)
+        assert len(result.errors) == 2

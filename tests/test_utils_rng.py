@@ -1,0 +1,58 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent_of_order(self):
+        # Same parent seed -> same children streams, irrespective of which
+        # child is drawn from first.
+        first = spawn_rngs(7, 3)
+        second = spawn_rngs(7, 3)
+        values_first = [g.random() for g in first]
+        values_second = [g.random() for g in reversed(second)][::-1]
+        assert values_first == pytest.approx(values_second)
+
+    def test_children_mutually_distinct(self):
+        children = spawn_rngs(9, 4)
+        draws = [g.random(3).tolist() for g in children]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert draws[i] != draws[j]

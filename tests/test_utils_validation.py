@@ -1,0 +1,104 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_epsilon,
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(0.5) == 0.5
+
+    def test_accepts_integer_input(self):
+        assert check_epsilon(2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError):
+            check_epsilon(bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValidationError):
+            check_epsilon(bad)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_epsilon("large")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValidationError):
+            check_probability("p", bad)
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="p_transmit"):
+            check_probability("p_transmit", 2.0)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive("x", 1e-9) == 1e-9
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("x", 3, 3, 5) == 3.0
+        assert check_in_range("x", 5, 3, 5) == 5.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 2.999, 3, 5)
+
+
+class TestCheckInteger:
+    def test_accepts(self):
+        assert check_integer("n", 7) == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 3.0)
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 0, minimum=1)
+        assert check_integer("n", 1, minimum=1) == 1
+
+    def test_error_is_value_error(self):
+        # ValidationError doubles as ValueError for stdlib interop.
+        with pytest.raises(ValueError):
+            check_epsilon(-1)
+        assert not math.isnan(check_epsilon(1.0))

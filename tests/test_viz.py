@@ -1,0 +1,86 @@
+"""Unit tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import contact_tracing_policy, grid_policy
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+from repro.viz import render_cells, render_heatmap, render_policy
+
+
+@pytest.fixture
+def world():
+    return GridWorld(4, 3)
+
+
+class TestRenderPolicy:
+    def test_dimensions(self, world):
+        text = render_policy(world, grid_policy(world))
+        lines = text.splitlines()
+        assert len(lines) == world.height + 1  # rows + legend
+        assert all(len(line.split()) == world.width for line in lines[:-1])
+
+    def test_disclosable_marked(self, world):
+        policy = contact_tracing_policy(grid_policy(world), [0])
+        text = render_policy(world, policy)
+        # Cell 0 is row 0 (southmost) col 0 -> bottom-left of the render.
+        bottom = text.splitlines()[world.height - 1]
+        assert bottom.split()[0] == "X"
+
+    def test_outside_policy_dots(self, world):
+        policy = PolicyGraph([0, 1], [(0, 1)])
+        text = render_policy(world, policy)
+        assert "." in text
+
+    def test_degree_glyphs(self, world):
+        from repro.core.policies import complete_policy
+
+        policy = complete_policy(list(world))  # degree 11 -> letter glyph
+        text = render_policy(world, policy)
+        assert "b" in text  # degree 11 -> 'b'
+
+    def test_too_wide_rejected(self):
+        wide = GridWorld(50, 2)
+        with pytest.raises(ValidationError):
+            render_policy(wide, grid_policy(wide))
+
+
+class TestRenderHeatmap:
+    def test_dimensions(self, world):
+        values = np.linspace(0, 1, world.n_cells)
+        lines = render_heatmap(world, values).splitlines()
+        assert len(lines) == world.height
+        assert all(len(line) == world.width for line in lines)
+
+    def test_extremes_get_extreme_shades(self, world):
+        values = np.zeros(world.n_cells)
+        values[world.cell_of(2, 3)] = 1.0  # top-right in render
+        text = render_heatmap(world, values)
+        assert text.splitlines()[0][-1] == "@"
+        assert " " in text
+
+    def test_constant_values(self, world):
+        text = render_heatmap(world, np.ones(world.n_cells))
+        assert set("".join(text.splitlines())) == {" "}
+
+    def test_shape_checked(self, world):
+        with pytest.raises(ValidationError):
+            render_heatmap(world, np.zeros(5))
+
+
+class TestRenderCells:
+    def test_markers(self, world):
+        text = render_cells(world, [0, 1], marker="#")
+        bottom = text.splitlines()[-1]
+        assert bottom.startswith("##")
+        assert text.count("#") == 2
+
+    def test_empty_set(self, world):
+        text = render_cells(world, [])
+        assert set("".join(text.splitlines())) == {"."}
+
+    def test_bad_cell_rejected(self, world):
+        with pytest.raises(Exception):
+            render_cells(world, [999])
