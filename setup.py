@@ -1,7 +1,36 @@
-"""Setup shim for legacy editable installs (offline environments without
-the ``wheel`` package, where PEP 660 editable builds are unavailable).
-All metadata lives in pyproject.toml."""
+"""Packaging metadata for the PANDA / PGLP reproduction.
 
-from setuptools import setup
+The version is sourced from ``repro.__version__`` (read textually so a
+build does not need numpy importable), and the numpy dependency is declared
+so ``pip install -e .`` is reproducible in a fresh environment.  scipy is
+optional: only the LP-optimal ablation mechanism and some goodness-of-fit
+tests need it.
+"""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="repro-panda",
+    version=_VERSION,
+    description=(
+        "PANDA: policy-aware location privacy for epidemic surveillance "
+        "(PGLP reproduction with a batched PrivacyEngine)"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "lp": ["scipy>=1.8"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "scipy>=1.8"],
+    },
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -3,17 +3,39 @@
 A full reproduction of the VLDB 2020 demo by Cao, Takagi, Xiao, Xiong and
 Yoshikawa: PGLP (policy-graph location privacy) mechanisms, the policy
 menagerie of the paper's figures, a mobility + adversary + epidemic substrate,
-and the client/server surveillance pipeline.
+and the client/server surveillance pipeline — fronted by a batched,
+spec-driven :class:`PrivacyEngine` built for population-scale workloads.
 
 Quickstart::
 
-    from repro import GridWorld, grid_policy, PolicyLaplaceMechanism
+    import numpy as np
+    from repro import PrivacyEngine, GridWorld
 
     world = GridWorld(10, 10)
-    policy = grid_policy(world)          # G1: implies Geo-Indistinguishability
-    mech = PolicyLaplaceMechanism(world, policy, epsilon=1.0)
-    release = mech.release(world.cell_of(5, 5), rng=7)
+    engine = PrivacyEngine.from_spec(
+        world, mechanism="planar_laplace", policy="G1", epsilon=1.0
+    )
+
+    # One call releases a whole population (structure-of-arrays batch);
+    # a seeded batch reproduces sequential scalar releases exactly.
+    cells = np.arange(world.n_cells)
+    batch = engine.release_batch(cells, rng=7)
+    print(batch.points.shape, int(batch.exact.sum()), batch.epsilons.sum())
+
+    # The adversary/filtering stack consumes whole likelihood matrices.
+    likelihood = engine.pdf_matrix(batch.points)     # (100, 100)
+
+    # Scalar ergonomics remain for notebook use:
+    release = engine.release(world.cell_of(5, 5), rng=7)
     print(release.point, release.exact)
+
+Mechanism and policy names resolve through :mod:`repro.engine.registry`
+(``planar_laplace`` / ``P-LM``, ``planar_isotropic`` / ``P-PIM``,
+``graph_exponential``, ``geo_indistinguishability`` / ``Geo-I``,
+``optimal_lp``; policies ``G1``, ``G2``, ``Ga``, ``Gb``, ``Gc``), so
+experiments, the CLI and saved configs all describe engines the same way.
+Lower-level building blocks (``grid_policy``, ``PolicyLaplaceMechanism``,
+...) stay public for direct use.
 """
 
 from repro.errors import (
@@ -38,6 +60,7 @@ from repro.core import (
     location_set_policy,
     Mechanism,
     Release,
+    ReleaseBatch,
     PolicyLaplaceMechanism,
     PolicyPlanarIsotropicMechanism,
     GraphExponentialMechanism,
@@ -92,7 +115,18 @@ from repro.server import (
     Client,
     Server,
     run_release_rounds,
+    run_release_rounds_batched,
     TransparencyLog,
+)
+from repro.engine import (
+    PrivacyEngine,
+    EngineSpec,
+    MechanismSpec,
+    PolicySpec,
+    register_mechanism,
+    register_policy,
+    mechanism_names,
+    policy_names,
 )
 
 __version__ = "1.0.0"
@@ -124,6 +158,7 @@ __all__ = [
     "location_set_policy",
     "Mechanism",
     "Release",
+    "ReleaseBatch",
     "PolicyLaplaceMechanism",
     "PolicyPlanarIsotropicMechanism",
     "GraphExponentialMechanism",
@@ -174,5 +209,15 @@ __all__ = [
     "Client",
     "Server",
     "run_release_rounds",
+    "run_release_rounds_batched",
     "TransparencyLog",
+    # engine
+    "PrivacyEngine",
+    "EngineSpec",
+    "MechanismSpec",
+    "PolicySpec",
+    "register_mechanism",
+    "register_policy",
+    "mechanism_names",
+    "policy_names",
 ]

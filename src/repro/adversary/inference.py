@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
 from repro.errors import ValidationError
 from repro.geo.grid import GridWorld
 
@@ -62,7 +62,7 @@ class BayesianAttacker:
             out = np.zeros(n)
             out[self.world.snap(release.point)] = 1.0
             return out
-        likelihood = self.mechanism.pdf_vector(release.point, list(range(n)))
+        likelihood = self.mechanism.pdf_matrix(np.asarray(release.point, dtype=float))[0]
         unnormalised = self.prior * likelihood
         total = unnormalised.sum()
         if total <= 0:
@@ -73,6 +73,42 @@ class BayesianAttacker:
                 raise ValidationError("release impossible under every cell")
             return likelihood / total
         return unnormalised / total
+
+    def posterior_batch(self, batch: ReleaseBatch) -> np.ndarray:
+        """``(len(batch), n_cells)`` posteriors, one row per release.
+
+        The batched counterpart of :meth:`posterior`: one
+        :meth:`~repro.core.mechanisms.Mechanism.pdf_matrix` call supplies all
+        likelihoods, exact releases collapse to one-hot rows, and rows whose
+        prior excludes the observation fall back to likelihood-only
+        inference — the same semantics as the scalar path, row by row.
+        """
+        n = self.world.n_cells
+        out = np.empty((len(batch), n))
+        noisy = np.flatnonzero(~batch.exact)
+        exact = np.flatnonzero(batch.exact)
+        if exact.size:
+            out[exact] = 0.0
+            out[exact, self.world.snap_batch(batch.points[exact])] = 1.0
+        if noisy.size:
+            likelihood = self.mechanism.pdf_matrix(batch.points[noisy])
+            unnormalised = self.prior[None, :] * likelihood
+            totals = unnormalised.sum(axis=1)
+            starved = totals <= 0
+            if starved.any():
+                fallback_totals = likelihood[starved].sum(axis=1)
+                if np.any(fallback_totals <= 0):
+                    raise ValidationError("release impossible under every cell")
+                unnormalised[starved] = likelihood[starved]
+                totals[starved] = fallback_totals
+            out[noisy] = unnormalised / totals[:, None]
+        return out
+
+    def estimate_batch(self, batch: ReleaseBatch) -> np.ndarray:
+        """Bayes-optimal cell estimates for a whole batch: ``(len(batch),)``."""
+        posteriors = self.posterior_batch(batch)
+        expected_losses = posteriors @ self._distances()
+        return np.argmin(expected_losses, axis=1)
 
     def estimate(self, release: Release) -> int:
         """Bayes-optimal cell estimate under expected Euclidean loss.

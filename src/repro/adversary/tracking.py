@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
 from repro.errors import ValidationError
 from repro.geo.grid import GridWorld
 from repro.mobility.hmm import BayesFilter
@@ -62,16 +62,20 @@ class TrajectoryAttacker:
     # ------------------------------------------------------------------
     def track(
         self,
-        releases: list[Release],
+        releases: list[Release] | ReleaseBatch,
         mechanisms: list[Mechanism] | Mechanism,
         true_cells: list[int],
     ) -> TrackingResult:
         """Filter over ``releases`` and score localisation error per step.
 
-        ``mechanisms`` may be a single mechanism (static policy) or one per
-        release (dynamic policies, e.g. the temporal releaser's per-step
-        repaired graphs).
+        ``releases`` may be a list of scalar records or a whole
+        :class:`~repro.core.mechanisms.ReleaseBatch` (e.g. the output of one
+        engine round over a trajectory).  ``mechanisms`` may be a single
+        mechanism (static policy) or one per release (dynamic policies, e.g.
+        the temporal releaser's per-step repaired graphs).
         """
+        if isinstance(releases, ReleaseBatch):
+            releases = releases.to_releases()
         if len(releases) != len(true_cells):
             raise ValidationError("releases and true_cells must have equal length")
         if not releases:

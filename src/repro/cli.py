@@ -3,12 +3,18 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro policy G1 --size 8
-    python -m repro release --policy Gb --epsilon 1.0 --cell 27
+    python -m repro --seed 7 release --policy Gb --epsilon 1.0 --cell 27
+    python -m repro release --mechanism planar_laplace --cell 27 --count 1000
     python -m repro experiment e1 --size 8 --users 12 --horizon 36
+    python -m repro engines
     python -m repro datasets
 
 The CLI is a thin veneer over the public API — every subcommand body is a
-few lines of the same calls a notebook user would write.
+few lines of the same calls a notebook user would write.  Mechanism and
+policy names resolve through the engine registry, so both the paper's
+display names (``P-LM``) and the canonical spec names (``planar_laplace``)
+work.  A global ``--seed`` (before the subcommand) makes any invocation
+reproducible end to end; subcommand-level ``--seed`` flags override it.
 """
 
 from __future__ import annotations
@@ -17,13 +23,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.configs import (
-    MECHANISM_FACTORIES,
-    POLICY_BUILDERS,
-    ExperimentConfig,
-    build_mechanism,
-    build_policy,
-)
+from repro.engine import PrivacyEngine, mechanism_names, policy_names
+from repro.experiments.configs import ExperimentConfig
 from repro.experiments import harness
 from repro.geo.grid import GridWorld
 from repro.mobility.datasets import DATASETS
@@ -40,38 +41,69 @@ EXPERIMENTS = {
     "e7": harness.run_policy_matrix,
 }
 
+#: Names accepted on the command line: paper display names plus canonical
+#: spec names, all resolved through the engine registry.
+_MECHANISM_CHOICES = sorted(
+    set(mechanism_names()) | {"P-LM", "P-PIM", "GraphExp", "Geo-I"}
+)
+_POLICY_CHOICES = sorted(policy_names())
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PANDA: policy-aware location privacy for epidemic surveillance",
     )
+    parser.add_argument(
+        "--seed",
+        dest="global_seed",
+        type=int,
+        default=None,
+        help="global RNG seed applied to every subcommand (reproducible runs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     policy = sub.add_parser("policy", help="show statistics of a named policy graph")
-    policy.add_argument("name", choices=sorted(POLICY_BUILDERS))
+    policy.add_argument("name", choices=_POLICY_CHOICES)
     policy.add_argument("--size", type=int, default=10, help="grid side length")
 
-    release = sub.add_parser("release", help="perturb one location")
-    release.add_argument("--policy", choices=sorted(POLICY_BUILDERS), default="G1")
-    release.add_argument("--mechanism", choices=sorted(MECHANISM_FACTORIES), default="P-LM")
+    release = sub.add_parser("release", help="perturb one location (or a batch)")
+    release.add_argument("--policy", choices=_POLICY_CHOICES, default="G1")
+    release.add_argument("--mechanism", choices=_MECHANISM_CHOICES, default="P-LM")
     release.add_argument("--epsilon", type=float, default=1.0)
     release.add_argument("--cell", type=int, default=0)
     release.add_argument("--size", type=int, default=10)
     release.add_argument("--seed", type=int, default=None)
+    release.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="release the cell this many times through one batched engine call",
+    )
 
     experiment = sub.add_parser("experiment", help="run an experiment and print its table")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--size", type=int, default=8)
     experiment.add_argument("--users", type=int, default=12)
     experiment.add_argument("--horizon", type=int, default=36)
-    experiment.add_argument("--seed", type=int, default=2020)
+    experiment.add_argument("--seed", type=int, default=None)
     experiment.add_argument(
         "--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0]
     )
 
+    sub.add_parser("engines", help="list registered mechanism and policy names")
     sub.add_parser("datasets", help="list the available synthetic datasets")
     return parser
+
+
+def _effective_seed(args: argparse.Namespace, fallback: int | None = None):
+    """Subcommand ``--seed`` wins, else the global ``--seed``, else fallback."""
+    local = getattr(args, "seed", None)
+    if local is not None:
+        return local
+    if args.global_seed is not None:
+        return args.global_seed
+    return fallback
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -83,12 +115,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_release(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "engines":
+        return _cmd_engines()
     if args.command == "datasets":
         return _cmd_datasets()
     return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.experiments.configs import build_policy
+
     world = GridWorld(args.size, args.size)
     graph = build_policy(args.name, world)
     print(f"policy {graph.name} on a {args.size}x{args.size} world")
@@ -102,16 +138,40 @@ def _cmd_policy(args: argparse.Namespace) -> int:
 
 
 def _cmd_release(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.utils.rng import ensure_rng
+
     world = GridWorld(args.size, args.size)
     if args.cell not in world:
         print(f"error: cell {args.cell} outside the {world.n_cells}-cell world", file=sys.stderr)
         return 1
-    graph = build_policy(args.policy, world)
-    mechanism = build_mechanism(args.mechanism, world, graph, args.epsilon)
-    release = mechanism.release(args.cell, rng=args.seed)
-    x, y = release.point
+    try:
+        engine = PrivacyEngine.from_spec(
+            world, mechanism=args.mechanism, policy=args.policy, epsilon=args.epsilon
+        )
+    except ReproError as exc:
+        # e.g. optimal_lp's component-size guard on a large world.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    seed = _effective_seed(args)
+    rng = ensure_rng(seed) if seed is not None else None
     print(f"true cell {args.cell} at {world.coords(args.cell)}")
-    print(f"released  ({x:.3f}, {y:.3f})  exact={release.exact}  epsilon={release.epsilon}")
+    if args.count <= 1:
+        release = engine.release(args.cell, rng=rng)
+        x, y = release.point
+        print(f"released  ({x:.3f}, {y:.3f})  exact={release.exact}  epsilon={release.epsilon}")
+        return 0
+    batch = engine.release_batch([args.cell] * args.count, rng=rng)
+    mean_x, mean_y = batch.points.mean(axis=0)
+    print(
+        f"released batch of {len(batch)}  mean=({mean_x:.3f}, {mean_y:.3f})  "
+        f"exact={int(batch.exact.sum())}/{len(batch)}  "
+        f"epsilon_total={float(batch.epsilons.sum()):.3f}"
+    )
+    for x, y in batch.points[: min(5, len(batch))]:
+        print(f"  ({x:.3f}, {y:.3f})")
+    if len(batch) > 5:
+        print(f"  ... {len(batch) - 5} more")
     return 0
 
 
@@ -122,10 +182,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         epsilons=tuple(args.epsilons),
         tracing_window=args.horizon,
-        seed=args.seed,
+        seed=_effective_seed(args, fallback=2020),
     )
     table = EXPERIMENTS[args.name](config)
     print(table.pretty())
+    return 0
+
+
+def _cmd_engines() -> int:
+    print("mechanisms:")
+    for name in mechanism_names():
+        print(f"  {name}")
+    print("policies:")
+    for name in policy_names():
+        print(f"  {name}")
     return 0
 
 

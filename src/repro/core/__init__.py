@@ -19,6 +19,7 @@ from repro.core.policies import (
 from repro.core.mechanisms import (
     Mechanism,
     Release,
+    ReleaseBatch,
     PolicyLaplaceMechanism,
     PolicyPlanarIsotropicMechanism,
     GraphExponentialMechanism,
@@ -41,6 +42,7 @@ __all__ = [
     "location_set_policy",
     "Mechanism",
     "Release",
+    "ReleaseBatch",
     "PolicyLaplaceMechanism",
     "PolicyPlanarIsotropicMechanism",
     "GraphExponentialMechanism",

@@ -6,7 +6,7 @@ test suite verify Definition 2.4 / Lemma 2.1 / Theorems 2.1-2.2 *analytically*
 inference.
 """
 
-from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
 from repro.core.mechanisms.laplace import PolicyLaplaceMechanism
 from repro.core.mechanisms.pim import PolicyPlanarIsotropicMechanism
 from repro.core.mechanisms.exponential import GraphExponentialMechanism
@@ -19,6 +19,7 @@ from repro.core.mechanisms.baselines import (
 __all__ = [
     "Mechanism",
     "Release",
+    "ReleaseBatch",
     "PolicyLaplaceMechanism",
     "PolicyPlanarIsotropicMechanism",
     "GraphExponentialMechanism",

@@ -8,13 +8,33 @@ Every implementation provides:
   mechanisms), used by the Bayesian adversary and the analytic privacy tests;
 * :meth:`Mechanism.is_exact` — whether the policy discloses a cell exactly
   (isolated policy nodes, Lemma 2.1's extreme case).
+
+Batched interface
+-----------------
+The scalar methods above are thin wrappers over two overridable hooks:
+
+* :meth:`Mechanism._perturb_batch` — draw releases for many cells at once,
+  returning an ``(n, 2)`` array;
+* :meth:`Mechanism._pdf_batch` — evaluate the density on an ``(m, 2)`` grid
+  of points against ``n`` cells at once, returning ``(m, n)``.
+
+The base class provides generic Python-loop fallbacks, so subclasses only
+need the scalar ``_perturb`` / ``_pdf``; the first-party mechanisms override
+the batch hooks with true NumPy vectorization and delegate the scalar hooks
+to singleton batches.  Because vectorized samplers consume uniforms from
+``rng.random((n, k))`` blocks row by row, ``release_batch(cells, rng)``
+draws *exactly* the stream that sequential ``release(cell, rng)`` calls
+would — batching is a pure throughput optimisation, not a semantic change.
+:meth:`release_batch` returns a :class:`ReleaseBatch` (structure-of-arrays),
+and :meth:`pdf_matrix` is the batched likelihood the Bayesian adversary and
+the HMM filter consume.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -24,7 +44,7 @@ from repro.geo.grid import GridWorld
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_epsilon
 
-__all__ = ["Release", "Mechanism"]
+__all__ = ["Release", "ReleaseBatch", "Mechanism"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +70,65 @@ class Release:
     mechanism: str = ""
     epsilon: float = 0.0
     metadata: dict = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True)
+class ReleaseBatch:
+    """Many releases in structure-of-arrays layout.
+
+    The batched counterpart of :class:`Release`, produced by
+    :meth:`Mechanism.release_batch`.  Keeping the columns as flat arrays is
+    what lets the server pipeline, the monitoring apps and the benchmarks
+    stay allocation-free on the hot path; :meth:`to_releases` recovers the
+    scalar records when object-per-release ergonomics are wanted.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 2)`` released planar coordinates.
+    exact:
+        ``(n,)`` bool — True where the policy disclosed the cell exactly.
+    epsilons:
+        ``(n,)`` budget charged per release (0 where ``exact``).
+    cells:
+        ``(n,)`` the true cells the releases were drawn for.
+    mechanism:
+        Name of the producing mechanism.
+    """
+
+    points: np.ndarray
+    exact: np.ndarray
+    epsilons: np.ndarray
+    cells: np.ndarray
+    mechanism: str = ""
+
+    def __post_init__(self) -> None:
+        n = len(self.cells)
+        if self.points.shape != (n, 2):
+            raise MechanismError(
+                f"points must have shape ({n}, 2), got {self.points.shape}"
+            )
+        if self.exact.shape != (n,) or self.epsilons.shape != (n,):
+            raise MechanismError("exact and epsilons must be flat arrays over the batch")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __getitem__(self, index: int) -> Release:
+        i = int(index)
+        return Release(
+            point=(float(self.points[i, 0]), float(self.points[i, 1])),
+            exact=bool(self.exact[i]),
+            mechanism=self.mechanism,
+            epsilon=float(self.epsilons[i]),
+        )
+
+    def __iter__(self) -> Iterator[Release]:
+        return (self[i] for i in range(len(self)))
+
+    def to_releases(self) -> list[Release]:
+        """The batch as scalar :class:`Release` records (AoS view)."""
+        return [self[i] for i in range(len(self))]
 
 
 class Mechanism(abc.ABC):
@@ -126,14 +205,116 @@ class Mechanism(abc.ABC):
 
         The Bayesian adversary calls this per observed release; exact cells
         get likelihood 0 because a continuous released point almost surely
-        differs from any disclosed cell centre.
+        differs from any disclosed cell centre.  This is a single-point view
+        of :meth:`pdf_matrix`, so vectorized ``_pdf_batch`` overrides speed
+        up every historical caller for free.
         """
-        z = np.asarray(point, dtype=float)
-        out = np.zeros(len(cells))
-        for i, cell in enumerate(cells):
-            if cell in self.graph and not self.is_exact(cell):
-                out[i] = self._pdf(z, cell)
+        z = np.asarray(point, dtype=float).reshape(1, 2)
+        return self.pdf_matrix(z, cells)[0]
+
+    # ------------------------------------------------------------------
+    # Batched interface
+    # ------------------------------------------------------------------
+    def release_batch(self, cells: Sequence[int], rng=None) -> ReleaseBatch:
+        """Release many (possibly perturbed) locations in one call.
+
+        Semantically equivalent to ``[self.release(c, rng) for c in cells]``
+        — including the consumed RNG stream, so a seeded batched run
+        reproduces a seeded scalar run element-wise — but the noisy subset is
+        drawn by :meth:`_perturb_batch`, which the first-party mechanisms
+        vectorize.
+        """
+        if not isinstance(cells, np.ndarray):
+            cells = list(cells)
+        cell_arr = np.asarray(cells, dtype=int)
+        if cell_arr.ndim != 1:
+            raise MechanismError(f"cells must be a flat sequence, got shape {cell_arr.shape}")
+        n = len(cell_arr)
+        covered, disclosed = self._coverage_masks()
+        in_world = (cell_arr >= 0) & (cell_arr < self.world.n_cells)
+        if not in_world.all():
+            bad = cell_arr[~in_world]
+            raise MechanismError(
+                f"cell {int(bad[0])} is not covered by policy {self.graph.name!r}"
+            )
+        if not covered[cell_arr].all():
+            bad = cell_arr[~covered[cell_arr]]
+            raise MechanismError(
+                f"cell {int(bad[0])} is not covered by policy {self.graph.name!r}"
+            )
+        exact = disclosed[cell_arr]
+        points = np.empty((n, 2), dtype=float)
+        if exact.any():
+            points[exact] = self.world.coords_array(cell_arr[exact])
+        noisy = np.flatnonzero(~exact)
+        if noisy.size:
+            points[noisy] = self._perturb_batch(cell_arr[noisy], ensure_rng(rng))
+        return ReleaseBatch(
+            points=points,
+            exact=exact,
+            epsilons=np.where(exact, 0.0, self.epsilon),
+            cells=cell_arr,
+            mechanism=self.name,
+        )
+
+    def pdf_matrix(self, points, cells: Sequence[int] | None = None) -> np.ndarray:
+        """``(m, n)`` matrix of ``pdf(point_i | cell_j)``.
+
+        Follows :meth:`pdf_vector` semantics (not :meth:`pdf`'s): cells
+        outside the policy and disclosable cells contribute likelihood 0
+        instead of raising, which is exactly what Bayesian inference wants.
+        ``cells`` defaults to the whole world.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise MechanismError(f"points must have shape (m, 2), got {pts.shape}")
+        if cells is None:
+            cell_arr = np.arange(self.world.n_cells)
+            valid = self._world_pdf_mask()
+        else:
+            if not isinstance(cells, np.ndarray):
+                cells = list(cells)
+            cell_arr = np.asarray(cells, dtype=int)
+            mask = self._world_pdf_mask()
+            in_world = (cell_arr >= 0) & (cell_arr < self.world.n_cells)
+            valid = np.zeros(len(cell_arr), dtype=bool)
+            valid[in_world] = mask[cell_arr[in_world]]
+        out = np.zeros((len(pts), len(cell_arr)))
+        index = np.flatnonzero(valid)
+        if index.size:
+            out[:, index] = self._pdf_batch(pts, cell_arr[index])
         return out
+
+    def _coverage_masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached per-world-cell ``(covered, disclosed)`` boolean masks.
+
+        Policy graphs are immutable after construction, so both masks are
+        computed once; they replace per-cell Python loops on the batched hot
+        paths (:meth:`release_batch` validation, :meth:`pdf_matrix` zeroing).
+        ``disclosed`` goes through :meth:`is_exact` so overrides (Geo-I never
+        discloses) are respected.
+        """
+        cached = getattr(self, "_coverage_masks_cache", None)
+        if cached is None:
+            n = self.world.n_cells
+            covered = np.fromiter(
+                (cell in self.graph for cell in range(n)), dtype=bool, count=n
+            )
+            disclosed = np.fromiter(
+                (covered[cell] and self.is_exact(cell) for cell in range(n)),
+                dtype=bool,
+                count=n,
+            )
+            cached = (covered, disclosed)
+            self._coverage_masks_cache = cached
+        return cached
+
+    def _world_pdf_mask(self) -> np.ndarray:
+        """Mask of world cells with a defined density (covered and noisy)."""
+        covered, disclosed = self._coverage_masks()
+        return covered & ~disclosed
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -143,6 +324,29 @@ class Mechanism(abc.ABC):
     @abc.abstractmethod
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         """Release density at ``point`` for a non-disclosable ``cell``."""
+
+    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw noisy releases for many non-disclosable cells: ``(n, 2)``.
+
+        Generic fallback: a Python loop over :meth:`_perturb`.  Vectorized
+        mechanisms override this (and usually delegate ``_perturb`` back to a
+        singleton batch so scalar and batched runs share one RNG stream).
+        """
+        out = np.empty((len(cells), 2), dtype=float)
+        for i, cell in enumerate(cells):
+            out[i] = self._perturb(int(cell), rng)
+        return out
+
+    def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        """Density of each point under each non-disclosable cell: ``(m, n)``.
+
+        Generic fallback: a Python double loop over :meth:`_pdf`.
+        """
+        out = np.empty((len(points), len(cells)), dtype=float)
+        for j, cell in enumerate(cells):
+            for i in range(len(points)):
+                out[i, j] = self._pdf(points[i], int(cell))
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.mechanisms.laplace import planar_laplace_pdf, planar_laplace_perturb
 from repro.core.mechanisms.pim import PolicyPlanarIsotropicMechanism
 from repro.core.policies import complete_policy, grid_policy, location_set_policy
 from repro.core.policy_graph import PolicyGraph
@@ -44,15 +45,21 @@ class GeoIndistinguishabilityMechanism(Mechanism):
         return False
 
     def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
-        radius = rng.gamma(shape=2.0, scale=1.0 / self.epsilon)
-        theta = rng.uniform(0.0, 2.0 * math.pi)
-        x, y = self.world.coords(cell)
-        return np.array([x + radius * math.cos(theta), y + radius * math.sin(theta)])
+        return self._perturb_batch(np.array([cell]), rng)[0]
+
+    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        # Same inverse-CDF planar Laplace as P-LM, at the constant Geo-I rate.
+        return planar_laplace_perturb(
+            self.world.coords_array(cells), self.epsilon, rng.random((len(cells), 3))
+        )
 
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         x, y = self.world.coords(cell)
         distance = math.hypot(point[0] - x, point[1] - y)
         return self.epsilon**2 / (2.0 * math.pi) * math.exp(-self.epsilon * distance)
+
+    def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        return planar_laplace_pdf(points, self.world.coords_array(cells), self.epsilon)
 
 
 class LocationSetPIMechanism(PolicyPlanarIsotropicMechanism):

@@ -38,6 +38,8 @@ class GraphExponentialMechanism(Mechanism):
         # probability vector over those candidates (computed lazily, cached).
         self._candidates: dict[int, tuple[int, ...]] = {}
         self._pmf_cache: dict[int, np.ndarray] = {}
+        self._cmf_cache: dict[int, np.ndarray] = {}
+        self._dense_cache: dict[int, np.ndarray] = {}
         for component in graph.components():
             if len(component) < 2:
                 continue
@@ -67,11 +69,28 @@ class GraphExponentialMechanism(Mechanism):
         self._pmf_cache[cell] = probabilities
         return probabilities
 
+    def _cmf(self, cell: int) -> np.ndarray:
+        """Cumulative pmf over :meth:`support`, for inverse-CDF sampling."""
+        cached = self._cmf_cache.get(cell)
+        if cached is None:
+            cached = np.cumsum(self.pmf(cell))
+            cached[-1] = 1.0  # guard against float drift at the top end
+            self._cmf_cache[cell] = cached
+        return cached
+
     # ------------------------------------------------------------------
     def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
-        candidates = self._candidates[cell]
-        choice = candidates[rng.choice(len(candidates), p=self.pmf(cell))]
-        return np.asarray(self.world.coords(choice), dtype=float)
+        return self._perturb_batch(np.array([cell]), rng)[0]
+
+    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        # One uniform per cell, mapped through the cell's cumulative pmf.
+        u = rng.random(len(cells))
+        choices = np.empty(len(cells), dtype=int)
+        for i, cell in enumerate(cells):
+            candidates = self._candidates[int(cell)]
+            index = int(np.searchsorted(self._cmf(int(cell)), u[i], side="right"))
+            choices[i] = candidates[min(index, len(candidates) - 1)]
+        return self.world.coords_array(choices)
 
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         """Pmf of the cell whose centre the released point snaps to."""
@@ -82,3 +101,19 @@ class GraphExponentialMechanism(Mechanism):
         except ValueError:
             return 0.0
         return float(self.pmf(cell)[index])
+
+    def _dense_pmf(self, cell: int) -> np.ndarray:
+        """Pmf scattered over all world cells (cached; pmfs are immutable)."""
+        cached = self._dense_cache.get(cell)
+        if cached is None:
+            cached = np.zeros(self.world.n_cells)
+            cached[list(self._candidates[cell])] = self.pmf(cell)
+            self._dense_cache[cell] = cached
+        return cached
+
+    def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        released = self.world.snap_batch(points)
+        out = np.empty((len(points), len(cells)))
+        for j, cell in enumerate(cells):
+            out[:, j] = self._dense_pmf(int(cell))[released]
+        return out

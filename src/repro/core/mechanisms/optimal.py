@@ -68,6 +68,8 @@ class OptimalDiscreteMechanism(Mechanism):
                 raise MechanismError("prior must be a non-negative vector over all cells")
         self._support: dict[int, tuple[int, ...]] = {}
         self._pmf_rows: dict[int, np.ndarray] = {}
+        self._cmf_rows: dict[int, np.ndarray] = {}
+        self._dense_rows: dict[int, np.ndarray] = {}
         for component in graph.components():
             if len(component) < 2:
                 continue
@@ -164,10 +166,26 @@ class OptimalDiscreteMechanism(Mechanism):
         return float(self.pmf(cell) @ distances)
 
     # ------------------------------------------------------------------
+    def _cmf(self, cell: int) -> np.ndarray:
+        cached = self._cmf_rows.get(cell)
+        if cached is None:
+            cached = np.cumsum(self._pmf_rows[cell])
+            cached[-1] = 1.0  # guard against float drift at the top end
+            self._cmf_rows[cell] = cached
+        return cached
+
     def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
-        support = self._support[cell]
-        choice = support[rng.choice(len(support), p=self._pmf_rows[cell])]
-        return np.asarray(self.world.coords(choice), dtype=float)
+        return self._perturb_batch(np.array([cell]), rng)[0]
+
+    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        # One uniform per cell through the LP row's cumulative pmf.
+        u = rng.random(len(cells))
+        choices = np.empty(len(cells), dtype=int)
+        for i, cell in enumerate(cells):
+            support = self._support[int(cell)]
+            index = int(np.searchsorted(self._cmf(int(cell)), u[i], side="right"))
+            choices[i] = support[min(index, len(support) - 1)]
+        return self.world.coords_array(choices)
 
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         released = self.world.snap(point)
@@ -177,3 +195,19 @@ class OptimalDiscreteMechanism(Mechanism):
         except ValueError:
             return 0.0
         return float(self._pmf_rows[cell][position])
+
+    def _dense_pmf(self, cell: int) -> np.ndarray:
+        """Pmf scattered over all world cells (cached; LP rows are immutable)."""
+        cached = self._dense_rows.get(cell)
+        if cached is None:
+            cached = np.zeros(self.world.n_cells)
+            cached[list(self._support[cell])] = self._pmf_rows[cell]
+            self._dense_rows[cell] = cached
+        return cached
+
+    def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        released = self.world.snap_batch(points)
+        out = np.empty((len(points), len(cells)))
+        for j, cell in enumerate(cells):
+            out[:, j] = self._dense_pmf(int(cell))[released]
+        return out

@@ -101,14 +101,43 @@ class PolicyPlanarIsotropicMechanism(Mechanism):
 
     # ------------------------------------------------------------------
     def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
-        hull = self._hull_by_component[self._component_index[cell]]
-        radius = rng.gamma(shape=3.0, scale=1.0 / self.epsilon)
-        direction = hull.sample(rng)
-        x, y = self.world.coords(cell)
-        return np.array([x, y]) + radius * direction
+        return self._perturb_batch(np.array([cell]), rng)[0]
+
+    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        # Hardt-Talwar: z = x(s) + r * u with r ~ Gamma(3, 1/eps) (three
+        # exponentials by inverse CDF) and u ~ Uniform(K).  Six uniforms per
+        # row keep the stream identical to scalar sequential releases; cells
+        # are then grouped by component so each hull samples vectorized.
+        u = rng.random((len(cells), 6))
+        radii = -(
+            np.log1p(-u[:, 0]) + np.log1p(-u[:, 1]) + np.log1p(-u[:, 2])
+        ) / self.epsilon
+        directions = np.empty((len(cells), 2))
+        component = np.array([self._component_index[int(cell)] for cell in cells])
+        for index in np.unique(component):
+            mask = component == index
+            directions[mask] = self._hull_by_component[index].sample_from_uniforms(
+                u[mask, 3], u[mask, 4], u[mask, 5]
+            )
+        centres = self.world.coords_array(cells)
+        return centres + radii[:, None] * directions
 
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         hull = self._hull_by_component[self._component_index[cell]]
         x, y = self.world.coords(cell)
         gauge = hull.gauge((point[0] - x, point[1] - y))
         return self.epsilon**2 / (2.0 * hull.area) * math.exp(-self.epsilon * gauge)
+
+    def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        centres = self.world.coords_array(cells)
+        component = np.array([self._component_index[int(cell)] for cell in cells])
+        out = np.empty((len(points), len(cells)))
+        for index in np.unique(component):
+            mask = component == index
+            hull = self._hull_by_component[index]
+            displacements = points[:, None, :] - centres[None, mask, :]
+            gauges = hull.gauge_many(displacements)
+            out[:, mask] = (
+                self.epsilon**2 / (2.0 * hull.area) * np.exp(-self.epsilon * gauges)
+            )
+        return out

@@ -1,0 +1,39 @@
+"""Batched, spec-driven release API — the system's scaling front door.
+
+The seed reproduced the paper's mechanisms faithfully but served them one
+scalar ``release()`` at a time.  This package turns the public API around a
+population-scale engine:
+
+* :class:`PrivacyEngine` — facade built from declarative specs, exposing
+  vectorized :meth:`~PrivacyEngine.release_batch` (structure-of-arrays
+  :class:`~repro.core.mechanisms.ReleaseBatch`) and
+  :meth:`~PrivacyEngine.pdf_matrix`;
+* :class:`EngineSpec` / :class:`MechanismSpec` / :class:`PolicySpec` —
+  plain-data descriptions resolved through the string-name registry;
+* :mod:`~repro.engine.registry` — one source of truth for mechanism and
+  policy names shared by experiments, the CLI, and saved configs.
+"""
+
+from repro.engine.engine import PrivacyEngine
+from repro.engine.registry import (
+    mechanism_names,
+    policy_names,
+    register_mechanism,
+    register_policy,
+    resolve_mechanism,
+    resolve_policy,
+)
+from repro.engine.specs import EngineSpec, MechanismSpec, PolicySpec
+
+__all__ = [
+    "PrivacyEngine",
+    "EngineSpec",
+    "MechanismSpec",
+    "PolicySpec",
+    "register_mechanism",
+    "register_policy",
+    "resolve_mechanism",
+    "resolve_policy",
+    "mechanism_names",
+    "policy_names",
+]

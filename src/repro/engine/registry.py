@@ -1,0 +1,180 @@
+"""String-name registries for mechanisms and policies.
+
+The engine's declarative specs resolve names through these tables, so every
+layer that needs "a mechanism called X" — experiment configs, the CLI, saved
+spec files — shares one source of truth.  Canonical names are lowercase
+snake_case identifiers; the paper's display names ("P-LM", "Ga", ...) are
+registered as aliases, and resolution is case-insensitive so interactive
+callers never fight the spelling.
+
+Factories take ``(world, policy, epsilon, **params)`` for mechanisms and
+``(world, **params)`` for policies, which is what lets specs carry optional
+keyword parameters (e.g. the LP mechanism's ``max_component_size``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    GraphExponentialMechanism,
+    Mechanism,
+    OptimalDiscreteMechanism,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.policies import (
+    area_policy,
+    contact_tracing_policy,
+    grid_policy,
+    location_set_policy,
+)
+from repro.core.policy_graph import PolicyGraph
+from repro.errors import ValidationError
+from repro.geo.grid import GridWorld
+
+__all__ = [
+    "MechanismFactory",
+    "PolicyBuilder",
+    "register_mechanism",
+    "register_policy",
+    "resolve_mechanism",
+    "resolve_policy",
+    "mechanism_names",
+    "policy_names",
+]
+
+MechanismFactory = Callable[..., Mechanism]
+PolicyBuilder = Callable[..., PolicyGraph]
+
+_MECHANISMS: dict[str, MechanismFactory] = {}
+_POLICIES: dict[str, PolicyBuilder] = {}
+#: casefolded alias -> canonical name, shared by both registries' lookups.
+_MECHANISM_ALIASES: dict[str, str] = {}
+_POLICY_ALIASES: dict[str, str] = {}
+
+
+def _register(
+    table: dict, aliases_table: dict, name: str, factory, aliases: Iterable[str]
+) -> None:
+    canonical = str(name)
+    table[canonical] = factory
+    for alias in (canonical, *aliases):
+        aliases_table[str(alias).casefold()] = canonical
+
+
+def register_mechanism(
+    name: str, factory: MechanismFactory, aliases: Iterable[str] = ()
+) -> None:
+    """Register a mechanism factory under ``name`` (plus optional aliases)."""
+    _register(_MECHANISMS, _MECHANISM_ALIASES, name, factory, aliases)
+
+
+def register_policy(
+    name: str, builder: PolicyBuilder, aliases: Iterable[str] = ()
+) -> None:
+    """Register a policy builder under ``name`` (plus optional aliases)."""
+    _register(_POLICIES, _POLICY_ALIASES, name, builder, aliases)
+
+
+def resolve_mechanism(name: str) -> tuple[str, MechanismFactory]:
+    """``(canonical_name, factory)`` for any registered name or alias."""
+    canonical = _MECHANISM_ALIASES.get(str(name).casefold())
+    if canonical is None:
+        raise ValidationError(
+            f"unknown mechanism {name!r}; choose from {mechanism_names()}"
+        )
+    return canonical, _MECHANISMS[canonical]
+
+
+def resolve_policy(name: str) -> tuple[str, PolicyBuilder]:
+    """``(canonical_name, builder)`` for any registered name or alias."""
+    canonical = _POLICY_ALIASES.get(str(name).casefold())
+    if canonical is None:
+        raise ValidationError(f"unknown policy {name!r}; choose from {policy_names()}")
+    return canonical, _POLICIES[canonical]
+
+
+def mechanism_names() -> list[str]:
+    """Canonical names of every registered mechanism, sorted."""
+    return sorted(_MECHANISMS)
+
+
+def policy_names() -> list[str]:
+    """Canonical names of every registered policy, sorted."""
+    return sorted(_POLICIES)
+
+
+# ----------------------------------------------------------------------
+# Built-in mechanisms (canonical name + the paper's display name).
+# ----------------------------------------------------------------------
+register_mechanism(
+    "planar_laplace",
+    lambda world, policy, epsilon, **params: PolicyLaplaceMechanism(
+        world, policy, epsilon, **params
+    ),
+    aliases=("P-LM", "laplace"),
+)
+register_mechanism(
+    "planar_isotropic",
+    lambda world, policy, epsilon, **params: PolicyPlanarIsotropicMechanism(
+        world, policy, epsilon, **params
+    ),
+    aliases=("P-PIM", "pim"),
+)
+register_mechanism(
+    "graph_exponential",
+    lambda world, policy, epsilon, **params: GraphExponentialMechanism(
+        world, policy, epsilon, **params
+    ),
+    aliases=("GraphExp", "exponential"),
+)
+register_mechanism(
+    "geo_indistinguishability",
+    lambda world, policy, epsilon, **params: GeoIndistinguishabilityMechanism(
+        world, epsilon, graph=policy, **params
+    ),
+    aliases=("Geo-I", "geo_i"),
+)
+register_mechanism(
+    "optimal_lp",
+    lambda world, policy, epsilon, **params: OptimalDiscreteMechanism(
+        world, policy, epsilon, **params
+    ),
+    aliases=("Optimal-LP", "optimal"),
+)
+
+
+# ----------------------------------------------------------------------
+# Built-in policies (the paper's menagerie, Fig. 2).
+# ----------------------------------------------------------------------
+def _g2_full(world: GridWorld, **params) -> PolicyGraph:
+    """G2 over the whole map: complete indistinguishability (strictest)."""
+    return location_set_policy(world, list(world), name="G2", **params)
+
+
+def _gc_default(world: GridWorld, infected: Iterable[int] | None = None) -> PolicyGraph:
+    """Gc with a deterministic infected corner, for policy-only sweeps.
+
+    Real tracing runs derive the infected set from the diagnosed patient; the
+    sweeps need *some* fixed Gc instance, so the top-left 2x2 block plays the
+    infected area unless ``infected`` overrides it.
+    """
+    base = area_policy(world, 2, 2, name="Gb")
+    if infected is None:
+        rows = min(2, world.height)
+        cols = min(2, world.width)
+        infected = [world.cell_of(r, c) for r in range(rows) for c in range(cols)]
+    return contact_tracing_policy(base, infected, name="Gc")
+
+
+register_policy("G1", lambda world, **params: grid_policy(world, name="G1", **params), aliases=())
+register_policy("G2", _g2_full, aliases=())
+register_policy(
+    "Ga", lambda world, **params: area_policy(world, 4, 4, name="Ga", **params), aliases=()
+)
+register_policy(
+    "Gb", lambda world, **params: area_policy(world, 2, 2, name="Gb", **params), aliases=()
+)
+register_policy("Gc", _gc_default, aliases=())

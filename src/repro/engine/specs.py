@@ -1,0 +1,113 @@
+"""Declarative specs for building engines: what to run, by name.
+
+A spec is plain data — mechanism/policy names from the registry, a privacy
+budget, optional keyword parameters — so experiment configurations, CLI
+invocations and saved JSON files all describe an engine the same way, and
+:class:`~repro.engine.engine.PrivacyEngine` is the only place that turns the
+description into live objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.mechanisms import Mechanism
+from repro.core.policy_graph import PolicyGraph
+from repro.engine.registry import resolve_mechanism, resolve_policy
+from repro.geo.grid import GridWorld
+from repro.utils.validation import check_epsilon
+
+__all__ = ["MechanismSpec", "PolicySpec", "EngineSpec"]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named policy plus optional builder parameters."""
+
+    name: str
+    params: Mapping = field(default_factory=dict)
+
+    def build(self, world: GridWorld) -> PolicyGraph:
+        """Instantiate the policy over ``world``."""
+        _, builder = resolve_policy(self.name)
+        return builder(world, **dict(self.params))
+
+    @property
+    def canonical_name(self) -> str:
+        return resolve_policy(self.name)[0]
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """A named mechanism, its privacy budget, and optional parameters."""
+
+    name: str
+    epsilon: float = 1.0
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+
+    def build(self, world: GridWorld, policy: PolicyGraph) -> Mechanism:
+        """Instantiate the mechanism for ``policy`` over ``world``."""
+        _, factory = resolve_mechanism(self.name)
+        return factory(world, policy, self.epsilon, **dict(self.params))
+
+    @property
+    def canonical_name(self) -> str:
+        return resolve_mechanism(self.name)[0]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything needed to build a :class:`PrivacyEngine` except the world."""
+
+    mechanism: MechanismSpec
+    policy: PolicySpec
+
+    @classmethod
+    def named(
+        cls,
+        mechanism: str,
+        policy: str,
+        epsilon: float = 1.0,
+        mechanism_params: Mapping | None = None,
+        policy_params: Mapping | None = None,
+    ) -> "EngineSpec":
+        """Spec from bare names — the common construction path."""
+        return cls(
+            mechanism=MechanismSpec(
+                name=mechanism, epsilon=epsilon, params=dict(mechanism_params or {})
+            ),
+            policy=PolicySpec(name=policy, params=dict(policy_params or {})),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (canonical names, for persistence)."""
+        return {
+            "mechanism": {
+                "name": self.mechanism.canonical_name,
+                "epsilon": self.mechanism.epsilon,
+                "params": dict(self.mechanism.params),
+            },
+            "policy": {
+                "name": self.policy.canonical_name,
+                "params": dict(self.policy.params),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EngineSpec":
+        mechanism = payload["mechanism"]
+        policy = payload["policy"]
+        return cls(
+            mechanism=MechanismSpec(
+                name=mechanism["name"],
+                epsilon=float(mechanism.get("epsilon", 1.0)),
+                params=dict(mechanism.get("params", {})),
+            ),
+            policy=PolicySpec(
+                name=policy["name"], params=dict(policy.get("params", {}))
+            ),
+        )

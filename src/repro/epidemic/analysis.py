@@ -107,9 +107,15 @@ def perturb_tracedb(
     """
     generator = ensure_rng(rng)
     released = TraceDB()
-    for checkin in db.checkins():
-        release = mechanism.release(checkin.cell, rng=generator)
-        released.record(checkin.user, checkin.time, world.snap(release.point))
+    checkins = list(db.checkins())
+    if not checkins:
+        return released
+    # One vectorized engine-style call over the whole stream; the checkin
+    # order matches a scalar release loop, so a seeded batched run equals a
+    # seeded scalar run of the same mechanism.
+    batch = mechanism.release_batch([checkin.cell for checkin in checkins], rng=generator)
+    for checkin, cell in zip(checkins, world.snap_batch(batch.points)):
+        released.record(checkin.user, checkin.time, int(cell))
     return released
 
 

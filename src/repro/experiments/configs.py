@@ -1,32 +1,24 @@
 """Named policies, mechanisms, and the shared experiment configuration.
 
-The registries here give experiments (and the CLI examples) a single source
-of truth for the paper's policy menagerie — G1, G2, Ga, Gb, Gc — and the
-mechanisms P-LM / P-PIM / graph-exponential plus the Geo-I baseline.
+The name tables here are *views over the engine registry*
+(:mod:`repro.engine.registry`) keyed by the paper's display names — G1, G2,
+Ga, Gb, Gc and P-LM / P-PIM / GraphExp / Geo-I — so experiments, the CLI and
+the engine all resolve the same specs.  :meth:`ExperimentConfig.make_engine`
+is the preferred construction path; :func:`build_policy` /
+:func:`build_mechanism` remain as thin wrappers for the seed API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.core.mechanisms import (
-    GeoIndistinguishabilityMechanism,
-    GraphExponentialMechanism,
-    Mechanism,
-    PolicyLaplaceMechanism,
-    PolicyPlanarIsotropicMechanism,
-)
-from repro.core.policies import (
-    area_policy,
-    contact_tracing_policy,
-    grid_policy,
-    location_set_policy,
-)
+from repro.core.mechanisms import Mechanism
 from repro.core.policy_graph import PolicyGraph
-from repro.errors import ValidationError
+from repro.engine import PrivacyEngine
+from repro.engine.registry import resolve_mechanism, resolve_policy
 from repro.geo.grid import GridWorld
 
 __all__ = [
@@ -38,61 +30,33 @@ __all__ = [
 ]
 
 
-def _g2_full(world: GridWorld) -> PolicyGraph:
-    """G2 over the whole map: complete indistinguishability (strictest)."""
-    return location_set_policy(world, list(world), name="G2")
+def _policy_builder(name: str) -> Callable[[GridWorld], PolicyGraph]:
+    return lambda world: resolve_policy(name)[1](world)
 
 
-def _gc_default(world: GridWorld) -> PolicyGraph:
-    """Gc with a deterministic infected corner, for policy-only sweeps.
-
-    Real tracing runs derive the infected set from the diagnosed patient; the
-    sweeps need *some* fixed Gc instance, so the top-left 2x2 block plays the
-    infected area.
-    """
-    base = area_policy(world, 2, 2, name="Gb")
-    rows = min(2, world.height)
-    cols = min(2, world.width)
-    infected = [world.cell_of(r, c) for r in range(rows) for c in range(cols)]
-    return contact_tracing_policy(base, infected, name="Gc")
+def _mechanism_factory(name: str) -> Callable[[GridWorld, PolicyGraph, float], Mechanism]:
+    return lambda world, policy, epsilon: resolve_mechanism(name)[1](world, policy, epsilon)
 
 
-#: name -> builder(world) for the paper's named policy graphs.
+#: paper display name -> builder(world), backed by the engine registry.
 POLICY_BUILDERS: dict[str, Callable[[GridWorld], PolicyGraph]] = {
-    "G1": lambda world: grid_policy(world, name="G1"),
-    "G2": _g2_full,
-    "Ga": lambda world: area_policy(world, 4, 4, name="Ga"),
-    "Gb": lambda world: area_policy(world, 2, 2, name="Gb"),
-    "Gc": _gc_default,
+    name: _policy_builder(name) for name in ("G1", "G2", "Ga", "Gb", "Gc")
 }
 
-#: name -> factory(world, policy, epsilon) for the mechanisms under test.
+#: paper display name -> factory(world, policy, epsilon), backed by the registry.
 MECHANISM_FACTORIES: dict[str, Callable[[GridWorld, PolicyGraph, float], Mechanism]] = {
-    "P-LM": PolicyLaplaceMechanism,
-    "P-PIM": PolicyPlanarIsotropicMechanism,
-    "GraphExp": GraphExponentialMechanism,
-    "Geo-I": lambda world, policy, epsilon: GeoIndistinguishabilityMechanism(
-        world, epsilon, graph=policy
-    ),
+    name: _mechanism_factory(name) for name in ("P-LM", "P-PIM", "GraphExp", "Geo-I")
 }
 
 
 def build_policy(name: str, world: GridWorld) -> PolicyGraph:
-    """Instantiate a named policy over ``world``."""
-    try:
-        return POLICY_BUILDERS[name](world)
-    except KeyError:
-        raise ValidationError(f"unknown policy {name!r}; choose from {sorted(POLICY_BUILDERS)}") from None
+    """Instantiate a named policy over ``world`` (any registry alias works)."""
+    return resolve_policy(name)[1](world)
 
 
 def build_mechanism(name: str, world: GridWorld, policy: PolicyGraph, epsilon: float) -> Mechanism:
-    """Instantiate a named mechanism for ``policy``."""
-    try:
-        return MECHANISM_FACTORIES[name](world, policy, epsilon)
-    except KeyError:
-        raise ValidationError(
-            f"unknown mechanism {name!r}; choose from {sorted(MECHANISM_FACTORIES)}"
-        ) from None
+    """Instantiate a named mechanism for ``policy`` (any registry alias works)."""
+    return resolve_mechanism(name)[1](world, policy, epsilon)
 
 
 @dataclass(frozen=True)
@@ -125,3 +89,22 @@ class ExperimentConfig:
 
     def rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
+
+    def make_engine(
+        self,
+        mechanism: str | None = None,
+        policy: str | None = None,
+        epsilon: float | None = None,
+        world: GridWorld | None = None,
+    ) -> PrivacyEngine:
+        """Spec-built engine using this config's defaults for omitted parts.
+
+        Defaults come from the config's sweep lists (first mechanism/policy,
+        first epsilon), so ``config.make_engine()`` is always runnable.
+        """
+        return PrivacyEngine.from_spec(
+            world if world is not None else self.make_world(),
+            mechanism=mechanism if mechanism is not None else self.mechanisms[0],
+            policy=policy if policy is not None else self.policies[0],
+            epsilon=epsilon if epsilon is not None else self.epsilons[0],
+        )

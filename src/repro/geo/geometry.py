@@ -236,9 +236,54 @@ class ConvexPolygon:
         ratios = (self._normals @ p) / self._offsets
         return float(max(np.max(ratios), 0.0))
 
+    def gauge_many(self, points) -> np.ndarray:
+        """Vectorized :meth:`gauge` over an array of shape ``(..., 2)``."""
+        if np.any(self._offsets <= 0):
+            raise GeometryError("gauge requires the origin strictly inside the polygon")
+        pts = np.asarray(points, dtype=float)
+        ratios = (pts @ self._normals.T) / self._offsets
+        return np.maximum(ratios.max(axis=-1), 0.0)
+
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
+    def _triangulation(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached fan triangulation: vertex arrays ``(a, b, c)`` plus the
+        cumulative area weights used for inverse-CDF triangle selection."""
+        cached = getattr(self, "_tri_cache", None)
+        if cached is None:
+            verts = self._vertices
+            a = np.repeat(verts[0][None, :], len(verts) - 2, axis=0)
+            b = verts[1:-1]
+            c = verts[2:]
+            areas = np.abs(
+                (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+                - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0])
+            ) * 0.5
+            cumulative = np.cumsum(areas / areas.sum())
+            cumulative[-1] = 1.0  # guard against float drift at the top end
+            cached = (a, b, c, cumulative)
+            self._tri_cache = cached
+        return cached
+
+    def sample_from_uniforms(
+        self, u_pick: np.ndarray, u_edge: np.ndarray, u_interior: np.ndarray
+    ) -> np.ndarray:
+        """Uniform samples driven by caller-supplied uniforms: ``(n, 2)``.
+
+        Maps three independent ``U[0, 1)`` columns through inverse-CDF
+        triangle selection plus the affine square-root warp.  Taking the
+        uniforms as arguments (rather than an ``rng``) is what lets the
+        batched K-norm sampler draw one ``rng.random((n, k))`` block whose
+        row order matches sequential scalar sampling exactly.
+        """
+        a, b, c, cumulative = self._triangulation()
+        picks = np.searchsorted(cumulative, np.asarray(u_pick, dtype=float), side="right")
+        picks = np.minimum(picks, len(cumulative) - 1)
+        s = np.sqrt(np.asarray(u_edge, dtype=float))[:, None]
+        t = np.asarray(u_interior, dtype=float)[:, None]
+        return (1 - s) * a[picks] + s * (1 - t) * b[picks] + s * t * c[picks]
+
     def sample(self, rng=None, size: int | None = None) -> np.ndarray:
         """Uniform sample(s) from the polygon interior.
 
@@ -248,20 +293,8 @@ class ConvexPolygon:
         """
         generator = ensure_rng(rng)
         count = 1 if size is None else int(size)
-        anchor = self._vertices[0]
-        tris = [
-            (anchor, self._vertices[i], self._vertices[i + 1])
-            for i in range(1, len(self._vertices) - 1)
-        ]
-        areas = np.array([0.5 * abs(_cross(*tri)) for tri in tris])
-        weights = areas / areas.sum()
-        picks = generator.choice(len(tris), size=count, p=weights)
-        u1 = np.sqrt(generator.random(count))
-        u2 = generator.random(count)
-        out = np.empty((count, 2))
-        for k, idx in enumerate(picks):
-            a, b, c = tris[idx]
-            out[k] = (1 - u1[k]) * a + u1[k] * (1 - u2[k]) * b + u1[k] * u2[k] * c
+        u = generator.random((count, 3))
+        out = self.sample_from_uniforms(u[:, 0], u[:, 1], u[:, 2])
         return out[0] if size is None else out
 
     def __repr__(self) -> str:

@@ -104,7 +104,9 @@ class GridWorld:
         """``(n, 2)`` array of centre coordinates for ``cells`` (default: all)."""
         if cells is None:
             cells = np.arange(self.n_cells)
-        cells = np.asarray(list(cells), dtype=int)
+        elif not isinstance(cells, np.ndarray):
+            cells = list(cells)
+        cells = np.asarray(cells, dtype=int)
         if cells.size and (cells.min() < 0 or cells.max() >= self.n_cells):
             raise ValidationError("cell id out of range in coords_array")
         rows, cols = np.divmod(cells, self.width)
@@ -122,6 +124,15 @@ class GridWorld:
         col = min(max(int(np.floor(x)), 0), self.width - 1)
         row = min(max(int(np.floor(y)), 0), self.height - 1)
         return self.cell_of(row, col)
+
+    def snap_batch(self, points) -> np.ndarray:
+        """Vectorized :meth:`snap`: ``(n, 2)`` points to ``(n,)`` cell ids."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValidationError(f"snap_batch expects (n, 2) points, got {pts.shape}")
+        cols = np.clip(np.floor(pts[:, 0] / self.cell_size).astype(int), 0, self.width - 1)
+        rows = np.clip(np.floor(pts[:, 1] / self.cell_size).astype(int), 0, self.height - 1)
+        return rows * self.width + cols
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between the centres of two cells."""

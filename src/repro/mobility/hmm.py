@@ -89,8 +89,7 @@ class BayesFilter:
             posterior[self.markov.world.snap(release.point)] = 1.0
             self.probabilities = posterior
             return posterior
-        cells = np.arange(n)
-        likelihood = mechanism.pdf_vector(release.point, cells.tolist())
+        likelihood = mechanism.pdf_matrix(np.asarray(release.point, dtype=float))[0]
         posterior = self.probabilities * likelihood
         total = posterior.sum()
         if total <= 0:

@@ -9,7 +9,12 @@ updated policy (contact tracing).
 
 from repro.server.localdb import LocalLocationDB
 from repro.server.policy_config import PolicyConfigurator, PolicyProposal
-from repro.server.pipeline import Client, Server, run_release_rounds
+from repro.server.pipeline import (
+    Client,
+    Server,
+    run_release_rounds,
+    run_release_rounds_batched,
+)
 from repro.server.audit import PolicyRecord, ReleaseRecord, TransparencyLog
 
 __all__ = [
@@ -19,6 +24,7 @@ __all__ = [
     "Client",
     "Server",
     "run_release_rounds",
+    "run_release_rounds_batched",
     "PolicyRecord",
     "ReleaseRecord",
     "TransparencyLog",

@@ -4,14 +4,21 @@
 policy and a mechanism; ``Server`` accumulates snapped releases and pushes
 policy updates.  :func:`run_release_rounds` drives a whole population through
 a time window — the loop every experiment's "server view" comes from.
+
+For throughput work there is a second, population-level path:
+:func:`run_release_rounds_batched` releases every user's location for a
+timestep in *one* :meth:`~repro.engine.PrivacyEngine.release_batch` call and
+ingests the whole round via :meth:`Server.ingest_batch`.  It models the
+server-side aggregate view (no per-user ``Client`` objects), which is what
+the monitoring / analysis apps consume at scale.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.accounting import BudgetLedger
-from repro.core.mechanisms.base import Mechanism, Release
+from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
 from repro.core.policy_graph import PolicyGraph
 from repro.errors import DataError, PolicyError
 from repro.geo.grid import GridWorld
@@ -19,7 +26,10 @@ from repro.mobility.trajectory import TraceDB
 from repro.server.localdb import LocalLocationDB
 from repro.utils.rng import ensure_rng, spawn_rngs
 
-__all__ = ["Client", "Server", "run_release_rounds"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports core)
+    from repro.engine import PrivacyEngine
+
+__all__ = ["Client", "Server", "run_release_rounds", "run_release_rounds_batched"]
 
 MechanismFactory = Callable[[GridWorld, PolicyGraph, float], Mechanism]
 
@@ -122,6 +132,29 @@ class Server:
         self.ledger.charge(user, time, release.epsilon, purpose=purpose)
         return cell
 
+    def ingest_batch(
+        self,
+        users: Sequence[int],
+        time: int,
+        batch: ReleaseBatch,
+        purpose: str = "stream",
+    ):
+        """Store a whole release round; returns the snapped cells.
+
+        One row per user: ``batch[i]`` is user ``users[i]``'s release at
+        ``time``.  Snapping is vectorized; budget charges land in the same
+        ledger entries scalar :meth:`ingest` would have produced.
+        """
+        if len(users) != len(batch):
+            raise DataError(
+                f"batch of {len(batch)} releases does not match {len(users)} users"
+            )
+        cells = self.world.snap_batch(batch.points)
+        for user, cell, epsilon in zip(users, cells, batch.epsilons):
+            self.released_db.record(int(user), time, int(cell))
+            self.ledger.charge(int(user), time, float(epsilon), purpose=purpose)
+        return cells
+
     def push_policy(self, client: Client, policy: PolicyGraph) -> None:
         """Offer a policy update; the demo's clients always consent."""
         client.accept_policy(policy)
@@ -166,3 +199,30 @@ def run_release_rounds(
         release = client.release(checkin.time)
         server.ingest(checkin.user, checkin.time, release)
     return server, clients
+
+
+def run_release_rounds_batched(
+    world: GridWorld,
+    true_db: TraceDB,
+    engine: "PrivacyEngine",
+    rng=None,
+) -> Server:
+    """Release the whole population through the engine, one round per timestep.
+
+    The population-scale counterpart of :func:`run_release_rounds`: instead
+    of simulating a ``Client`` per user, each timestep's ``{user: cell}``
+    snapshot becomes a single :meth:`~repro.engine.PrivacyEngine.release_batch`
+    call, and the server ingests the round in bulk.  This is the hot path a
+    collector serving millions of users runs; the per-client loop remains the
+    reference for protocol-level behaviour (local DBs, consent, re-sends).
+    """
+    if not true_db.users():
+        raise DataError("true trace database has no users")
+    generator = ensure_rng(rng)
+    server = Server(world)
+    for time in true_db.times():
+        snapshot = true_db.at_time(time)
+        users = sorted(snapshot)
+        batch = engine.release_batch([snapshot[user] for user in users], rng=generator)
+        server.ingest_batch(users, time, batch)
+    return server

@@ -1,0 +1,260 @@
+"""Tests for the PrivacyEngine facade, specs, registry and batched API."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.inference import BayesianAttacker
+from repro.core.mechanisms import ReleaseBatch
+from repro.core.policies import contact_tracing_policy, grid_policy
+from repro.engine import (
+    EngineSpec,
+    MechanismSpec,
+    PolicySpec,
+    PrivacyEngine,
+    mechanism_names,
+    policy_names,
+    resolve_mechanism,
+    resolve_policy,
+)
+from repro.errors import MechanismError, ValidationError
+from repro.geo.grid import GridWorld
+from repro.server.pipeline import run_release_rounds_batched
+from repro.mobility.synthetic import geolife_like
+
+#: Mechanisms exercised in the batch-vs-scalar identity sweeps.  optimal_lp
+#: is covered separately on a small world (its LP is gated by component size).
+FAST_MECHANISMS = [
+    "planar_laplace",
+    "planar_isotropic",
+    "graph_exponential",
+    "geo_indistinguishability",
+]
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+class TestRegistry:
+    def test_mechanism_names_cover_paper_menagerie(self):
+        assert {
+            "planar_laplace",
+            "planar_isotropic",
+            "graph_exponential",
+            "geo_indistinguishability",
+            "optimal_lp",
+        } <= set(mechanism_names())
+
+    def test_policy_names(self):
+        assert set(policy_names()) == {"G1", "G2", "Ga", "Gb", "Gc"}
+
+    def test_paper_aliases_resolve(self):
+        assert resolve_mechanism("P-LM")[0] == "planar_laplace"
+        assert resolve_mechanism("P-PIM")[0] == "planar_isotropic"
+        assert resolve_mechanism("GraphExp")[0] == "graph_exponential"
+        assert resolve_mechanism("Geo-I")[0] == "geo_indistinguishability"
+
+    def test_resolution_is_case_insensitive(self):
+        assert resolve_mechanism("Planar_Laplace")[0] == "planar_laplace"
+        assert resolve_policy("gb")[0] == "Gb"
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValidationError):
+            resolve_mechanism("gaussian")
+        with pytest.raises(ValidationError):
+            resolve_policy("G99")
+
+    @pytest.mark.parametrize("mechanism", FAST_MECHANISMS)
+    @pytest.mark.parametrize("policy", sorted({"G1", "G2", "Ga", "Gb", "Gc"}))
+    def test_every_name_pair_constructs_and_releases(self, world, mechanism, policy):
+        engine = PrivacyEngine.from_spec(
+            world, mechanism=mechanism, policy=policy, epsilon=1.0
+        )
+        batch = engine.release_batch([0, 1, 2], rng=0)
+        assert batch.points.shape == (3, 2)
+
+    def test_optimal_lp_constructs_on_small_world(self):
+        small = GridWorld(4, 4)
+        engine = PrivacyEngine.from_spec(
+            small, mechanism="optimal_lp", policy="G1", epsilon=1.0
+        )
+        release = engine.release(5, rng=0)
+        assert len(release.point) == 2
+
+
+class TestSpecs:
+    def test_spec_round_trip_through_dict(self):
+        spec = EngineSpec.named("P-LM", "Gb", epsilon=0.5)
+        payload = spec.to_dict()
+        assert payload["mechanism"]["name"] == "planar_laplace"
+        rebuilt = EngineSpec.from_dict(payload)
+        assert rebuilt.mechanism.epsilon == 0.5
+        assert rebuilt.policy.canonical_name == "Gb"
+
+    def test_spec_rejects_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            MechanismSpec(name="planar_laplace", epsilon=0.0)
+
+    def test_engine_from_prebuilt_spec(self, world):
+        spec = EngineSpec(
+            mechanism=MechanismSpec("graph_exponential", epsilon=2.0),
+            policy=PolicySpec("Ga"),
+        )
+        engine = PrivacyEngine.from_spec(world, spec)
+        assert engine.epsilon == 2.0
+        assert engine.policy.name == "Ga"
+        assert engine.describe()["spec"]["mechanism"]["name"] == "graph_exponential"
+
+
+class TestBatchScalarIdentity:
+    @pytest.mark.parametrize("mechanism", FAST_MECHANISMS)
+    def test_release_batch_matches_sequential_scalar(self, world, mechanism):
+        """Same seeded stream: batched == sequential, element-wise."""
+        engine = PrivacyEngine.from_spec(
+            world, mechanism=mechanism, policy="G1", epsilon=1.0
+        )
+        cells = list(range(world.n_cells)) * 2
+        batch = engine.release_batch(cells, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(11)
+        sequential = [engine.release(cell, rng=rng) for cell in cells]
+        assert np.array_equal(batch.points, np.array([r.point for r in sequential]))
+        assert np.array_equal(batch.exact, np.array([r.exact for r in sequential]))
+        assert np.array_equal(batch.epsilons, np.array([r.epsilon for r in sequential]))
+
+    def test_identity_holds_with_exact_cells_interleaved(self, world):
+        policy_builder = lambda w: contact_tracing_policy(grid_policy(w), [7, 20])
+        from repro.core.mechanisms import PolicyLaplaceMechanism
+
+        policy = policy_builder(world)
+        mechanism = PolicyLaplaceMechanism(world, policy, 1.0)
+        engine = PrivacyEngine(world, policy, mechanism)
+        cells = [5, 7, 6, 20, 8, 7]
+        batch = engine.release_batch(cells, rng=np.random.default_rng(3))
+        rng = np.random.default_rng(3)
+        sequential = [engine.release(cell, rng=rng) for cell in cells]
+        assert np.array_equal(batch.points, np.array([r.point for r in sequential]))
+        assert batch.exact.tolist() == [False, True, False, True, False, True]
+        assert batch.epsilons[batch.exact].sum() == 0.0
+
+    def test_optimal_lp_batch_matches_scalar(self):
+        small = GridWorld(4, 4)
+        engine = PrivacyEngine.from_spec(
+            small, mechanism="optimal_lp", policy="G1", epsilon=1.0
+        )
+        cells = list(range(small.n_cells))
+        batch = engine.release_batch(cells, rng=np.random.default_rng(2))
+        rng = np.random.default_rng(2)
+        sequential = [engine.release(cell, rng=rng) for cell in cells]
+        assert np.array_equal(batch.points, np.array([r.point for r in sequential]))
+
+
+class TestPdfMatrix:
+    @pytest.mark.parametrize("mechanism", FAST_MECHANISMS)
+    def test_matches_stacked_pdf_vector(self, world, mechanism):
+        engine = PrivacyEngine.from_spec(
+            world, mechanism=mechanism, policy="Gb", epsilon=1.0
+        )
+        points = np.random.default_rng(4).uniform(0.0, 6.0, size=(9, 2))
+        matrix = engine.pdf_matrix(points)
+        cells = list(range(world.n_cells))
+        stacked = np.vstack(
+            [engine.mechanism.pdf_vector(point, cells) for point in points]
+        )
+        assert matrix.shape == (9, world.n_cells)
+        assert np.allclose(matrix, stacked)
+
+    def test_subset_of_cells_and_scalar_pdf_agreement(self, world):
+        engine = PrivacyEngine.from_spec(world, mechanism="planar_laplace")
+        point = np.array([2.3, 4.1])
+        subset = [0, 5, 17]
+        row = engine.pdf_matrix(point, subset)[0]
+        for value, cell in zip(row, subset):
+            assert value == pytest.approx(engine.pdf(point, cell))
+
+    def test_exact_and_uncovered_cells_zero(self, world):
+        policy = contact_tracing_policy(grid_policy(world), [12])
+        from repro.core.mechanisms import PolicyLaplaceMechanism
+
+        mechanism = PolicyLaplaceMechanism(world, policy, 1.0)
+        engine = PrivacyEngine(world, policy, mechanism)
+        matrix = engine.pdf_matrix(np.array([[2.0, 2.0]]))
+        assert matrix[0, 12] == 0.0
+        assert matrix[0, 0] > 0
+
+
+class TestReleaseBatchRecord:
+    def test_structure_and_scalar_views(self, world):
+        engine = PrivacyEngine.from_spec(world, mechanism="P-LM", epsilon=0.7)
+        batch = engine.release_batch([1, 2, 3, 4], rng=0)
+        assert len(batch) == 4
+        assert batch.mechanism == "PolicyLaplaceMechanism"
+        releases = batch.to_releases()
+        assert [r.point for r in releases] == [batch[i].point for i in range(4)]
+        assert all(r.epsilon == 0.7 for r in releases)
+        assert isinstance(batch, ReleaseBatch)
+
+    def test_uncovered_cell_rejected(self, world):
+        from repro.core.mechanisms import PolicyLaplaceMechanism
+        from repro.core.policy_graph import PolicyGraph
+
+        policy = PolicyGraph([0, 1], [(0, 1)])
+        mechanism = PolicyLaplaceMechanism(world, policy, 1.0)
+        with pytest.raises(MechanismError):
+            mechanism.release_batch([0, 9])
+
+
+class TestEngineIntegration:
+    def test_batched_release_rounds_population_view(self, world):
+        db = geolife_like(world, n_users=5, horizon=8, rng=1)
+        engine = PrivacyEngine.from_spec(world, mechanism="P-LM", epsilon=1.0)
+        server = run_release_rounds_batched(world, db, engine, rng=2)
+        assert server.released_db.users() == db.users()
+        assert len(server.released_db) == len(db)
+        for user in db.users():
+            assert server.ledger.spent(user) == pytest.approx(8 * 1.0)
+
+    def test_batched_rounds_deterministic(self, world):
+        db = geolife_like(world, n_users=4, horizon=6, rng=3)
+        engine = PrivacyEngine.from_spec(world, mechanism="P-PIM", epsilon=1.0)
+        first = run_release_rounds_batched(world, db, engine, rng=5)
+        second = run_release_rounds_batched(world, db, engine, rng=5)
+        assert list(first.released_db.checkins()) == list(second.released_db.checkins())
+
+    def test_attacker_posterior_batch_matches_scalar(self, world):
+        engine = PrivacyEngine.from_spec(world, mechanism="planar_laplace")
+        attacker = BayesianAttacker(world, engine.mechanism)
+        batch = engine.release_batch([3, 14, 30], rng=8)
+        batched = attacker.posterior_batch(batch)
+        for i, release in enumerate(batch.to_releases()):
+            assert np.allclose(batched[i], attacker.posterior(release))
+        estimates = attacker.estimate_batch(batch)
+        assert estimates.tolist() == [
+            attacker.estimate(release) for release in batch.to_releases()
+        ]
+
+    def test_posterior_batch_exact_rows_one_hot(self, world):
+        policy = contact_tracing_policy(grid_policy(world), [9])
+        from repro.core.mechanisms import PolicyLaplaceMechanism
+
+        mechanism = PolicyLaplaceMechanism(world, policy, 1.0)
+        engine = PrivacyEngine(world, policy, mechanism)
+        attacker = BayesianAttacker(world, mechanism)
+        batch = engine.release_batch([9, 10], rng=1)
+        posteriors = attacker.posterior_batch(batch)
+        assert posteriors[0, 9] == 1.0
+        assert posteriors[0].sum() == pytest.approx(1.0)
+        assert posteriors[1].sum() == pytest.approx(1.0)
+
+    def test_engine_rejects_mismatched_parts(self, world):
+        from repro.core.mechanisms import PolicyLaplaceMechanism
+        from repro.core.policies import area_policy
+
+        policy = grid_policy(world)
+        mechanism = PolicyLaplaceMechanism(world, policy, 1.0)
+        # An equal (re-built) policy is fine; a different one is rejected.
+        PrivacyEngine(world, grid_policy(world), mechanism)
+        with pytest.raises(ValidationError):
+            PrivacyEngine(world, area_policy(world, 2, 2), mechanism)
+        with pytest.raises(ValidationError):
+            PrivacyEngine(GridWorld(3, 3), policy, mechanism)
