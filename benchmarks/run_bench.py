@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Time every experiment entry point and write ``BENCH_eval.json``.
+
+Each ``bench_eN_*.py`` in this directory wraps one experiment runner from
+``repro.experiments.harness`` in the pytest-benchmark harness; this script
+times the same entry points directly (one wall-clock run each, no pytest
+overhead) and records ``{name: seconds}`` so CI and perf PRs can diff
+evaluation-layer timings as one JSON artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                # full config
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke        # CI-sized
+    PYTHONPATH=src python benchmarks/run_bench.py --only e1_monitoring_utility
+
+E8 (per-release latency) and E13 (engine throughput) are micro-benchmarks
+with no harness runner; run them through pytest-benchmark instead::
+
+    PYTHONPATH=src pytest benchmarks/bench_e8_scalability.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import harness  # noqa: E402
+from repro.experiments.configs import ExperimentConfig  # noqa: E402
+
+#: benchmark entry point -> harness runner (the callable each bench_eN times).
+ENTRY_POINTS = {
+    "e1_monitoring_utility": harness.run_monitoring_utility,
+    "e2_r0_estimation": harness.run_r0_estimation,
+    "e3_contact_tracing": harness.run_contact_tracing,
+    "e4_adversary_error": harness.run_adversary_error,
+    "e5_random_policies": harness.run_random_policy_tradeoff,
+    "e6_theorem_bounds": harness.run_theorem_bounds,
+    "e7_policy_matrix": harness.run_policy_matrix,
+    "e9_mechanism_ablation": harness.run_mechanism_ablation,
+    "e10_temporal_privacy": harness.run_temporal_privacy,
+    "e11_metapop_forecast": harness.run_metapop_forecast,
+    "e12_dataset_sensitivity": harness.run_dataset_sensitivity,
+}
+
+
+def make_config(smoke: bool) -> ExperimentConfig:
+    """Default config, or a CI-sized one that keeps every runner sub-second."""
+    if not smoke:
+        return ExperimentConfig()
+    return ExperimentConfig(
+        world_size=8,
+        n_users=8,
+        horizon=24,
+        epsilons=(0.5, 2.0),
+        policies=("G1", "Gb"),
+        mechanisms=("P-LM",),
+        trials=2,
+        tracing_window=24,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(ENTRY_POINTS),
+        help="run only this entry point (repeatable)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_eval.json",
+        help="where to write the {name: seconds} JSON (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    config = make_config(args.smoke)
+    names = args.only or sorted(ENTRY_POINTS)
+    timings: dict[str, float] = {}
+    for name in names:
+        runner = ENTRY_POINTS[name]
+        start = time.perf_counter()
+        runner(config)
+        timings[name] = round(time.perf_counter() - start, 6)
+        print(f"{name:<28} {timings[name]:>10.3f}s")
+
+    args.output.write_text(json.dumps(timings, indent=2, sort_keys=True) + "\n")
+    total = sum(timings.values())
+    print(f"{'total':<28} {total:>10.3f}s  -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

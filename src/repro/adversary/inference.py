@@ -105,10 +105,46 @@ class BayesianAttacker:
         return out
 
     def estimate_batch(self, batch: ReleaseBatch) -> np.ndarray:
-        """Bayes-optimal cell estimates for a whole batch: ``(len(batch),)``."""
+        """Bayes-optimal cell estimates for a whole batch: ``(len(batch),)``.
+
+        The expected-loss matrix comes from one GEMM; rows whose two best
+        candidates are within numerical noise of each other (symmetric
+        posteriors produce exact ties) are re-resolved with the scalar
+        path's matrix-vector product, so batched estimates break ties
+        exactly like sequential :meth:`estimate` calls.
+        """
         posteriors = self.posterior_batch(batch)
-        expected_losses = posteriors @ self._distances()
-        return np.argmin(expected_losses, axis=1)
+        distances = self._distances()
+        expected_losses = posteriors @ distances
+        estimates = np.argmin(expected_losses, axis=1)
+        if expected_losses.shape[1] > 1:
+            best_two = np.partition(expected_losses, 1, axis=1)[:, :2]
+            margin = best_two[:, 1] - best_two[:, 0]
+            unstable = np.flatnonzero(margin <= 1e-8 * (np.abs(best_two[:, 0]) + 1.0))
+            for row in unstable:
+                estimates[row] = int(np.argmin(distances @ posteriors[row]))
+        return estimates
+
+    def expected_error_batch(self, batch: ReleaseBatch) -> np.ndarray:
+        """Residual uncertainty per release: ``(len(batch),)`` min expected loss."""
+        posteriors = self.posterior_batch(batch)
+        return (posteriors @ self._distances()).min(axis=1)
+
+    def inference_error_batch(self, batch: ReleaseBatch, true_cells) -> np.ndarray:
+        """Realised attack error per release against ``true_cells``: ``(len(batch),)``.
+
+        Element ``i`` equals :meth:`inference_error` on the ``i``-th release
+        (same estimates, same ``np.hypot`` distance), computed for the whole
+        batch with one posterior matrix.
+        """
+        true_arr = self.world.cells_array(true_cells, context="inference_error_batch")
+        if true_arr.shape != (len(batch),):
+            raise ValidationError(
+                f"true_cells must have shape ({len(batch)},), got {true_arr.shape}"
+            )
+        estimated = self._coords[self.estimate_batch(batch)]
+        truth = self._coords[true_arr]
+        return np.hypot(estimated[:, 0] - truth[:, 0], estimated[:, 1] - truth[:, 1])
 
     def estimate(self, release: Release) -> int:
         """Bayes-optimal cell estimate under expected Euclidean loss.
@@ -135,6 +171,13 @@ class BayesianAttacker:
     # ------------------------------------------------------------------
     def _distances(self) -> np.ndarray:
         if self._distance_matrix is None:
-            diff = self._coords[:, None, :] - self._coords[None, :, :]
-            self._distance_matrix = np.sqrt((diff**2).sum(axis=2))
+            # The all-pairs matrix depends only on the world, so it is cached
+            # on the world instance and shared by every attacker built
+            # against it (one O(n^2) allocation per world, not per epsilon).
+            cached = getattr(self.world, "_pairwise_distance_cache", None)
+            if cached is None:
+                diff = self._coords[:, None, :] - self._coords[None, :, :]
+                cached = np.sqrt((diff**2).sum(axis=2))
+                self.world._pairwise_distance_cache = cached
+            self._distance_matrix = cached
         return self._distance_matrix

@@ -8,6 +8,12 @@ These are the quantities plotted in the demo's privacy-utility panels:
   (evaluation 3);
 * :func:`expected_inference_error` — the attacker's own expected loss,
   a sample-free lower-variance companion to :func:`adversary_error`.
+
+Each metric is batch-first: the ``len(cells) * trials_per_cell`` releases are
+drawn in one :meth:`~repro.core.mechanisms.Mechanism.release_batch` call (the
+cell-major order of the scalar loops, so the seeded RNG stream is identical)
+and scored through the attacker's batched posterior machinery.
+``batched=False`` keeps the scalar per-release reference loop.
 """
 
 from __future__ import annotations
@@ -32,12 +38,18 @@ def _check_cells(world: GridWorld, cells: Sequence[int]) -> list[int]:
     return [world.check_cell(cell) for cell in cells]
 
 
+def _trial_cells(cells: list[int], trials_per_cell: int) -> np.ndarray:
+    """The scalar loops' draw order — each cell repeated ``trials_per_cell``x."""
+    return np.repeat(np.asarray(cells, dtype=int), trials_per_cell)
+
+
 def utility_error(
     world: GridWorld,
     mechanism: Mechanism,
     true_cells: Sequence[int],
     rng=None,
     trials_per_cell: int = 1,
+    batched: bool = True,
 ) -> float:
     """Mean Euclidean error of releases over ``true_cells``.
 
@@ -46,14 +58,22 @@ def utility_error(
     """
     generator = ensure_rng(rng)
     cells = _check_cells(world, true_cells)
-    total = 0.0
-    count = 0
-    for cell in cells:
-        for _ in range(trials_per_cell):
-            release = mechanism.release(cell, rng=generator)
-            total += euclidean(release.point, world.coords(cell))
-            count += 1
-    return total / count
+    if not batched:
+        total = 0.0
+        count = 0
+        for cell in cells:
+            for _ in range(trials_per_cell):
+                release = mechanism.release(cell, rng=generator)
+                total += euclidean(release.point, world.coords(cell))
+                count += 1
+        return total / count
+    trial_cells = _trial_cells(cells, trials_per_cell)
+    batch = mechanism.release_batch(trial_cells, rng=generator)
+    centres = world.coords_array(trial_cells)
+    errors = np.hypot(
+        batch.points[:, 0] - centres[:, 0], batch.points[:, 1] - centres[:, 1]
+    )
+    return float(errors.sum()) / len(errors)
 
 
 def adversary_error(
@@ -64,6 +84,7 @@ def adversary_error(
     rng=None,
     trials_per_cell: int = 1,
     attacker: BayesianAttacker | None = None,
+    batched: bool = True,
 ) -> float:
     """Mean realised inference error of the Bayesian attacker.
 
@@ -76,14 +97,19 @@ def adversary_error(
     cells = _check_cells(world, true_cells)
     if attacker is None:
         attacker = BayesianAttacker(world, mechanism, prior=prior)
-    total = 0.0
-    count = 0
-    for cell in cells:
-        for _ in range(trials_per_cell):
-            release = mechanism.release(cell, rng=generator)
-            total += attacker.inference_error(release, cell)
-            count += 1
-    return total / count
+    if not batched:
+        total = 0.0
+        count = 0
+        for cell in cells:
+            for _ in range(trials_per_cell):
+                release = mechanism.release(cell, rng=generator)
+                total += attacker.inference_error(release, cell)
+                count += 1
+        return total / count
+    trial_cells = _trial_cells(cells, trials_per_cell)
+    batch = mechanism.release_batch(trial_cells, rng=generator)
+    errors = attacker.inference_error_batch(batch, trial_cells)
+    return float(errors.sum()) / len(errors)
 
 
 def expected_inference_error(
@@ -94,6 +120,7 @@ def expected_inference_error(
     rng=None,
     trials_per_cell: int = 1,
     attacker: BayesianAttacker | None = None,
+    batched: bool = True,
 ) -> float:
     """Mean of the attacker's *expected* loss (its residual uncertainty).
 
@@ -105,11 +132,16 @@ def expected_inference_error(
     cells = _check_cells(world, true_cells)
     if attacker is None:
         attacker = BayesianAttacker(world, mechanism, prior=prior)
-    total = 0.0
-    count = 0
-    for cell in cells:
-        for _ in range(trials_per_cell):
-            release = mechanism.release(cell, rng=generator)
-            total += attacker.expected_error(release)
-            count += 1
-    return total / count
+    if not batched:
+        total = 0.0
+        count = 0
+        for cell in cells:
+            for _ in range(trials_per_cell):
+                release = mechanism.release(cell, rng=generator)
+                total += attacker.expected_error(release)
+                count += 1
+        return total / count
+    trial_cells = _trial_cells(cells, trials_per_cell)
+    batch = mechanism.release_batch(trial_cells, rng=generator)
+    errors = attacker.expected_error_batch(batch)
+    return float(errors.sum()) / len(errors)

@@ -63,14 +63,24 @@ class PolicyLaplaceMechanism(Mechanism):
 
     def __init__(self, world: GridWorld, graph: PolicyGraph, epsilon: float) -> None:
         super().__init__(world, graph, epsilon)
-        self._rate: dict[int, float] = {}
-        for component in graph.components():
-            delta = self._edge_diameter(component)
-            if delta is None:
-                continue  # singleton component: disclosable, no noise needed
-            rate = self.epsilon / delta
-            for node in component:
-                self._rate[node] = rate
+        # Per-node edge sensitivity Delta(C) depends only on (world, graph),
+        # not on epsilon, so it is cached on the (immutable) graph instance:
+        # sweeping epsilons over a shared policy object pays the component
+        # walk once and rebuilds only the epsilon-scaled rates.
+        cache = graph.__dict__.setdefault("_plm_delta_cache", {})
+        deltas = cache.get(world)
+        if deltas is None:
+            deltas = {}
+            for component in graph.components():
+                delta = self._edge_diameter(component)
+                if delta is None:
+                    continue  # singleton component: disclosable, no noise needed
+                for node in component:
+                    deltas[node] = delta
+            cache[world] = deltas
+        self._rate: dict[int, float] = {
+            node: self.epsilon / delta for node, delta in deltas.items()
+        }
 
     def _edge_diameter(self, component: frozenset[int]) -> float | None:
         """Longest Euclidean edge inside ``component`` (None if edgeless)."""

@@ -40,16 +40,25 @@ class PolicyPlanarIsotropicMechanism(Mechanism):
 
     def __init__(self, world: GridWorld, graph: PolicyGraph, epsilon: float) -> None:
         super().__init__(world, graph, epsilon)
-        self._hull_by_component: list[ConvexPolygon] = []
-        self._component_index: dict[int, int] = {}
-        for component in graph.components():
-            hull = self._sensitivity_hull(component)
-            if hull is None:
-                continue  # singleton: disclosable
-            index = len(self._hull_by_component)
-            self._hull_by_component.append(hull)
-            for node in component:
-                self._component_index[node] = index
+        # Sensitivity hulls are pure (world, graph) geometry — epsilon only
+        # scales the gamma radius at sample time — so they are cached on the
+        # (immutable) graph instance and shared across epsilon sweeps.
+        cache = graph.__dict__.setdefault("_ppim_hull_cache", {})
+        cached = cache.get(world)
+        if cached is None:
+            hulls: list[ConvexPolygon] = []
+            index_of: dict[int, int] = {}
+            for component in graph.components():
+                hull = self._sensitivity_hull(component)
+                if hull is None:
+                    continue  # singleton: disclosable
+                index = len(hulls)
+                hulls.append(hull)
+                for node in component:
+                    index_of[node] = index
+            cached = (hulls, index_of)
+            cache[world] = cached
+        self._hull_by_component, self._component_index = cached
 
     def _sensitivity_hull(self, component: frozenset[int]) -> ConvexPolygon | None:
         """Symmetrised convex hull of edge coordinate differences."""

@@ -37,6 +37,7 @@ from repro.geo.grid import GridWorld
 __all__ = [
     "MechanismFactory",
     "PolicyBuilder",
+    "on_policy_registration",
     "register_mechanism",
     "register_policy",
     "resolve_mechanism",
@@ -71,11 +72,24 @@ def register_mechanism(
     _register(_MECHANISMS, _MECHANISM_ALIASES, name, factory, aliases)
 
 
+#: callbacks fired whenever a policy (re-)registration changes the table, so
+#: downstream memoizers (e.g. the experiment layer's built-policy cache) can
+#: invalidate instead of serving graphs built by a replaced builder.
+_POLICY_REGISTRATION_CALLBACKS: list[Callable[[], None]] = []
+
+
+def on_policy_registration(callback: Callable[[], None]) -> None:
+    """Call ``callback`` after every :func:`register_policy`."""
+    _POLICY_REGISTRATION_CALLBACKS.append(callback)
+
+
 def register_policy(
     name: str, builder: PolicyBuilder, aliases: Iterable[str] = ()
 ) -> None:
     """Register a policy builder under ``name`` (plus optional aliases)."""
     _register(_POLICIES, _POLICY_ALIASES, name, builder, aliases)
+    for callback in _POLICY_REGISTRATION_CALLBACKS:
+        callback()
 
 
 def resolve_mechanism(name: str) -> tuple[str, MechanismFactory]:

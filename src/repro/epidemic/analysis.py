@@ -107,15 +107,14 @@ def perturb_tracedb(
     """
     generator = ensure_rng(rng)
     released = TraceDB()
-    checkins = list(db.checkins())
-    if not checkins:
+    if len(db) == 0:
         return released
     # One vectorized engine-style call over the whole stream; the checkin
     # order matches a scalar release loop, so a seeded batched run equals a
     # seeded scalar run of the same mechanism.
-    batch = mechanism.release_batch([checkin.cell for checkin in checkins], rng=generator)
-    for checkin, cell in zip(checkins, world.snap_batch(batch.points)):
-        released.record(checkin.user, checkin.time, int(cell))
+    users, times, cells = db.to_arrays()
+    batch = mechanism.release_batch(cells, rng=generator)
+    released.record_many(users, times, world.snap_batch(batch.points))
     return released
 
 

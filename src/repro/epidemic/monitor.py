@@ -4,12 +4,21 @@ The monitoring app aggregates released locations into coarse areas ("cities
 or provinces"), tracks inter-area flows, and reports the utility metrics of
 the demo's first evaluation: per-release Euclidean error, area classification
 accuracy, and L1 flow error against the true traces.
+
+The scorer is batch-first: :func:`monitoring_utility` perturbs the whole
+trace database through one :meth:`~repro.core.mechanisms.Mechanism.release_batch`
+call and aggregates every metric with NumPy (inter-area flows via
+``np.unique`` over area-pair codes).  The batched path consumes the same
+seeded RNG stream as the scalar loop, so both paths score identically;
+``batched=False`` keeps the per-check-in reference loop.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.mechanisms.base import Mechanism
 from repro.errors import DataError
@@ -55,15 +64,26 @@ class LocationMonitor:
         self.block_rows = check_integer("block_rows", block_rows, minimum=1)
         self.block_cols = check_integer("block_cols", block_cols, minimum=1)
 
+    @property
+    def n_areas(self) -> int:
+        """Number of coarse areas in this monitor's tiling."""
+        return self.world.n_areas(self.block_rows, self.block_cols)
+
     def area_of_cell(self, cell: int) -> int:
         return self.world.area_of(cell, self.block_rows, self.block_cols)
 
+    def area_of_batch(self, cells) -> np.ndarray:
+        """Vectorized :meth:`area_of_cell` over a flat array of cell ids."""
+        return self.world.area_of_batch(cells, self.block_rows, self.block_cols)
+
     def area_counts(self, db: TraceDB, time: int) -> Counter:
         """Occupancy per coarse area at ``time`` (the monitoring dashboard)."""
-        counts: Counter = Counter()
-        for cell in db.at_time(time).values():
-            counts[self.area_of_cell(cell)] += 1
-        return counts
+        snapshot = db.at_time(time)
+        if not snapshot:
+            return Counter()
+        areas = self.area_of_batch(list(snapshot.values()))
+        uniques, counts = np.unique(areas, return_counts=True)
+        return Counter(dict(zip(uniques.tolist(), counts.tolist())))
 
     def flows(self, db: TraceDB) -> Counter:
         """Inter-area movement counts over consecutive timesteps.
@@ -72,19 +92,38 @@ class LocationMonitor:
         differ; same-area steps are recorded under ``(area, area)`` so that
         stay-put mass is also comparable.
         """
+        users, times, cells = db.to_arrays()
+        return self.flows_from_arrays(users, times, cells)
+
+    def flows_from_arrays(self, users: np.ndarray, times: np.ndarray, cells: np.ndarray) -> Counter:
+        """:meth:`flows` over a structure-of-arrays trace view.
+
+        The arrays must be grouped by user with times ascending within each
+        user (the :meth:`~repro.mobility.trajectory.TraceDB.to_arrays`
+        layout), so user transitions are adjacent rows.  Counting is one
+        ``np.unique`` over ``src_area * n_areas + dst_area`` codes — no
+        Python loop over check-ins.
+        """
         flows: Counter = Counter()
-        times = db.times()
-        for earlier, later in zip(times, times[1:]):
-            if later != earlier + 1:
-                continue
-            before = db.at_time(earlier)
-            after = db.at_time(later)
-            for user, cell in before.items():
-                next_cell = after.get(user)
-                if next_cell is None:
-                    continue
-                flows[(self.area_of_cell(cell), self.area_of_cell(next_cell))] += 1
+        if len(users) < 2:
+            return flows
+        step = (users[1:] == users[:-1]) & (times[1:] == times[:-1] + 1)
+        if not step.any():
+            return flows
+        src = self.area_of_batch(cells[:-1][step])
+        dst = self.area_of_batch(cells[1:][step])
+        n_areas = self.n_areas
+        codes, counts = np.unique(src * n_areas + dst, return_counts=True)
+        for code, count in zip(codes.tolist(), counts.tolist()):
+            flows[(code // n_areas, code % n_areas)] = count
         return flows
+
+
+def _flow_l1_error(true_flows: Counter, observed_flows: Counter) -> float:
+    keys = set(true_flows) | set(observed_flows)
+    l1 = sum(abs(true_flows.get(key, 0) - observed_flows.get(key, 0)) for key in keys)
+    total_true_flow = sum(true_flows.values())
+    return l1 / total_true_flow if total_true_flow else 0.0
 
 
 def monitoring_utility(
@@ -94,18 +133,56 @@ def monitoring_utility(
     block_rows: int = 4,
     block_cols: int = 4,
     rng=None,
+    batched: bool = True,
 ) -> MonitoringReport:
     """Release every check-in of ``true_db`` and score monitoring utility.
 
     This is experiment E1's inner loop: perturb each true location with
     ``mechanism``, then compare Euclidean error, coarse-area agreement, and
-    inter-area flows.
+    inter-area flows.  The default path draws all releases in one
+    :meth:`~repro.core.mechanisms.Mechanism.release_batch` call and scores
+    them with NumPy; ``batched=False`` runs the scalar per-check-in reference
+    loop.  Both consume the same seeded RNG stream, so a seeded batched run
+    reproduces the seeded scalar run.
     """
     if len(true_db) == 0:
         raise DataError("true trace database is empty")
     generator = ensure_rng(rng)
     monitor = LocationMonitor(world, block_rows, block_cols)
 
+    if not batched:
+        return _monitoring_utility_scalar(world, mechanism, true_db, monitor, generator)
+
+    users, times, cells = true_db.to_arrays()
+    batch = mechanism.release_batch(cells, rng=generator)
+    released_cells = world.snap_batch(batch.points)
+    centres = world.coords_array(cells)
+    errors = np.hypot(
+        batch.points[:, 0] - centres[:, 0], batch.points[:, 1] - centres[:, 1]
+    )
+    area_hits = int(
+        np.count_nonzero(monitor.area_of_batch(released_cells) == monitor.area_of_batch(cells))
+    )
+    count = len(cells)
+
+    true_flows = monitor.flows_from_arrays(users, times, cells)
+    observed_flows = monitor.flows_from_arrays(users, times, released_cells)
+    return MonitoringReport(
+        mean_euclidean_error=float(errors.sum()) / count,
+        area_accuracy=area_hits / count,
+        flow_l1_error=_flow_l1_error(true_flows, observed_flows),
+        n_releases=count,
+    )
+
+
+def _monitoring_utility_scalar(
+    world: GridWorld,
+    mechanism: Mechanism,
+    true_db: TraceDB,
+    monitor: LocationMonitor,
+    generator,
+) -> MonitoringReport:
+    """Per-check-in reference loop (the protocol as one client experiences it)."""
     released_db = TraceDB()
     total_error = 0.0
     area_hits = 0
@@ -119,16 +196,9 @@ def monitoring_utility(
             area_hits += 1
         count += 1
 
-    true_flows = monitor.flows(true_db)
-    observed_flows = monitor.flows(released_db)
-    keys = set(true_flows) | set(observed_flows)
-    l1 = sum(abs(true_flows.get(key, 0) - observed_flows.get(key, 0)) for key in keys)
-    total_true_flow = sum(true_flows.values())
-    flow_error = l1 / total_true_flow if total_true_flow else 0.0
-
     return MonitoringReport(
         mean_euclidean_error=total_error / count,
         area_accuracy=area_hits / count,
-        flow_l1_error=flow_error,
+        flow_l1_error=_flow_l1_error(monitor.flows(true_db), monitor.flows(released_db)),
         n_releases=count,
     )

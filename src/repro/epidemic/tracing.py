@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.core.accounting import BudgetLedger
 from repro.core.mechanisms.base import Mechanism
 from repro.core.policies import contact_tracing_policy
@@ -164,16 +166,16 @@ class ContactTracingProtocol:
         radius = self._effective_radius(base_mechanism)
         candidates = self._screen(released_db, infected_pairs, radius, exclude=patient)
 
-        flagged: set[int] = set()
-        for user in sorted(candidates):
-            disclosed_hits = 0
-            for checkin in true_db.user_history(user, start=start, end=diagnosis_time):
-                release = tracing_mechanism.release(checkin.cell, rng=generator)
-                ledger.charge(user, checkin.time, release.epsilon, purpose="tracing-resend")
-                if release.exact and (self.world.snap(release.point), checkin.time) in infected_pairs:
-                    disclosed_hits += 1
-            if disclosed_hits >= self.min_count:
-                flagged.add(user)
+        flagged = self._resend_and_flag(
+            true_db,
+            tracing_mechanism,
+            candidates,
+            infected_pairs,
+            start,
+            diagnosis_time,
+            generator,
+            ledger,
+        )
 
         true_contacts = frozenset(
             true_db.contacts_of(patient, min_count=self.min_count, start=start, end=diagnosis_time)
@@ -196,14 +198,84 @@ class ContactTracingProtocol:
         rng,
         ledger: BudgetLedger,
     ) -> TraceDB:
+        """One batched release over every in-window check-in.
+
+        Check-in order matches the scalar per-client loop, so the seeded RNG
+        stream (and therefore the released database) is identical.
+        """
         released = TraceDB()
-        for checkin in true_db.checkins():
-            if not start <= checkin.time <= end:
-                continue
-            release = mechanism.release(checkin.cell, rng=rng)
-            ledger.charge(checkin.user, checkin.time, release.epsilon, purpose="stream")
-            released.record(checkin.user, checkin.time, self.world.snap(release.point))
+        users, times, cells = true_db.to_arrays()
+        window = (times >= start) & (times <= end)
+        users, times, cells = users[window], times[window], cells[window]
+        if len(cells) == 0:
+            return released
+        # Exactness is a policy property, so per-release budgets are known
+        # before drawing; charging first keeps a capped ledger gating the
+        # stream (it faults at the same check-in as the scalar loop, before
+        # any noise is drawn).
+        self._charge_all(ledger, users, times, mechanism, cells, purpose="stream")
+        batch = mechanism.release_batch(cells, rng=rng)
+        released.record_many(users, times, self.world.snap_batch(batch.points))
         return released
+
+    @staticmethod
+    def _charge_all(ledger, users, times, mechanism, cells, purpose: str) -> None:
+        for user, time, cell in zip(users, times, cells):
+            epsilon = 0.0 if mechanism.is_exact(int(cell)) else mechanism.epsilon
+            ledger.charge(int(user), int(time), epsilon, purpose=purpose)
+
+    def _resend_and_flag(
+        self,
+        true_db: TraceDB,
+        tracing_mechanism: Mechanism,
+        candidates: set[int],
+        infected_pairs: set[tuple[int, int]],
+        start: int,
+        end: int,
+        rng,
+        ledger: BudgetLedger,
+    ) -> frozenset[int]:
+        """Step 4/5 batched: every candidate's window re-sent in one batch.
+
+        Candidate histories are concatenated user-major (the scalar resend
+        order), released through one ``release_batch``, and the suspected-
+        infection rule is applied with array ops: a hit is an *exact* release
+        whose (snapped cell, time) is an infected pair.
+        """
+        users: list[int] = []
+        times: list[int] = []
+        cells: list[int] = []
+        for user in sorted(candidates):
+            for checkin in true_db.user_history(user, start=start, end=end):
+                users.append(user)
+                times.append(checkin.time)
+                cells.append(checkin.cell)
+        if not users:
+            return frozenset()
+        self._charge_all(ledger, users, times, tracing_mechanism, cells, purpose="tracing-resend")
+        batch = tracing_mechanism.release_batch(cells, rng=rng)
+        snapped = self.world.snap_batch(batch.points)
+        time_arr = np.asarray(times, dtype=int)
+        # Encode (cell, time) pairs as scalars so membership is one np.isin.
+        t0 = int(time_arr.min())
+        time_span = int(time_arr.max()) - t0 + 1
+        codes = snapped.astype(np.int64) * time_span + (time_arr - t0)
+        infected_codes = np.asarray(
+            [
+                cell * time_span + (time - t0)
+                for cell, time in infected_pairs
+                if 0 <= time - t0 < time_span
+            ],
+            dtype=np.int64,
+        )
+        hits = batch.exact & np.isin(codes, infected_codes)
+        user_arr = np.asarray(users, dtype=int)
+        flagged_users, hit_counts = np.unique(user_arr[hits], return_counts=True)
+        return frozenset(
+            int(user)
+            for user, count in zip(flagged_users, hit_counts)
+            if count >= self.min_count
+        )
 
     def _effective_radius(self, mechanism: Mechanism) -> float:
         if self.screen_radius is not None:

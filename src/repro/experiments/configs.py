@@ -11,6 +11,7 @@ is the preferred construction path; :func:`build_policy` /
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
@@ -18,7 +19,7 @@ import numpy as np
 from repro.core.mechanisms import Mechanism
 from repro.core.policy_graph import PolicyGraph
 from repro.engine import PrivacyEngine
-from repro.engine.registry import resolve_mechanism, resolve_policy
+from repro.engine.registry import on_policy_registration, resolve_mechanism, resolve_policy
 from repro.geo.grid import GridWorld
 
 __all__ = [
@@ -31,7 +32,7 @@ __all__ = [
 
 
 def _policy_builder(name: str) -> Callable[[GridWorld], PolicyGraph]:
-    return lambda world: resolve_policy(name)[1](world)
+    return lambda world: build_policy(name, world)
 
 
 def _mechanism_factory(name: str) -> Callable[[GridWorld, PolicyGraph, float], Mechanism]:
@@ -49,9 +50,29 @@ MECHANISM_FACTORIES: dict[str, Callable[[GridWorld, PolicyGraph, float], Mechani
 }
 
 
+# Small bound: entries pin whole graphs (G2 cliques are quadratic in the
+# world size) plus the mechanism caches attached to them, so the cache only
+# needs to cover one sweep's working set of (policy, world) pairs.
+@lru_cache(maxsize=16)
+def _build_policy_cached(canonical_name: str, world: GridWorld) -> PolicyGraph:
+    return resolve_policy(canonical_name)[1](world)
+
+
+# Re-registering a policy name must not serve graphs from the old builder.
+on_policy_registration(_build_policy_cached.cache_clear)
+
+
 def build_policy(name: str, world: GridWorld) -> PolicyGraph:
-    """Instantiate a named policy over ``world`` (any registry alias works)."""
-    return resolve_policy(name)[1](world)
+    """Instantiate a named policy over ``world`` (any registry alias works).
+
+    Memoized per ``(canonical name, world)``: policy graphs are immutable, so
+    the harness's ``policy x mechanism x epsilon`` sweeps share one graph
+    object per policy instead of rebuilding it on every inner iteration —
+    which also lets the mechanisms' per-policy caches (P-LM sensitivities,
+    P-PIM hulls) survive across epsilons.
+    """
+    canonical, _ = resolve_policy(name)
+    return _build_policy_cached(canonical, world)
 
 
 def build_mechanism(name: str, world: GridWorld, policy: PolicyGraph, epsilon: float) -> Mechanism:

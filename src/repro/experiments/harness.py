@@ -8,10 +8,9 @@ directly in ``benchmarks/bench_e8_scalability.py`` since its measurements
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from repro.adversary.inference import BayesianAttacker
 from repro.adversary.metrics import adversary_error, utility_error
 from repro.core.mechanisms import PolicyLaplaceMechanism, PolicyPlanarIsotropicMechanism
 from repro.core.policies import random_policy
@@ -177,8 +176,16 @@ def run_adversary_error(config: ExperimentConfig = ExperimentConfig()) -> Result
         for mechanism_name in config.mechanisms:
             for epsilon in config.epsilons:
                 mechanism = build_mechanism(mechanism_name, world, policy, epsilon)
+                # One attacker per built mechanism, reused across all of this
+                # mechanism's batched adversary draws.
+                attacker = BayesianAttacker(world, mechanism)
                 privacy = adversary_error(
-                    world, mechanism, true_cells, rng=rng, trials_per_cell=config.trials
+                    world,
+                    mechanism,
+                    true_cells,
+                    rng=rng,
+                    trials_per_cell=config.trials,
+                    attacker=attacker,
                 )
                 utility = utility_error(
                     world, mechanism, true_cells, rng=rng, trials_per_cell=config.trials
@@ -208,8 +215,11 @@ def run_random_policy_tradeoff(
             if not protected:
                 continue
             cells = protected[: min(20, len(protected))]
+            attacker = BayesianAttacker(world, mechanism)
             utility = utility_error(world, mechanism, cells, rng=rng, trials_per_cell=config.trials)
-            privacy = adversary_error(world, mechanism, cells, rng=rng, trials_per_cell=config.trials)
+            privacy = adversary_error(
+                world, mechanism, cells, rng=rng, trials_per_cell=config.trials, attacker=attacker
+            )
             table.add_row(size, density, policy.n_edges, utility, privacy)
     return table
 
@@ -240,34 +250,38 @@ def run_theorem_bounds(
         )
     )
     for epsilon in config.epsilons:
-        # Theorem 2.1: {eps, G1} implies eps-Geo-Indistinguishability.
+        # Theorem 2.1: {eps, G1} implies eps-Geo-Indistinguishability.  The
+        # pair draws keep the scalar loop's RNG order; all (pair, output)
+        # log-ratios then come from one pdf_matrix call over the distinct
+        # cells instead of 2 * n_pairs * n_outputs scalar pdf evaluations.
         policy = build_policy("G1", world)
         mechanism = PolicyLaplaceMechanism(world, policy, epsilon)
-        worst = 0.0
-        for _ in range(n_pairs):
-            cell_a, cell_b = rng.choice(world.n_cells, size=2, replace=False)
-            distance = world.distance(int(cell_a), int(cell_b))
-            for z in outputs:
-                ratio = math.log(mechanism.pdf(z, int(cell_a))) - math.log(
-                    mechanism.pdf(z, int(cell_b))
-                )
-                worst = max(worst, ratio / distance)
+        pairs = np.asarray(
+            [rng.choice(world.n_cells, size=2, replace=False) for _ in range(n_pairs)],
+            dtype=int,
+        )
+        distinct, flat_index = np.unique(pairs.ravel(), return_inverse=True)
+        column = flat_index.reshape(pairs.shape)
+        log_pdf = np.log(mechanism.pdf_matrix(outputs, distinct))  # (n_outputs, k)
+        coords_a = world.coords_array(pairs[:, 0])
+        coords_b = world.coords_array(pairs[:, 1])
+        distances = np.hypot(
+            coords_a[:, 0] - coords_b[:, 0], coords_a[:, 1] - coords_b[:, 1]
+        )
+        ratios = (log_pdf[:, column[:, 0]] - log_pdf[:, column[:, 1]]) / distances[None, :]
+        worst = max(0.0, float(ratios.max()))
         table.add_row("2.1 (Geo-I)", "G1", "P-LM", epsilon, worst, epsilon, worst <= epsilon + 1e-9)
 
         # Theorem 2.2: {eps, G2} over a location set implies eps-LS privacy.
+        # The max over ordered pairs (a, b) of log pdf(z|a) - log pdf(z|b) is
+        # each output row's max minus min in one (n_outputs, |set|) matrix.
         subset = sorted(rng.choice(world.n_cells, size=12, replace=False).tolist())
         from repro.core.policies import location_set_policy
 
         set_policy = location_set_policy(world, subset, name="G2")
         pim = PolicyPlanarIsotropicMechanism(world, set_policy, epsilon)
-        worst = 0.0
-        for cell_a in subset:
-            for cell_b in subset:
-                if cell_a == cell_b:
-                    continue
-                for z in outputs:
-                    ratio = math.log(pim.pdf(z, cell_a)) - math.log(pim.pdf(z, cell_b))
-                    worst = max(worst, ratio)
+        log_pdf = np.log(pim.pdf_matrix(outputs, subset))
+        worst = max(0.0, float((log_pdf.max(axis=1) - log_pdf.min(axis=1)).max()))
         table.add_row("2.2 (LocSet)", "G2", "P-PIM", epsilon, worst, epsilon, worst <= epsilon + 1e-9)
     return table
 
@@ -463,13 +477,13 @@ def run_metapop_forecast(
     world = config.make_world()
     db = _dataset(config, world)
     monitor = LocationMonitor(world, config.monitor_block[0], config.monitor_block[1])
-    n_areas = len(world.areas(config.monitor_block[0], config.monitor_block[1]))
+    n_areas = monitor.n_areas
     # Populations proportional to true occupancy so areas are heterogeneous
     # and the forecast genuinely depends on the mobility matrix.
-    occupancy = np.zeros(n_areas)
-    for time in db.times():
-        for cell in db.at_time(time).values():
-            occupancy[monitor.area_of_cell(cell)] += 1
+    _, _, occupied_cells = db.to_arrays()
+    occupancy = np.bincount(
+        monitor.area_of_batch(occupied_cells), minlength=n_areas
+    ).astype(float)
     scale = 10.0 * config.n_users / max(occupancy.sum(), 1.0)
     populations = occupancy * scale * n_areas + 1.0
 

@@ -100,15 +100,20 @@ class GridWorld:
         row, col = self.rowcol(cell)
         return ((col + 0.5) * self.cell_size, (row + 0.5) * self.cell_size)
 
+    def cells_array(self, cells, context: str = "cells_array") -> np.ndarray:
+        """Validate an array-like of cell ids, returning a flat int array."""
+        if not isinstance(cells, np.ndarray):
+            cells = list(cells)
+        arr = np.asarray(cells, dtype=int)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n_cells):
+            raise ValidationError(f"cell id out of range in {context}")
+        return arr
+
     def coords_array(self, cells=None) -> np.ndarray:
         """``(n, 2)`` array of centre coordinates for ``cells`` (default: all)."""
         if cells is None:
             cells = np.arange(self.n_cells)
-        elif not isinstance(cells, np.ndarray):
-            cells = list(cells)
-        cells = np.asarray(cells, dtype=int)
-        if cells.size and (cells.min() < 0 or cells.max() >= self.n_cells):
-            raise ValidationError("cell id out of range in coords_array")
+        cells = self.cells_array(cells, context="coords_array")
         rows, cols = np.divmod(cells, self.width)
         return np.column_stack(((cols + 0.5) * self.cell_size, (rows + 0.5) * self.cell_size))
 
@@ -181,6 +186,21 @@ class GridWorld:
         row, col = self.rowcol(cell)
         blocks_per_row = -(-self.width // block_cols)  # ceil division
         return (row // block_rows) * blocks_per_row + (col // block_cols)
+
+    def area_of_batch(self, cells, block_rows: int, block_cols: int) -> np.ndarray:
+        """Vectorized :meth:`area_of`: ``(n,)`` cell ids to ``(n,)`` area ids."""
+        check_integer("block_rows", block_rows, minimum=1)
+        check_integer("block_cols", block_cols, minimum=1)
+        arr = self.cells_array(cells, context="area_of_batch")
+        rows, cols = np.divmod(arr, self.width)
+        blocks_per_row = -(-self.width // block_cols)  # ceil division
+        return (rows // block_rows) * blocks_per_row + (cols // block_cols)
+
+    def n_areas(self, block_rows: int, block_cols: int) -> int:
+        """Number of coarse areas in the ``block_rows x block_cols`` tiling."""
+        check_integer("block_rows", block_rows, minimum=1)
+        check_integer("block_cols", block_cols, minimum=1)
+        return (-(-self.height // block_rows)) * (-(-self.width // block_cols))
 
     def areas(self, block_rows: int, block_cols: int) -> dict[int, list[int]]:
         """Partition of all cells into coarse areas, ``{area_id: [cells]}``."""

@@ -13,9 +13,18 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import DataError
 
 __all__ = ["CheckIn", "Trajectory", "TraceDB"]
+
+
+def _as_int_list(values) -> list[int]:
+    """Plain Python ints from an array-like, for fast dict keys/values."""
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return [int(v) for v in values]
 
 
 @dataclass(frozen=True, order=True)
@@ -129,6 +138,22 @@ class TraceDB:
         """Convenience wrapper around :meth:`add`."""
         self.add(CheckIn(time=int(time), user=int(user), cell=int(cell)))
 
+    def record_many(self, users, times, cells) -> None:
+        """Bulk :meth:`record` over parallel arrays (batched-pipeline insert).
+
+        Semantically ``for u, t, c in zip(...): self.record(u, t, c)``, but
+        without per-row :class:`CheckIn` construction — this is how the
+        batched release paths materialise a whole perturbed stream.
+        """
+        by_time = self._by_time
+        by_user = self._by_user
+        for user, time, cell in zip(_as_int_list(users), _as_int_list(times), _as_int_list(cells)):
+            history = by_user[user]
+            if time not in history:
+                self._count += 1
+            by_time[time][user] = cell
+            history[time] = cell
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -220,6 +245,28 @@ class TraceDB:
         for user, history in sorted(self._by_user.items()):
             for time, cell in sorted(history.items()):
                 yield CheckIn(time=time, user=user, cell=cell)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(users, times, cells)`` flat int arrays in :meth:`checkins` order.
+
+        The structure-of-arrays view of the whole database (sorted by user,
+        then time) that the vectorized evaluation layer consumes; row ``i`` of
+        the three arrays is the ``i``-th check-in yielded by
+        :meth:`checkins`.
+        """
+        n = self._count
+        users = np.empty(n, dtype=int)
+        times = np.empty(n, dtype=int)
+        cells = np.empty(n, dtype=int)
+        offset = 0
+        for user, history in sorted(self._by_user.items()):
+            items = sorted(history.items())
+            stop = offset + len(items)
+            users[offset:stop] = user
+            times[offset:stop] = [time for time, _ in items]
+            cells[offset:stop] = [cell for _, cell in items]
+            offset = stop
+        return users, times, cells
 
     def trajectory_of(self, user: int) -> Trajectory:
         """Contiguous trajectory of ``user`` (requires gap-free history)."""
