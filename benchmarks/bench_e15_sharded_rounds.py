@@ -1,0 +1,69 @@
+"""E15 — sharded release rounds: throughput vs shard count per backend.
+
+The sharded pipeline's promise is two-sided: shard the population freely
+(throughput) without moving a single release (determinism).  These
+benchmarks measure the first half on the pytest-benchmark harness — full
+``run_release_rounds_batched`` runs across shard counts and backends — and
+``test_sharded_matches_unsharded`` re-pins the second half so a perf
+regression fix can never silently trade determinism away.
+
+``benchmarks/run_bench.py`` times the same sweep without pytest overhead and
+records it (with backend / shard-count metadata) into ``BENCH_eval.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import PrivacyEngine
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.server.pipeline import run_release_rounds_batched
+
+SHARD_COUNTS = [1, 2, 4, 8]
+BACKENDS = ["serial", "thread", "process"]
+N_USERS = 200
+HORIZON = 24
+
+
+def _workload(size: int = 16):
+    world = GridWorld(size, size)
+    db = geolife_like(world, n_users=N_USERS, horizon=HORIZON, rng=1)
+    engine = PrivacyEngine.from_spec(world, mechanism="planar_laplace", policy="G1", epsilon=1.0)
+    return world, db, engine
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_sharded_rounds(benchmark, backend, shards):
+    world, db, engine = _workload()
+    benchmark(
+        run_release_rounds_batched, world, db, engine,
+        rng=0, shards=shards, backend=backend,
+    )
+
+
+def test_bench_unsharded_reference(benchmark):
+    """The PR 1 time-major single-stream path, for before/after comparison."""
+    world, db, engine = _workload()
+    benchmark(run_release_rounds_batched, world, db, engine, rng=0)
+
+
+def test_sharded_matches_unsharded():
+    """Acceptance: every (backend, shards) pair releases identical values."""
+    world, db, engine = _workload(size=8)
+    reference = run_release_rounds_batched(world, db, engine, rng=7, shards=1)
+    expected = list(reference.released_db.checkins())
+    timings = {}
+    for backend in BACKENDS:
+        for shards in SHARD_COUNTS:
+            start = time.perf_counter()
+            server = run_release_rounds_batched(
+                world, db, engine, rng=7, shards=shards, backend=backend
+            )
+            timings[(backend, shards)] = time.perf_counter() - start
+            assert list(server.released_db.checkins()) == expected, (backend, shards)
+    releases = len(db)
+    print()
+    for (backend, shards), seconds in timings.items():
+        print(f"E15: {backend:<8} shards={shards}  {releases / seconds:>12,.0f} releases/s")

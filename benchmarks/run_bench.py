@@ -4,19 +4,34 @@
 Each ``bench_eN_*.py`` in this directory wraps one experiment runner from
 ``repro.experiments.harness`` in the pytest-benchmark harness; this script
 times the same entry points directly (one wall-clock run each, no pytest
-overhead) and records ``{name: seconds}`` so CI and perf PRs can diff
-evaluation-layer timings as one JSON artifact.
+overhead) and records them as one JSON artifact so CI and perf PRs can diff
+evaluation-layer timings.
+
+The artifact has three blocks::
+
+    {
+      "config": "full" | "smoke",
+      "timings": {"e1_monitoring_utility": 0.061, ...},   # seconds per runner
+      "sharded": [                                        # E15 sweep
+        {"backend": "process", "shards": 4, "seconds": 0.21,
+         "releases_per_sec": 34000.0, "matches_serial": true},
+        ...
+      ]
+    }
+
+``sharded`` is the E15 sharded-release-rounds sweep: one entry per
+``(backend, shard count)`` pair with its throughput and the element-wise
+determinism check against the 1-shard baseline.  E13 (engine micro
+throughput) and the per-release latency half of E8 remain pytest-benchmark
+micro-benchmarks::
+
+    PYTHONPATH=src pytest benchmarks/bench_e15_sharded_rounds.py --benchmark-only
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py                # full config
     PYTHONPATH=src python benchmarks/run_bench.py --smoke        # CI-sized
     PYTHONPATH=src python benchmarks/run_bench.py --only e1_monitoring_utility
-
-E8 (per-release latency) and E13 (engine throughput) are micro-benchmarks
-with no harness runner; run them through pytest-benchmark instead::
-
-    PYTHONPATH=src pytest benchmarks/bench_e8_scalability.py --benchmark-only
 """
 
 from __future__ import annotations
@@ -41,11 +56,15 @@ ENTRY_POINTS = {
     "e5_random_policies": harness.run_random_policy_tradeoff,
     "e6_theorem_bounds": harness.run_theorem_bounds,
     "e7_policy_matrix": harness.run_policy_matrix,
+    # E8's runner (harness.run_scalability) is measured by the dedicated
+    # e15 sharded entry below, which also records per-combination metadata.
     "e9_mechanism_ablation": harness.run_mechanism_ablation,
     "e10_temporal_privacy": harness.run_temporal_privacy,
     "e11_metapop_forecast": harness.run_metapop_forecast,
     "e12_dataset_sensitivity": harness.run_dataset_sensitivity,
 }
+
+SHARDED_ENTRY = "e15_sharded_rounds"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -61,7 +80,19 @@ def make_config(smoke: bool) -> ExperimentConfig:
         mechanisms=("P-LM",),
         trials=2,
         tracing_window=24,
+        shard_counts=(1, 2),
+        backends=("serial", "thread"),
     )
+
+
+def run_sharded(config: ExperimentConfig) -> list[dict]:
+    """The E15 sweep: sharded round throughput with backend/shard metadata.
+
+    Reuses the E8 harness runner (so CLI, pytest-benchmark, and this script
+    all measure the same code path) and re-keys its table into JSON-ready
+    records.
+    """
+    return harness.run_scalability(config).to_dicts()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,29 +101,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=sorted(ENTRY_POINTS),
+        choices=sorted(ENTRY_POINTS) + [SHARDED_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parents[1] / "BENCH_eval.json",
-        help="where to write the {name: seconds} JSON (default: repo root)",
+        help="where to write the JSON artifact (default: repo root)",
     )
     args = parser.parse_args(argv)
 
     config = make_config(args.smoke)
-    names = args.only or sorted(ENTRY_POINTS)
-    timings: dict[str, float] = {}
+    names = args.only or sorted(ENTRY_POINTS) + [SHARDED_ENTRY]
+    payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
+        if name == SHARDED_ENTRY:
+            continue
         runner = ENTRY_POINTS[name]
         start = time.perf_counter()
         runner(config)
-        timings[name] = round(time.perf_counter() - start, 6)
-        print(f"{name:<28} {timings[name]:>10.3f}s")
+        payload["timings"][name] = round(time.perf_counter() - start, 6)
+        print(f"{name:<28} {payload['timings'][name]:>10.3f}s")
+    if SHARDED_ENTRY in names:
+        start = time.perf_counter()
+        payload["sharded"] = run_sharded(config)
+        payload["timings"][SHARDED_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{SHARDED_ENTRY:<28} {payload['timings'][SHARDED_ENTRY]:>10.3f}s")
+        for record in payload["sharded"]:
+            print(
+                f"  {record['backend']:<8} shards={record['shards']}"
+                f"  {record['releases_per_sec']:>12,.0f} releases/s"
+                f"  matches_serial={record['matches_serial']}"
+            )
 
-    args.output.write_text(json.dumps(timings, indent=2, sort_keys=True) + "\n")
-    total = sum(timings.values())
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    total = sum(payload["timings"].values())
     print(f"{'total':<28} {total:>10.3f}s  -> {args.output}")
     return 0
 

@@ -123,10 +123,16 @@ from repro.engine import (
     EngineSpec,
     MechanismSpec,
     PolicySpec,
+    ExecutionSpec,
+    ShardPlan,
+    ExecutionBackend,
+    sharded_release_rounds,
     register_mechanism,
     register_policy,
+    register_backend,
     mechanism_names,
     policy_names,
+    backend_names,
 )
 
 __version__ = "1.0.0"
@@ -216,6 +222,12 @@ __all__ = [
     "EngineSpec",
     "MechanismSpec",
     "PolicySpec",
+    "ExecutionSpec",
+    "ShardPlan",
+    "ExecutionBackend",
+    "sharded_release_rounds",
+    "register_backend",
+    "backend_names",
     "register_mechanism",
     "register_policy",
     "mechanism_names",

@@ -6,24 +6,37 @@ Usage (after ``pip install -e .``)::
     python -m repro --seed 7 release --policy Gb --epsilon 1.0 --cell 27
     python -m repro release --mechanism planar_laplace --cell 27 --count 1000
     python -m repro experiment e1 --size 8 --users 12 --horizon 36
+    python -m repro experiment e8 --engine-spec spec.json --shards 4 --backend process
     python -m repro engines
     python -m repro datasets
 
 The CLI is a thin veneer over the public API — every subcommand body is a
-few lines of the same calls a notebook user would write.  Mechanism and
-policy names resolve through the engine registry, so both the paper's
+few lines of the same calls a notebook user would write.  Mechanism, policy
+and backend names resolve through the engine registry, so both the paper's
 display names (``P-LM``) and the canonical spec names (``planar_laplace``)
 work.  A global ``--seed`` (before the subcommand) makes any invocation
 reproducible end to end; subcommand-level ``--seed`` flags override it.
+Saved :class:`~repro.engine.EngineSpec` JSON files (the ``EngineSpec.
+to_dict`` format, see ``docs/engine_specs.md``) plug into any experiment via
+``--engine-spec``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
-from repro.engine import PrivacyEngine, mechanism_names, policy_names
+from repro.engine import (
+    EngineSpec,
+    PrivacyEngine,
+    backend_names,
+    mechanism_names,
+    policy_names,
+)
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments import harness
 from repro.geo.grid import GridWorld
@@ -39,6 +52,7 @@ EXPERIMENTS = {
     "e5": harness.run_random_policy_tradeoff,
     "e6": harness.run_theorem_bounds,
     "e7": harness.run_policy_matrix,
+    "e8": harness.run_scalability,
 }
 
 #: Names accepted on the command line: paper display names plus canonical
@@ -90,8 +104,31 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0]
     )
+    experiment.add_argument(
+        "--engine-spec",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="JSON EngineSpec file (EngineSpec.to_dict format) pinning the "
+        "experiment's mechanism/policy/epsilon — and, if the spec carries an "
+        "execution block, its backend and shard count",
+    )
+    experiment.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="pin the E8 scalability sweep to one shard count",
+    )
+    experiment.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="pin the E8 scalability sweep to one execution backend",
+    )
 
-    sub.add_parser("engines", help="list registered mechanism and policy names")
+    sub.add_parser(
+        "engines", help="list registered mechanism, policy, and backend names"
+    )
     sub.add_parser("datasets", help="list the available synthetic datasets")
     return parser
 
@@ -175,7 +212,14 @@ def _cmd_release(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_engine_spec(path: Path) -> EngineSpec:
+    """Parse a saved ``EngineSpec.to_dict`` JSON file."""
+    return EngineSpec.from_dict(json.loads(path.read_text()))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError, ValidationError
+
     config = ExperimentConfig(
         world_size=args.size,
         n_users=args.users,
@@ -184,6 +228,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         tracing_window=args.horizon,
         seed=_effective_seed(args, fallback=2020),
     )
+    try:
+        if args.engine_spec is not None:
+            spec = _load_engine_spec(args.engine_spec)
+            config = config.with_engine_spec(spec)
+            dropped = [
+                label
+                for label, present in (
+                    ("mechanism/policy params", spec.mechanism.params or spec.policy.params),
+                    ("the execution block", spec.execution is not None),
+                )
+                if present
+            ]
+            if args.name != "e8" and dropped:
+                # The name-based E1-E7 sweeps honour the spec's names and
+                # epsilon only; factory params and sharded execution flow
+                # where the engine is built from the spec itself (E8).  Say
+                # so instead of silently running a different configuration.
+                print(
+                    f"warning: experiment {args.name} ignores "
+                    f"{' and '.join(dropped)} from the engine spec (only e8 "
+                    "builds the engine from the spec verbatim)",
+                    file=sys.stderr,
+                )
+        if args.shards is not None:
+            if args.shards < 1:
+                raise ValidationError(f"shards must be >= 1, got {args.shards}")
+            config = replace(config, shard_counts=(args.shards,))
+        if args.backend is not None:
+            config = replace(config, backends=(args.backend,))
+    except (ReproError, OSError, ValueError, KeyError) as exc:
+        # bad spec file: missing, malformed JSON, or unknown registry names.
+        # Only construction is guarded — a failure inside a runner is a bug
+        # and should surface as a traceback, not a one-line message.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     table = EXPERIMENTS[args.name](config)
     print(table.pretty())
     return 0
@@ -195,6 +274,9 @@ def _cmd_engines() -> int:
         print(f"  {name}")
     print("policies:")
     for name in policy_names():
+        print(f"  {name}")
+    print("backends:")
+    for name in backend_names():
         print(f"  {name}")
     return 0
 

@@ -8,12 +8,27 @@ population-scale engine:
   vectorized :meth:`~PrivacyEngine.release_batch` (structure-of-arrays
   :class:`~repro.core.mechanisms.ReleaseBatch`) and
   :meth:`~PrivacyEngine.pdf_matrix`;
-* :class:`EngineSpec` / :class:`MechanismSpec` / :class:`PolicySpec` —
-  plain-data descriptions resolved through the string-name registry;
+* :class:`EngineSpec` / :class:`MechanismSpec` / :class:`PolicySpec` /
+  :class:`ExecutionSpec` — plain-data descriptions resolved through the
+  string-name registry;
 * :mod:`~repro.engine.registry` — one source of truth for mechanism and
-  policy names shared by experiments, the CLI, and saved configs.
+  policy names shared by experiments, the CLI, and saved configs;
+* :class:`ShardPlan` + :func:`sharded_release_rounds` — deterministic
+  population sharding with per-user RNG streams, executed on a pluggable
+  :class:`ExecutionBackend` (``serial`` / ``thread`` / ``process``) so one
+  seeded run reproduces element-wise at any shard count.
 """
 
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    ensure_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.engine.engine import PrivacyEngine
 from repro.engine.registry import (
     mechanism_names,
@@ -23,17 +38,29 @@ from repro.engine.registry import (
     resolve_mechanism,
     resolve_policy,
 )
-from repro.engine.specs import EngineSpec, MechanismSpec, PolicySpec
+from repro.engine.sharding import ShardPlan, sharded_release_rounds
+from repro.engine.specs import EngineSpec, ExecutionSpec, MechanismSpec, PolicySpec
 
 __all__ = [
     "PrivacyEngine",
     "EngineSpec",
     "MechanismSpec",
     "PolicySpec",
+    "ExecutionSpec",
+    "ShardPlan",
+    "sharded_release_rounds",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "register_mechanism",
     "register_policy",
+    "register_backend",
     "resolve_mechanism",
     "resolve_policy",
+    "resolve_backend",
+    "ensure_backend",
     "mechanism_names",
     "policy_names",
+    "backend_names",
 ]

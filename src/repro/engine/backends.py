@@ -1,0 +1,177 @@
+"""Pluggable execution backends for shard-parallel work.
+
+A backend answers one question: *how* do independent shard tasks run —
+in-process (``serial``), on a thread pool (``thread``), or on a process pool
+(``process``, via :mod:`concurrent.futures`)?  Backends are registry-named
+exactly like mechanisms and policies, so an :class:`~repro.engine.specs.EngineSpec`
+(or a saved JSON spec file) can carry ``backend="process"`` and every layer —
+pipeline, experiments, CLI — resolves it through the same table.
+
+The contract is deliberately tiny: :meth:`ExecutionBackend.run` maps a
+picklable function over a task list and returns the results **in task
+order**, whatever the completion order was.  Determinism therefore never
+depends on the backend; scheduling affects wall-clock only.  Anything that
+satisfies that contract (an async loop, a cluster client) can be registered
+with :func:`register_backend` and selected by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.engine.registry import _register, _resolve
+from repro.errors import ValidationError
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "register_backend",
+    "resolve_backend",
+    "ensure_backend",
+    "backend_names",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+BackendFactory = Callable[..., "ExecutionBackend"]
+
+_BACKENDS: dict[str, BackendFactory] = {}
+#: casefolded alias -> canonical name (same resolution scheme as mechanisms).
+_BACKEND_ALIASES: dict[str, str] = {}
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing independent shard tasks.
+
+    Subclasses implement :meth:`run`; everything else in the system treats a
+    backend as an opaque "ordered parallel map".  Backends must be safe to
+    reuse across calls (the E8 harness times several rounds through one
+    instance).
+    """
+
+    #: canonical registry name, set on the built-in subclasses.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every task and return results in task order.
+
+        Parameters
+        ----------
+        fn:
+            The work function.  For :class:`ProcessBackend` both ``fn`` and
+            the tasks must be picklable (module-level function, plain-data
+            tasks).
+        tasks:
+            Independent work items; backends may execute them in any order
+            but must **return** ``[fn(t) for t in tasks]`` order.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline, in order — the reference backend.
+
+    Zero scheduling overhead and the easiest to debug; the parallel backends
+    must produce byte-identical results to this one (asserted in
+    ``tests/test_sharding.py``).
+    """
+
+    name = "serial"
+
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return [fn(task) for task in tasks]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared ``concurrent.futures`` plumbing for thread/process pools."""
+
+    _executor_cls: type
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = None if max_workers is None else int(max_workers)
+
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        if len(tasks) <= 1:  # pool startup would dominate a singleton
+            return [fn(task) for task in tasks]
+        with self._executor_cls(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, tasks))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution (``concurrent.futures.ThreadPoolExecutor``).
+
+    Shards share the interpreter, so speedups come from NumPy releasing the
+    GIL inside the vectorized samplers; task setup cost is near zero.
+    """
+
+    name = "thread"
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution (``concurrent.futures.ProcessPoolExecutor``).
+
+    True multi-core parallelism.  Tasks and results cross process boundaries
+    by pickling, so shard tasks carry plain data plus the (picklable) engine;
+    per-user RNG streams travel as integer seeds and are reconstructed in the
+    worker — which is why results are identical to :class:`SerialBackend`.
+    """
+
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+def register_backend(name: str, factory: BackendFactory, aliases: Iterable[str] = ()) -> None:
+    """Register an execution-backend factory under ``name`` (plus aliases).
+
+    ``factory(**params)`` must return an :class:`ExecutionBackend`; spec
+    params (e.g. ``max_workers``) are forwarded as keyword arguments.
+    Resolution semantics (casefolded aliases, canonical names) are shared
+    with the mechanism/policy registries.
+    """
+    _register(_BACKENDS, _BACKEND_ALIASES, name, factory, aliases)
+
+
+def resolve_backend(name: str) -> tuple[str, BackendFactory]:
+    """``(canonical_name, factory)`` for any registered name or alias."""
+    return _resolve(_BACKENDS, _BACKEND_ALIASES, "backend", name)
+
+
+def ensure_backend(backend: "str | ExecutionBackend | None", **params) -> ExecutionBackend:
+    """Coerce ``backend`` into a live :class:`ExecutionBackend`.
+
+    ``None`` means :class:`SerialBackend`; a string resolves through the
+    registry (``params`` forwarded to the factory); an instance passes
+    through unchanged (``params`` must then be empty).
+    """
+    if backend is None:
+        backend = "serial"
+    if isinstance(backend, ExecutionBackend):
+        if params:
+            raise ValidationError("params only apply when resolving a backend by name")
+        return backend
+    _, factory = resolve_backend(backend)
+    return factory(**params)
+
+
+def backend_names() -> list[str]:
+    """Canonical names of every registered backend, sorted."""
+    return sorted(_BACKENDS)
+
+
+register_backend("serial", SerialBackend, aliases=("sync", "inline"))
+register_backend("thread", ThreadBackend, aliases=("threads", "threadpool"))
+register_backend("process", ProcessBackend, aliases=("processes", "multiprocess"))

@@ -45,6 +45,19 @@ class PrivacyEngine:
         mechanism: Mechanism,
         spec: EngineSpec | None = None,
     ) -> None:
+        """Wrap live parts into an engine.
+
+        Parameters
+        ----------
+        world / policy / mechanism:
+            Must be mutually consistent — the mechanism has to have been
+            built for exactly this world and policy graph (raises
+            :class:`~repro.errors.ValidationError` otherwise).
+        spec:
+            The declarative description this engine was built from, if any;
+            kept for manifests (:meth:`describe`) and for pipelines that
+            honour a spec-level :class:`~repro.engine.specs.ExecutionSpec`.
+        """
         if mechanism.world != world:
             raise ValidationError("mechanism was built for a different world")
         if mechanism.graph != policy:
@@ -68,12 +81,36 @@ class PrivacyEngine:
         epsilon: float = 1.0,
         mechanism_params: Mapping | None = None,
         policy_params: Mapping | None = None,
+        backend: str | None = None,
+        shards: int | None = None,
     ) -> "PrivacyEngine":
         """Build an engine from a spec, or from bare registry names.
 
-        Either pass a prebuilt :class:`EngineSpec`, or let the keyword
-        arguments assemble one: ``PrivacyEngine.from_spec(world,
-        mechanism="planar_laplace", policy="G1", epsilon=1.0)``.
+        Parameters
+        ----------
+        world:
+            The location universe the engine serves.
+        spec:
+            Prebuilt :class:`EngineSpec`; when given, every other keyword is
+            ignored.  Otherwise the keywords assemble one:
+            ``PrivacyEngine.from_spec(world, mechanism="planar_laplace",
+            policy="G1", epsilon=1.0)``.
+        mechanism / policy:
+            Registry names or aliases (``"planar_laplace"`` / ``"P-LM"``).
+        epsilon:
+            Per-release privacy budget (> 0).
+        mechanism_params / policy_params:
+            Extra keyword arguments for the registered factories.
+        backend / shards:
+            Optional sharded-execution defaults recorded on the spec
+            (see :class:`~repro.engine.specs.ExecutionSpec`); picked up by
+            :func:`~repro.server.pipeline.run_release_rounds_batched` when
+            the call site does not choose explicitly.
+
+        Returns
+        -------
+        PrivacyEngine
+            A live engine whose ``spec`` attribute records how it was built.
         """
         if spec is None:
             spec = EngineSpec.named(
@@ -82,6 +119,8 @@ class PrivacyEngine:
                 epsilon=epsilon,
                 mechanism_params=mechanism_params,
                 policy_params=policy_params,
+                backend=backend,
+                shards=shards,
             )
         policy_graph = spec.policy.build(world)
         built = spec.mechanism.build(world, policy_graph)
@@ -93,17 +132,49 @@ class PrivacyEngine:
     def release_batch(self, cells: Sequence[int], rng=None) -> ReleaseBatch:
         """Perturb many true locations in one vectorized call.
 
-        Element-wise identical (same seeded RNG stream) to sequential
-        :meth:`release` calls — batching changes throughput, not semantics.
+        Parameters
+        ----------
+        cells:
+            Flat sequence of true cells, all covered by the policy.
+        rng:
+            Seed source (``None`` / int / generator).
+
+        Returns
+        -------
+        ReleaseBatch
+            Structure-of-arrays batch: ``points (n, 2)``, ``exact``,
+            ``epsilons``, ``cells``.
+
+        Determinism: element-wise identical (same seeded RNG stream) to
+        sequential :meth:`release` calls — batching changes throughput, not
+        semantics.  For population *rounds*, see
+        :func:`~repro.server.pipeline.run_release_rounds_batched`, which can
+        additionally shard this call across users.
         """
         return self.mechanism.release_batch(cells, rng=rng)
 
     def pdf_matrix(self, points, cells: Sequence[int] | None = None) -> np.ndarray:
-        """``(m, n)`` release likelihoods; ``cells`` defaults to the world."""
+        """Release likelihoods for the adversary / filtering stack.
+
+        Parameters
+        ----------
+        points:
+            ``(m, 2)`` released planar coordinates (a single point is
+            auto-promoted).
+        cells:
+            Candidate true cells; defaults to the whole world.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(m, n)`` with ``out[i, j] = pdf(points[i] | cells[j])``;
+            disclosable or uncovered cells contribute likelihood 0 (the
+            Bayesian-inference convention, not :meth:`pdf`'s raising one).
+        """
         return self.mechanism.pdf_matrix(points, cells)
 
     def snap_batch(self, batch: ReleaseBatch) -> np.ndarray:
-        """Server-side discretisation: released cells for a whole batch."""
+        """Server-side discretisation: snapped cell ids, one per batch row."""
         return self.world.snap_batch(batch.points)
 
     # ------------------------------------------------------------------
@@ -118,11 +189,13 @@ class PrivacyEngine:
         return self.mechanism.pdf(point, cell)
 
     def is_exact(self, cell: int) -> bool:
+        """Whether the policy discloses ``cell`` without perturbation."""
         return self.mechanism.is_exact(cell)
 
     # ------------------------------------------------------------------
     @property
     def epsilon(self) -> float:
+        """Per-release privacy budget of the underlying mechanism."""
         return self.mechanism.epsilon
 
     def describe(self) -> dict:

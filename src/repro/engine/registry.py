@@ -59,10 +59,26 @@ _POLICY_ALIASES: dict[str, str] = {}
 def _register(
     table: dict, aliases_table: dict, name: str, factory, aliases: Iterable[str]
 ) -> None:
+    """Shared registration: store the factory, casefold-index every alias.
+
+    Also used by the execution-backend registry
+    (:mod:`repro.engine.backends`), so all three name tables share one
+    resolution semantics.
+    """
     canonical = str(name)
     table[canonical] = factory
     for alias in (canonical, *aliases):
         aliases_table[str(alias).casefold()] = canonical
+
+
+def _resolve(table: dict, aliases_table: dict, kind: str, name: str) -> tuple[str, Callable]:
+    """Shared lookup: ``(canonical_name, factory)`` or a uniform error."""
+    canonical = aliases_table.get(str(name).casefold())
+    if canonical is None:
+        raise ValidationError(
+            f"unknown {kind} {name!r}; choose from {sorted(table)}"
+        )
+    return canonical, table[canonical]
 
 
 def register_mechanism(
@@ -94,20 +110,12 @@ def register_policy(
 
 def resolve_mechanism(name: str) -> tuple[str, MechanismFactory]:
     """``(canonical_name, factory)`` for any registered name or alias."""
-    canonical = _MECHANISM_ALIASES.get(str(name).casefold())
-    if canonical is None:
-        raise ValidationError(
-            f"unknown mechanism {name!r}; choose from {mechanism_names()}"
-        )
-    return canonical, _MECHANISMS[canonical]
+    return _resolve(_MECHANISMS, _MECHANISM_ALIASES, "mechanism", name)
 
 
 def resolve_policy(name: str) -> tuple[str, PolicyBuilder]:
     """``(canonical_name, builder)`` for any registered name or alias."""
-    canonical = _POLICY_ALIASES.get(str(name).casefold())
-    if canonical is None:
-        raise ValidationError(f"unknown policy {name!r}; choose from {policy_names()}")
-    return canonical, _POLICIES[canonical]
+    return _resolve(_POLICIES, _POLICY_ALIASES, "policy", name)
 
 
 def mechanism_names() -> list[str]:

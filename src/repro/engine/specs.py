@@ -1,10 +1,13 @@
 """Declarative specs for building engines: what to run, by name.
 
-A spec is plain data — mechanism/policy names from the registry, a privacy
-budget, optional keyword parameters — so experiment configurations, CLI
-invocations and saved JSON files all describe an engine the same way, and
-:class:`~repro.engine.engine.PrivacyEngine` is the only place that turns the
-description into live objects.
+A spec is plain data — mechanism/policy/backend names from the registries, a
+privacy budget, optional keyword parameters — so experiment configurations,
+CLI invocations and saved JSON files all describe an engine the same way,
+and :class:`~repro.engine.engine.PrivacyEngine` is the only place that turns
+the description into live objects.  The optional :class:`ExecutionSpec`
+block extends the same idea to *how* release rounds run (shard count and
+execution backend); the JSON wire format is documented in
+``docs/engine_specs.md``.
 """
 
 from __future__ import annotations
@@ -14,11 +17,13 @@ from typing import Mapping
 
 from repro.core.mechanisms import Mechanism
 from repro.core.policy_graph import PolicyGraph
+from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.registry import resolve_mechanism, resolve_policy
+from repro.errors import ValidationError
 from repro.geo.grid import GridWorld
 from repro.utils.validation import check_epsilon
 
-__all__ = ["MechanismSpec", "PolicySpec", "EngineSpec"]
+__all__ = ["MechanismSpec", "PolicySpec", "ExecutionSpec", "EngineSpec"]
 
 
 @dataclass(frozen=True)
@@ -29,12 +34,13 @@ class PolicySpec:
     params: Mapping = field(default_factory=dict)
 
     def build(self, world: GridWorld) -> PolicyGraph:
-        """Instantiate the policy over ``world``."""
+        """Instantiate the policy over ``world`` (params forwarded)."""
         _, builder = resolve_policy(self.name)
         return builder(world, **dict(self.params))
 
     @property
     def canonical_name(self) -> str:
+        """Registry-canonical spelling of :attr:`name` (aliases resolved)."""
         return resolve_policy(self.name)[0]
 
 
@@ -56,15 +62,55 @@ class MechanismSpec:
 
     @property
     def canonical_name(self) -> str:
+        """Registry-canonical spelling of :attr:`name` (aliases resolved)."""
         return resolve_mechanism(self.name)[0]
 
 
 @dataclass(frozen=True)
+class ExecutionSpec:
+    """How sharded release rounds should run: shard count and backend.
+
+    ``backend`` is a registry name (``"serial"``, ``"thread"``,
+    ``"process"``, or anything added via
+    :func:`~repro.engine.backends.register_backend`); ``params`` are
+    forwarded to the backend factory (e.g. ``max_workers``).  Execution
+    never affects the released values — per-user RNG streams make output
+    invariant under sharding (see :mod:`repro.engine.sharding`) — so this is
+    a pure throughput knob that can live in a saved spec file.
+    """
+
+    backend: str = "serial"
+    shards: int = 1
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if int(self.shards) < 1:
+            raise ValidationError(f"shards must be >= 1, got {self.shards}")
+
+    def build(self) -> ExecutionBackend:
+        """Instantiate the named backend with this spec's params."""
+        _, factory = resolve_backend(self.backend)
+        return factory(**dict(self.params))
+
+    @property
+    def canonical_name(self) -> str:
+        return resolve_backend(self.backend)[0]
+
+
+@dataclass(frozen=True)
 class EngineSpec:
-    """Everything needed to build a :class:`PrivacyEngine` except the world."""
+    """Everything needed to build a :class:`PrivacyEngine` except the world.
+
+    ``execution`` is optional: ``None`` (the default) means the caller never
+    asked for sharded execution, so pipelines keep their single-stream
+    behaviour; a populated :class:`ExecutionSpec` makes
+    :func:`~repro.server.pipeline.run_release_rounds_batched` shard rounds
+    with that backend unless the call site overrides it.
+    """
 
     mechanism: MechanismSpec
     policy: PolicySpec
+    execution: ExecutionSpec | None = None
 
     @classmethod
     def named(
@@ -74,18 +120,38 @@ class EngineSpec:
         epsilon: float = 1.0,
         mechanism_params: Mapping | None = None,
         policy_params: Mapping | None = None,
+        backend: str | None = None,
+        shards: int | None = None,
+        backend_params: Mapping | None = None,
     ) -> "EngineSpec":
-        """Spec from bare names — the common construction path."""
+        """Spec from bare names — the common construction path.
+
+        ``backend`` / ``shards`` / ``backend_params`` are optional; providing
+        any of them attaches an :class:`ExecutionSpec` (missing pieces take
+        the serial / 1-shard defaults).
+        """
+        execution = None
+        if backend is not None or shards is not None or backend_params is not None:
+            execution = ExecutionSpec(
+                backend=backend if backend is not None else "serial",
+                shards=shards if shards is not None else 1,
+                params=dict(backend_params or {}),
+            )
         return cls(
             mechanism=MechanismSpec(
                 name=mechanism, epsilon=epsilon, params=dict(mechanism_params or {})
             ),
             policy=PolicySpec(name=policy, params=dict(policy_params or {})),
+            execution=execution,
         )
 
     def to_dict(self) -> dict:
-        """JSON-safe representation (canonical names, for persistence)."""
-        return {
+        """JSON-safe representation (canonical names, for persistence).
+
+        The ``execution`` key is present only when the spec carries one, so
+        spec files written before sharding existed round-trip unchanged.
+        """
+        payload = {
             "mechanism": {
                 "name": self.mechanism.canonical_name,
                 "epsilon": self.mechanism.epsilon,
@@ -96,11 +162,20 @@ class EngineSpec:
                 "params": dict(self.policy.params),
             },
         }
+        if self.execution is not None:
+            payload["execution"] = {
+                "backend": self.execution.canonical_name,
+                "shards": int(self.execution.shards),
+                "params": dict(self.execution.params),
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON)."""
         mechanism = payload["mechanism"]
         policy = payload["policy"]
+        execution = payload.get("execution")
         return cls(
             mechanism=MechanismSpec(
                 name=mechanism["name"],
@@ -109,5 +184,12 @@ class EngineSpec:
             ),
             policy=PolicySpec(
                 name=policy["name"], params=dict(policy.get("params", {}))
+            ),
+            execution=None
+            if execution is None
+            else ExecutionSpec(
+                backend=execution.get("backend", "serial"),
+                shards=int(execution.get("shards", 1)),
+                params=dict(execution.get("params", {})),
             ),
         )

@@ -10,7 +10,7 @@ is the preferred construction path; :func:`build_policy` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable
 
@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.mechanisms import Mechanism
 from repro.core.policy_graph import PolicyGraph
-from repro.engine import PrivacyEngine
+from repro.engine import EngineSpec, PrivacyEngine
 from repro.engine.registry import on_policy_registration, resolve_mechanism, resolve_policy
 from repro.geo.grid import GridWorld
 
@@ -87,6 +87,11 @@ class ExperimentConfig:
     The defaults keep each runner under a few seconds while preserving the
     qualitative shapes recorded in EXPERIMENTS.md; crank ``world_size``,
     ``n_users`` and ``trials`` for smoother curves.
+
+    ``shard_counts`` and ``backends`` drive the E8 scalability sweep (and any
+    runner that calls the sharded release path); ``engine_spec`` — usually
+    loaded from a JSON file via the CLI's ``--engine-spec`` — pins the whole
+    sweep to one declarative engine (see :meth:`with_engine_spec`).
     """
 
     world_size: int = 12
@@ -104,6 +109,9 @@ class ExperimentConfig:
     gamma: float = 0.1
     tracing_window: int = 72
     monitor_block: tuple[int, int] = (4, 4)
+    shard_counts: tuple[int, ...] = (1, 2, 4)
+    backends: tuple[str, ...] = ("serial", "thread", "process")
+    engine_spec: EngineSpec | None = field(default=None, compare=False)
 
     def make_world(self) -> GridWorld:
         return GridWorld(self.world_size, self.world_size, cell_size=self.cell_size)
@@ -120,12 +128,44 @@ class ExperimentConfig:
     ) -> PrivacyEngine:
         """Spec-built engine using this config's defaults for omitted parts.
 
-        Defaults come from the config's sweep lists (first mechanism/policy,
-        first epsilon), so ``config.make_engine()`` is always runnable.
+        When the config carries an ``engine_spec`` and no explicit
+        mechanism/policy/epsilon override is given, the engine is built from
+        that spec verbatim (including mechanism params and any execution
+        block).  Otherwise defaults come from the config's sweep lists (first
+        mechanism/policy, first epsilon), so ``config.make_engine()`` is
+        always runnable.
         """
+        target_world = world if world is not None else self.make_world()
+        if self.engine_spec is not None and mechanism is None and policy is None and epsilon is None:
+            return PrivacyEngine.from_spec(target_world, self.engine_spec)
         return PrivacyEngine.from_spec(
-            world if world is not None else self.make_world(),
+            target_world,
             mechanism=mechanism if mechanism is not None else self.mechanisms[0],
             policy=policy if policy is not None else self.policies[0],
             epsilon=epsilon if epsilon is not None else self.epsilons[0],
         )
+
+    def with_engine_spec(self, spec: EngineSpec) -> "ExperimentConfig":
+        """This config with every sweep pinned to one declarative engine.
+
+        The spec's canonical mechanism/policy become the (single-element)
+        sweep lists and its epsilon the only budget.  Runners that build
+        engines through :meth:`make_engine` (E8) evaluate the spec verbatim,
+        including mechanism/policy params; the name-based E1-E7 sweeps
+        honour the names and epsilon only — factory params do not flow
+        through ``build_mechanism``/``build_policy`` (the CLI warns when
+        that would drop anything).  A spec carrying an
+        :class:`~repro.engine.specs.ExecutionSpec` also pins the E8 backend
+        sweep to its backend and folds its shard count into ``shard_counts``
+        (keeping the 1-shard baseline for the determinism check).
+        """
+        overrides: dict = {
+            "mechanisms": (spec.mechanism.canonical_name,),
+            "policies": (spec.policy.canonical_name,),
+            "epsilons": (float(spec.mechanism.epsilon),),
+            "engine_spec": spec,
+        }
+        if spec.execution is not None:
+            overrides["backends"] = (spec.execution.canonical_name,)
+            overrides["shard_counts"] = tuple(sorted({1, int(spec.execution.shards)}))
+        return replace(self, **overrides)

@@ -1,12 +1,15 @@
-"""Runners regenerating every evaluation artifact (experiments E1-E7).
+"""Runners regenerating every evaluation artifact (experiments E1-E12).
 
 Each function returns a :class:`~repro.experiments.reporting.ResultTable`
-with the rows the corresponding demo panel plots.  E8 (scalability) lives
-directly in ``benchmarks/bench_e8_scalability.py`` since its measurements
-*are* the benchmark timings.
+with the rows the corresponding demo panel plots.  E8 (scalability) is
+:func:`run_scalability` — sharded release-round throughput across execution
+backends; the micro-latency view (per-release / per-filter-step timings)
+additionally lives in ``benchmarks/bench_e8_scalability.py``.
 """
 
 from __future__ import annotations
+
+from time import perf_counter
 
 import numpy as np
 
@@ -20,6 +23,7 @@ from repro.epidemic.tracing import ContactTracingProtocol, static_tracing
 from repro.experiments.configs import ExperimentConfig, build_mechanism, build_policy
 from repro.experiments.reporting import ResultTable
 from repro.epidemic.analysis import perturb_tracedb
+from repro.server.pipeline import run_release_rounds_batched
 
 __all__ = [
     "run_monitoring_utility",
@@ -29,6 +33,7 @@ __all__ = [
     "run_random_policy_tradeoff",
     "run_theorem_bounds",
     "run_policy_matrix",
+    "run_scalability",
     "run_mechanism_ablation",
     "run_temporal_privacy",
     "run_metapop_forecast",
@@ -515,6 +520,55 @@ def run_metapop_forecast(
                 forecast_divergence(reference, candidate),
                 reference.peak_time(),
                 candidate.peak_time(),
+            )
+    return table
+
+
+def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
+    """E8: sharded release-round throughput vs shard count per backend.
+
+    Releases the configured workload through
+    :func:`~repro.server.pipeline.run_release_rounds_batched` for every
+    ``(backend, shards)`` pair in ``config.backends x config.shard_counts``,
+    timing each full run.  The engine comes from :meth:`ExperimentConfig.
+    make_engine`, so ``--engine-spec`` files flow straight into this sweep.
+
+    Every run is seeded with ``config.seed`` under the sharded path's
+    per-user-stream contract, so all combinations must release identical
+    values; the ``matches_serial`` column re-asserts that element-wise
+    against an explicit serial 1-shard baseline run (computed up front,
+    outside the timed sweep) — a live determinism check riding along with
+    the throughput numbers, meaningful even when the sweep is pinned to a
+    single non-serial combination.
+    """
+    world = config.make_world()
+    db = _dataset(config, world)
+    engine = config.make_engine(world=world)
+    table = ResultTable(
+        ["backend", "shards", "seconds", "releases_per_sec", "matches_serial"],
+        title=(
+            f"E8: sharded release rounds ({config.dataset}, "
+            f"{config.n_users} users x {config.horizon} steps, "
+            f"{engine.mechanism.name})"
+        ),
+    )
+    reference = run_release_rounds_batched(
+        world, db, engine, rng=config.seed, shards=1, backend="serial"
+    )
+    baseline = list(reference.released_db.checkins())
+    for backend in config.backends:
+        for shards in config.shard_counts:
+            start = perf_counter()
+            server = run_release_rounds_batched(
+                world, db, engine, rng=config.seed, shards=shards, backend=backend
+            )
+            seconds = perf_counter() - start
+            table.add_row(
+                backend,
+                shards,
+                round(seconds, 6),
+                round(len(db) / seconds, 1),
+                list(server.released_db.checkins()) == baseline,
             )
     return table
 

@@ -115,8 +115,13 @@ def load_manifest(path: str | Path) -> dict:
     if not isinstance(raw_config, dict):
         raise DataError(f"manifest {source} has no config block")
     # Tuples arrive as lists from JSON; coerce the fields that need it.
-    for key in ("epsilons", "policies", "mechanisms", "monitor_block"):
+    for key in ("epsilons", "policies", "mechanisms", "monitor_block", "shard_counts", "backends"):
         if key in raw_config and isinstance(raw_config[key], list):
             raw_config[key] = tuple(raw_config[key])
+    # A pinned engine spec serializes as its dict form; rebuild the dataclass.
+    if isinstance(raw_config.get("engine_spec"), dict):
+        from repro.engine import EngineSpec
+
+        raw_config["engine_spec"] = EngineSpec.from_dict(raw_config["engine_spec"])
     manifest["config"] = ExperimentConfig(**raw_config)
     return manifest

@@ -11,6 +11,14 @@ timestep in *one* :meth:`~repro.engine.PrivacyEngine.release_batch` call and
 ingests the whole round via :meth:`Server.ingest_batch`.  It models the
 server-side aggregate view (no per-user ``Client`` objects), which is what
 the monitoring / analysis apps consume at scale.
+
+The batched path also scales *across users*: pass ``shards=`` / ``backend=``
+(or build the engine from a spec carrying an
+:class:`~repro.engine.specs.ExecutionSpec`) and the population is split by a
+deterministic :class:`~repro.engine.sharding.ShardPlan` whose per-user RNG
+streams make the output invariant under shard count and execution backend —
+a k-shard multiprocess run reproduces the 1-shard run, which itself
+reproduces the per-client reference :func:`run_release_rounds`.
 """
 
 from __future__ import annotations
@@ -139,11 +147,27 @@ class Server:
         batch: ReleaseBatch,
         purpose: str = "stream",
     ):
-        """Store a whole release round; returns the snapped cells.
+        """Store a whole release round in bulk.
 
-        One row per user: ``batch[i]`` is user ``users[i]``'s release at
-        ``time``.  Snapping is vectorized; budget charges land in the same
-        ledger entries scalar :meth:`ingest` would have produced.
+        Parameters
+        ----------
+        users:
+            One user id per batch row: ``batch[i]`` is user ``users[i]``'s
+            release at ``time``.
+        time:
+            The round's timestep.
+        batch:
+            The round's releases (``len(batch) == len(users)``, else
+            :class:`~repro.errors.DataError`).
+        purpose:
+            Ledger purpose tag (defaults to the streaming feed).
+
+        Returns
+        -------
+        numpy.ndarray
+            The snapped cell per row.  Snapping is vectorized; recorded
+            trace rows and budget charges are identical to what per-row
+            scalar :meth:`ingest` calls would have produced.
         """
         if len(users) != len(batch):
             raise DataError(
@@ -173,8 +197,29 @@ def run_release_rounds(
 
     Every user in ``true_db`` becomes a :class:`Client` under ``policy``;
     each of their check-ins is observed locally, released, and ingested.
-    Returns the server (with its released TraceDB and ledger) and the
-    clients, keyed by user id.
+
+    Parameters
+    ----------
+    world / true_db / policy:
+        The universe, the ground-truth traces, and the consented policy.
+    mechanism_factory:
+        ``factory(world, policy, epsilon) -> Mechanism`` used per client.
+    epsilon:
+        Per-release budget.
+    rng:
+        Seed source; each client gets an independent child stream via
+        :func:`~repro.utils.rng.spawn_rngs` over the *sorted* user list, so
+        results do not depend on iteration order — and the sharded batched
+        path (:func:`run_release_rounds_batched` with ``shards=``) spawns
+        the very same streams, making this loop its element-wise reference.
+    window:
+        Clients' local retention window (the paper's two weeks).
+
+    Returns
+    -------
+    (Server, dict[int, Client])
+        The server (with its released TraceDB and ledger) and the clients,
+        keyed by user id.
     """
     users = sorted(true_db.users())
     if not users:
@@ -206,23 +251,86 @@ def run_release_rounds_batched(
     true_db: TraceDB,
     engine: "PrivacyEngine",
     rng=None,
+    shards: int | None = None,
+    backend=None,
 ) -> Server:
     """Release the whole population through the engine, one round per timestep.
 
     The population-scale counterpart of :func:`run_release_rounds`: instead
-    of simulating a ``Client`` per user, each timestep's ``{user: cell}``
-    snapshot becomes a single :meth:`~repro.engine.PrivacyEngine.release_batch`
-    call, and the server ingests the round in bulk.  This is the hot path a
+    of simulating a ``Client`` per user, whole rounds go through
+    :meth:`~repro.engine.PrivacyEngine.release_batch` and the server ingests
+    them in bulk via :meth:`Server.ingest_batch`.  This is the hot path a
     collector serving millions of users runs; the per-client loop remains the
     reference for protocol-level behaviour (local DBs, consent, re-sends).
+
+    Parameters
+    ----------
+    world:
+        Shared location universe (also the server's snapping grid).
+    true_db:
+        Ground-truth traces to release (must have at least one user).
+    engine:
+        The :class:`~repro.engine.PrivacyEngine` every release goes through.
+    rng:
+        Seed source (``None`` / int / generator, per
+        :func:`~repro.utils.rng.ensure_rng`).
+    shards:
+        Number of population shards (>= 1).  Selecting sharding switches the
+        randomness layout from one shared stream to *per-user* streams
+        (spawned :func:`~repro.utils.rng.spawn_rngs`-style from ``rng`` over
+        the sorted user list), so the result is identical for every shard
+        count and backend — and element-wise equal to the seeded
+        :func:`run_release_rounds` client reference.
+    backend:
+        Execution backend for the shards — a registry name (``"serial"``,
+        ``"thread"``, ``"process"``) or a live
+        :class:`~repro.engine.backends.ExecutionBackend` instance.  When
+        only one of ``shards`` / ``backend`` is given, the other falls back
+        to the engine spec's execution block (if any) before the serial /
+        1-shard defaults.
+
+    Returns
+    -------
+    Server
+        Fresh server holding the released (snapped) TraceDB and the budget
+        ledger for the whole run.
+
+    Determinism notes
+    -----------------
+    When neither ``shards`` nor ``backend`` is given (and the engine's spec
+    carries no :class:`~repro.engine.specs.ExecutionSpec`), the original
+    single-stream path runs: one generator drawn time-major across rounds,
+    element-wise equal to scalar ``engine.release`` calls in (time, user)
+    order.  Any sharding request switches to the per-user-stream contract
+    above; the two layouts consume ``rng`` differently, so their outputs
+    differ from each other (each is individually reproducible).
     """
     if not true_db.users():
         raise DataError("true trace database has no users")
-    generator = ensure_rng(rng)
+    execution = engine.spec.execution if engine.spec is not None else None
+    if shards is None and backend is None and execution is None:
+        generator = ensure_rng(rng)
+        server = Server(world)
+        for time in true_db.times():
+            snapshot = true_db.at_time(time)
+            users = sorted(snapshot)
+            batch = engine.release_batch([snapshot[user] for user in users], rng=generator)
+            server.ingest_batch(users, time, batch)
+        return server
+
+    from repro.engine.sharding import ShardPlan, sharded_release_rounds
+
+    # Each half of the spec's execution block is an independent default, so
+    # overriding just the backend keeps the spec's shard count (and vice
+    # versa) instead of silently discarding it.
+    if shards is None:
+        shards = int(execution.shards) if execution is not None else 1
+    if backend is None and execution is not None:
+        backend = execution.build()
+    plan = ShardPlan.build(sorted(true_db.users()), int(shards), rng=rng)
     server = Server(world)
-    for time in true_db.times():
-        snapshot = true_db.at_time(time)
-        users = sorted(snapshot)
-        batch = engine.release_batch([snapshot[user] for user in users], rng=generator)
+    for time, users, batch in sharded_release_rounds(
+        engine, true_db, plan, backend=backend
+    ):
         server.ingest_batch(users, time, batch)
     return server

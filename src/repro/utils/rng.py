@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_seeds", "spawn_rngs"]
 
 
 def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -32,14 +32,41 @@ def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Genera
     raise TypeError(f"rng must be None, int, or numpy Generator, got {type(rng)!r}")
 
 
-def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` independent child generators from ``rng``.
+def spawn_seeds(rng: int | np.random.Generator | None, count: int) -> list[int]:
+    """Derive ``count`` child-stream seeds from ``rng``.
 
-    Used by multi-user simulations so that each simulated client owns an
-    independent stream and results do not depend on iteration order.
+    Parameters
+    ----------
+    rng:
+        Parent source, coerced through :func:`ensure_rng`; the seeds are one
+        ``integers`` draw from it, so the same parent seed always yields the
+        same seed list.
+    count:
+        Number of seeds (must be non-negative).
+
+    Returns
+    -------
+    list[int]
+        Plain-int seeds, one per child stream.  Seeds (rather than live
+        generators) are what crosses process boundaries: the sharded release
+        path ships them to worker processes, which reconstruct each stream
+        with ``np.random.default_rng(seed)``.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [int(seed) for seed in seeds]
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by multi-user simulations so that each simulated client owns an
+    independent stream and results do not depend on iteration order (or, in
+    the sharded pipeline, on how the population is partitioned).  Equivalent
+    to seeding generators from :func:`spawn_seeds` — both consume the same
+    single draw from the parent, so seed-level and generator-level callers
+    interoperate deterministically.
+    """
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, count)]

@@ -67,6 +67,59 @@ class TestExperimentCommand:
         with pytest.raises(SystemExit):
             main(["experiment", "e99"])
 
+    def test_runs_e8_sharded(self, capsys):
+        code = main(
+            ["experiment", "e8", "--size", "6", "--users", "6", "--horizon", "8",
+             "--shards", "2", "--backend", "thread"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E8" in out and "thread" in out and "True" in out
+
+
+class TestEngineSpecFlag:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "mechanism": {"name": "planar_isotropic", "epsilon": 2.0},
+            "policy": {"name": "Gb"},
+            "execution": {"backend": "serial", "shards": 2},
+        }))
+        return path
+
+    def test_e8_runs_spec_end_to_end(self, capsys, spec_path):
+        code = main(
+            ["experiment", "e8", "--size", "6", "--users", "6", "--horizon", "8",
+             "--engine-spec", str(spec_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PolicyPlanarIsotropicMechanism" in out
+        assert "serial" in out and "True" in out
+
+    def test_spec_pins_other_experiments(self, capsys, spec_path):
+        code = main(
+            ["experiment", "e1", "--size", "6", "--users", "6", "--horizon", "8",
+             "--engine-spec", str(spec_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planar_isotropic" in out and "Gb" in out
+
+    def test_missing_spec_file(self, capsys, tmp_path):
+        assert main(["experiment", "e8", "--engine-spec", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_spec_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"mechanism": {"name": "not_a_mechanism"}, "policy": {"name": "G1"}}')
+        assert main(["experiment", "e8", "--size", "6", "--users", "6", "--horizon", "8",
+                     "--engine-spec", str(bad)]) == 1
+        assert "unknown mechanism" in capsys.readouterr().err
+
 
 class TestDatasetsCommand:
     def test_lists_all(self, capsys):

@@ -1,0 +1,370 @@
+"""Sharded release rounds: plan stability, backends, determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import PolicyLaplaceMechanism
+from repro.engine import (
+    EngineSpec,
+    ExecutionSpec,
+    PrivacyEngine,
+    ShardPlan,
+    backend_names,
+    ensure_backend,
+    register_backend,
+    resolve_backend,
+    sharded_release_rounds,
+)
+from repro.engine.backends import ExecutionBackend, ProcessBackend, SerialBackend, ThreadBackend
+from repro.errors import DataError, ValidationError
+from repro.experiments.configs import ExperimentConfig, build_policy
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.server.pipeline import run_release_rounds, run_release_rounds_batched
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def db(world):
+    return geolife_like(world, n_users=7, horizon=9, rng=1)
+
+
+@pytest.fixture
+def engine(world):
+    return PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+
+class TestShardPlan:
+    def test_build_sorts_and_dedupes(self):
+        plan = ShardPlan.build([5, 3, 9, 3], n_shards=2, rng=0)
+        assert plan.users == (3, 5, 9)
+        assert len(plan.seeds) == 3
+
+    def test_same_seed_same_plan_across_runs(self):
+        first = ShardPlan.build(range(10), 3, rng=7)
+        second = ShardPlan.build(range(10), 3, rng=7)
+        assert first == second
+        assert first.assignment() == second.assignment()
+
+    def test_seeds_independent_of_shard_count(self):
+        # The user -> stream mapping must not move when re-sharding; this is
+        # what makes k-shard output equal 1-shard output.
+        users = [4, 1, 8, 2, 6]
+        seeds = {k: ShardPlan.build(users, k, rng=3).seeds for k in (1, 2, 5, 9)}
+        assert len(set(seeds.values())) == 1
+
+    def test_assignment_contiguous_and_balanced(self):
+        plan = ShardPlan.build(range(11), 3, rng=0)
+        assignment = plan.assignment()
+        sizes = [len(plan.shard_members(s)) for s in range(3)]
+        assert sum(sizes) == 11
+        assert max(sizes) - min(sizes) <= 1
+        # Contiguous blocks of the sorted user list, in shard order.
+        assert [assignment[u] for u in plan.users] == sorted(assignment[u] for u in plan.users)
+        joined = sum((plan.shard_members(s) for s in range(3)), ())
+        assert joined == plan.users
+
+    def test_shard_of_matches_assignment(self):
+        plan = ShardPlan.build(range(8), 3, rng=2)
+        for user, shard in plan.assignment().items():
+            assert plan.shard_of(user) == shard
+
+    def test_more_shards_than_users(self):
+        plan = ShardPlan.build([1, 2], 5, rng=0)
+        members = [plan.shard_members(s) for s in range(5)]
+        assert sum(len(m) for m in members) == 2
+        assert [shard for shard, _, _ in plan.iter_shards()] == [0, 1]
+
+    def test_rng_for_is_fresh_each_call(self):
+        plan = ShardPlan.build([1, 2, 3], 2, rng=5)
+        a = plan.rng_for(2).random(4)
+        b = plan.rng_for(2).random(4)
+        assert np.array_equal(a, b)
+
+    def test_unknown_user_rejected(self):
+        plan = ShardPlan.build([1, 2, 3], 2, rng=0)
+        with pytest.raises(DataError):
+            plan.shard_of(99)
+        with pytest.raises(DataError):
+            plan.seed_of(0)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardPlan.build([1, 2], 0, rng=0)
+        plan = ShardPlan.build([1, 2], 2, rng=0)
+        with pytest.raises(ValidationError):
+            plan.shard_members(2)
+
+    def test_matches_spawn_rngs_streams(self):
+        # The plan's per-user streams are exactly spawn_rngs' child streams
+        # over the sorted user list — the Client reference's layout.
+        from repro.utils.rng import spawn_rngs
+
+        users = [3, 1, 2]
+        plan = ShardPlan.build(users, 2, rng=11)
+        children = spawn_rngs(11, 3)
+        for user, child in zip(sorted(users), children):
+            assert plan.rng_for(user).random() == child.random()
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process"} <= set(backend_names())
+
+    def test_resolve_aliases_case_insensitive(self):
+        assert resolve_backend("THREADS")[0] == "thread"
+        assert resolve_backend("multiprocess")[0] == "process"
+        assert resolve_backend("inline")[0] == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_backend("gpu")
+
+    def test_ensure_backend_coercions(self):
+        assert isinstance(ensure_backend(None), SerialBackend)
+        assert isinstance(ensure_backend("thread", max_workers=2), ThreadBackend)
+        live = ProcessBackend(max_workers=1)
+        assert ensure_backend(live) is live
+        with pytest.raises(ValidationError):
+            ensure_backend(live, max_workers=2)
+
+    def test_max_workers_validated(self):
+        with pytest.raises(ValidationError):
+            ThreadBackend(max_workers=0)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_run_preserves_task_order(self, name):
+        backend = ensure_backend(name, max_workers=2) if name != "serial" else ensure_backend(name)
+        assert backend.run(_double, list(range(10))) == [2 * i for i in range(10)]
+
+    def test_register_custom_backend(self, world, db, engine):
+        register_backend("reversed_serial", _ReversedSerialBackend, aliases=("rev",))
+        assert resolve_backend("rev")[0] == "reversed_serial"
+        # A custom backend plugs straight into the sharded pipeline — and
+        # cannot change the output, only the schedule.
+        reference = run_release_rounds_batched(world, db, engine, rng=4, shards=3)
+        custom = run_release_rounds_batched(
+            world, db, engine, rng=4, shards=3, backend="reversed_serial"
+        )
+        assert list(custom.released_db.checkins()) == list(reference.released_db.checkins())
+
+
+def _double(x):
+    return 2 * x
+
+
+class _CountingBackend(ExecutionBackend):
+    """Serial execution that records how many tasks each run received."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.task_counts = []
+
+    def run(self, fn, tasks):
+        self.task_counts.append(len(tasks))
+        return [fn(task) for task in tasks]
+
+
+class _ReversedSerialBackend(ExecutionBackend):
+    """Runs tasks last-first but still returns results in task order."""
+
+    name = "reversed_serial"
+
+    def run(self, fn, tasks):
+        results = {i: fn(task) for i, task in reversed(list(enumerate(tasks)))}
+        return [results[i] for i in range(len(tasks))]
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    def test_k_shards_reproduce_single_shard(self, world, db, engine, backend, shards):
+        reference = run_release_rounds_batched(world, db, engine, rng=42, shards=1)
+        sharded = run_release_rounds_batched(
+            world, db, engine, rng=42, shards=shards, backend=backend
+        )
+        assert list(sharded.released_db.checkins()) == list(reference.released_db.checkins())
+        for user in db.users():
+            assert sharded.ledger.spent(user) == reference.ledger.spent(user)
+
+    def test_sharded_matches_client_reference(self, world, db, engine):
+        # The strongest form of the contract: the sharded aggregate view
+        # replays the per-client protocol loop exactly (same per-user
+        # streams, same mechanism), shard count notwithstanding.
+        clients_server, _ = run_release_rounds(
+            world, db, build_policy("G1", world), PolicyLaplaceMechanism, epsilon=1.0, rng=42, window=9
+        )
+        sharded = run_release_rounds_batched(world, db, engine, rng=42, shards=4)
+        assert list(sharded.released_db.checkins()) == list(
+            clients_server.released_db.checkins()
+        )
+
+    def test_discrete_mechanism_sharding(self, world, db):
+        engine = PrivacyEngine.from_spec(world, mechanism="GraphExp", policy="Gb", epsilon=1.0)
+        reference = run_release_rounds_batched(world, db, engine, rng=6, shards=1)
+        sharded = run_release_rounds_batched(world, db, engine, rng=6, shards=3, backend="thread")
+        assert list(sharded.released_db.checkins()) == list(reference.released_db.checkins())
+
+    def test_disclosing_policy_sharding(self, world, db):
+        # Gc discloses infected cells (epsilon 0 rows) — the merge must keep
+        # exact releases and budget charges aligned per user.
+        engine = PrivacyEngine.from_spec(world, mechanism="P-LM", policy="Gc", epsilon=1.0)
+        reference = run_release_rounds_batched(world, db, engine, rng=9, shards=1)
+        sharded = run_release_rounds_batched(world, db, engine, rng=9, shards=5, backend="process")
+        assert list(sharded.released_db.checkins()) == list(reference.released_db.checkins())
+        for user in db.users():
+            assert sharded.ledger.spent(user) == reference.ledger.spent(user)
+
+    def test_spec_execution_block_drives_sharding(self, world, db):
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0, backend="thread", shards=4
+        )
+        reference = run_release_rounds_batched(world, db, engine, rng=3, shards=1)
+        via_spec = run_release_rounds_batched(world, db, engine, rng=3)  # no explicit args
+        assert list(via_spec.released_db.checkins()) == list(reference.released_db.checkins())
+
+    def test_partial_override_keeps_spec_shards(self, world, db):
+        # Overriding only the backend must not discard the spec's shard
+        # count: the counting backend should see 3 shard tasks, not 1.
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0, backend="process", shards=3
+        )
+        counting = _CountingBackend()
+        run_release_rounds_batched(world, db, engine, rng=1, backend=counting)
+        assert counting.task_counts == [3]
+
+    def test_partial_override_keeps_spec_backend(self, world, db):
+        # Overriding only the shard count must still build the spec's backend.
+        instances = []
+
+        class _Recorder(SerialBackend):
+            def __init__(self):
+                instances.append(self)
+
+        register_backend("recorder_backend", _Recorder)
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0,
+            backend="recorder_backend", shards=4,
+        )
+        run_release_rounds_batched(world, db, engine, rng=1, shards=2)
+        assert len(instances) == 1
+
+    def test_explicit_args_override_spec(self, world, db):
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0, backend="process", shards=8
+        )
+        # Explicit shards/backend win over the spec's execution block; the
+        # output is the same either way (that is the whole contract).
+        explicit = run_release_rounds_batched(world, db, engine, rng=3, shards=2, backend="serial")
+        reference = run_release_rounds_batched(world, db, engine, rng=3, shards=1)
+        assert list(explicit.released_db.checkins()) == list(reference.released_db.checkins())
+
+
+class TestShardedRounds:
+    def test_round_structure(self, world, db, engine):
+        plan = ShardPlan.build(sorted(db.users()), 3, rng=2)
+        rounds = sharded_release_rounds(engine, db, plan, backend="serial")
+        assert [time for time, _, _ in rounds] == db.times()
+        for time, users, batch in rounds:
+            snapshot = db.at_time(time)
+            assert users.tolist() == sorted(snapshot)
+            assert len(batch) == len(users)
+            assert batch.cells.tolist() == [snapshot[u] for u in users.tolist()]
+
+    def test_plan_must_cover_users(self, world, db, engine):
+        plan = ShardPlan.build([1, 2], 2, rng=0)
+        with pytest.raises(DataError):
+            sharded_release_rounds(engine, db, plan)
+
+    def test_sparse_traces(self, world, engine):
+        # Users observed at disjoint times: rounds contain only present users.
+        from repro.mobility.trajectory import TraceDB
+
+        db = TraceDB()
+        db.record(1, 0, 3)
+        db.record(1, 2, 4)
+        db.record(5, 1, 6)
+        db.record(5, 2, 7)
+        plan = ShardPlan.build([1, 5], 2, rng=0)
+        rounds = sharded_release_rounds(engine, db, plan)
+        assert [(t, u.tolist()) for t, u, _ in rounds] == [(0, [1]), (1, [5]), (2, [1, 5])]
+
+    def test_empty_db_rejected(self, world, engine):
+        from repro.mobility.trajectory import TraceDB
+
+        with pytest.raises(DataError):
+            run_release_rounds_batched(world, TraceDB(), engine, shards=2)
+
+
+class TestExecutionSpec:
+    def test_roundtrip_with_execution(self):
+        # to_dict canonicalizes names, so exact roundtrip equality needs
+        # canonical spellings (aliases still roundtrip semantically).
+        spec = EngineSpec.named(
+            "planar_isotropic", "Gb", epsilon=2.0, backend="process", shards=4,
+            backend_params={"max_workers": 2},
+        )
+        payload = spec.to_dict()
+        assert payload["execution"] == {
+            "backend": "process", "shards": 4, "params": {"max_workers": 2}
+        }
+        assert EngineSpec.from_dict(payload) == spec
+        aliased = EngineSpec.named("P-PIM", "Gb", epsilon=2.0, backend="processes", shards=4)
+        assert EngineSpec.from_dict(aliased.to_dict()).to_dict() == aliased.to_dict()
+
+    def test_roundtrip_without_execution(self):
+        spec = EngineSpec.named("P-LM", "G1", epsilon=1.0)
+        payload = spec.to_dict()
+        assert "execution" not in payload
+        assert EngineSpec.from_dict(payload).execution is None
+
+    def test_execution_build(self):
+        execution = ExecutionSpec(backend="threads", shards=2, params={"max_workers": 3})
+        backend = execution.build()
+        assert isinstance(backend, ThreadBackend)
+        assert backend.max_workers == 3
+        assert execution.canonical_name == "thread"
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionSpec(shards=0)
+
+
+class TestConfigIntegration:
+    def test_with_engine_spec_pins_sweeps(self):
+        spec = EngineSpec.named("P-PIM", "Gb", epsilon=2.0, backend="thread", shards=4)
+        config = ExperimentConfig().with_engine_spec(spec)
+        assert config.mechanisms == ("planar_isotropic",)
+        assert config.policies == ("Gb",)
+        assert config.epsilons == (2.0,)
+        assert config.backends == ("thread",)
+        assert config.shard_counts == (1, 4)
+
+    def test_make_engine_prefers_spec(self):
+        spec = EngineSpec.named("P-PIM", "Gb", epsilon=2.0)
+        config = ExperimentConfig(world_size=6).with_engine_spec(spec)
+        engine = config.make_engine()
+        assert engine.mechanism.name == "PolicyPlanarIsotropicMechanism"
+        assert engine.epsilon == 2.0
+        # Explicit overrides still win.
+        other = config.make_engine(mechanism="P-LM", epsilon=0.5)
+        assert other.mechanism.name == "PolicyLaplaceMechanism"
+
+    def test_e8_runner_all_rows_match(self):
+        from repro.experiments.harness import run_scalability
+
+        config = ExperimentConfig(
+            world_size=6, n_users=6, horizon=8,
+            shard_counts=(1, 3), backends=("serial", "thread"),
+        )
+        table = run_scalability(config)
+        assert len(table.rows) == 4
+        assert all(table.column("matches_serial"))
+        assert all(seconds > 0 for seconds in table.column("seconds"))
