@@ -7,23 +7,35 @@ times the same entry points directly (one wall-clock run each, no pytest
 overhead) and records them as one JSON artifact so CI and perf PRs can diff
 evaluation-layer timings.
 
-The artifact has three blocks::
+The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
 
     {
       "config": "full" | "smoke",
       "timings": {"e1_monitoring_utility": 0.061, ...},   # seconds per runner
       "sharded": [                                        # E15 sweep
         {"backend": "process", "shards": 4, "seconds": 0.21,
-         "releases_per_sec": 34000.0, "matches_serial": true},
+         "releases_per_sec": 34000.0, "matches_serial": true,
+         "eval_seconds": 0.18, "eval_releases_per_sec": 39000.0,
+         "eval_matches_serial": true},
         ...
-      ]
+      ],
+      "distributed_eval": {                               # E16
+        "sweep": [{"metric": "e1_monitoring_utility", "backend": "pool",
+                   "shards": 4, "seconds": 0.12,
+                   "releases_per_sec": 51000.0, "matches_serial": true}, ...],
+        "pool_vs_process": {"rounds": 5, "shards": 4,
+                            "process_seconds": 1.4, "pool_seconds": 0.6,
+                            "pool_speedup": 2.3, ...}
+      }
     }
 
 ``sharded`` is the E15 sharded-release-rounds sweep: one entry per
-``(backend, shard count)`` pair with its throughput and the element-wise
-determinism check against the 1-shard baseline.  E13 (engine micro
-throughput) and the per-release latency half of E8 remain pytest-benchmark
-micro-benchmarks::
+``(backend, shard count)`` pair with release *and* sharded-E1 evaluation
+throughput, each with its determinism check against the 1-shard serial
+baseline.  ``distributed_eval`` is the E16 distributed-evaluation sweep
+(sharded metric throughput per backend, plus the repeated-round
+pool-vs-process comparison).  E13 (engine micro throughput) and the
+per-release latency half of E8 remain pytest-benchmark micro-benchmarks::
 
     PYTHONPATH=src pytest benchmarks/bench_e15_sharded_rounds.py --benchmark-only
 
@@ -43,6 +55,9 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_e16_distributed_eval as bench_e16  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -65,6 +80,7 @@ ENTRY_POINTS = {
 }
 
 SHARDED_ENTRY = "e15_sharded_rounds"
+DISTRIBUTED_ENTRY = "e16_distributed_eval"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -90,9 +106,21 @@ def run_sharded(config: ExperimentConfig) -> list[dict]:
 
     Reuses the E8 harness runner (so CLI, pytest-benchmark, and this script
     all measure the same code path) and re-keys its table into JSON-ready
-    records.
+    records.  Since the E8 runner grew eval-throughput columns, each record
+    also carries ``eval_seconds`` / ``eval_releases_per_sec`` /
+    ``eval_matches_serial`` for the sharded E1 metric over the same plan.
     """
     return harness.run_scalability(config).to_dicts()
+
+
+def run_distributed_eval(smoke: bool) -> dict:
+    """The E16 block: sharded-metric sweep plus the pool-vs-process rounds.
+
+    Delegates to ``bench_e16_distributed_eval.distributed_eval_block`` so
+    the pytest benchmarks, the standalone artifact, and this script all
+    measure the same code on the same workload.
+    """
+    return bench_e16.distributed_eval_block(smoke)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=sorted(ENTRY_POINTS) + [SHARDED_ENTRY],
+        choices=sorted(ENTRY_POINTS) + [SHARDED_ENTRY, DISTRIBUTED_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -113,10 +141,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     config = make_config(args.smoke)
-    names = args.only or sorted(ENTRY_POINTS) + [SHARDED_ENTRY]
+    names = args.only or sorted(ENTRY_POINTS) + [SHARDED_ENTRY, DISTRIBUTED_ENTRY]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
-        if name == SHARDED_ENTRY:
+        if name in (SHARDED_ENTRY, DISTRIBUTED_ENTRY):
             continue
         runner = ENTRY_POINTS[name]
         start = time.perf_counter()
@@ -133,7 +161,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"  {record['backend']:<8} shards={record['shards']}"
                 f"  {record['releases_per_sec']:>12,.0f} releases/s"
                 f"  matches_serial={record['matches_serial']}"
+                f"  eval {record['eval_releases_per_sec']:>12,.0f}/s"
+                f"  eval_matches={record['eval_matches_serial']}"
             )
+    if DISTRIBUTED_ENTRY in names:
+        start = time.perf_counter()
+        payload["distributed_eval"] = run_distributed_eval(args.smoke)
+        payload["timings"][DISTRIBUTED_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{DISTRIBUTED_ENTRY:<28} {payload['timings'][DISTRIBUTED_ENTRY]:>10.3f}s")
+        for record in payload["distributed_eval"]["sweep"]:
+            print(
+                f"  {record['backend']:<8} shards={record['shards']}"
+                f"  {record['releases_per_sec']:>12,.0f} releases/s"
+                f"  matches_serial={record['matches_serial']}"
+            )
+        comparison = payload["distributed_eval"]["pool_vs_process"]
+        print(
+            f"  pool {comparison['pool_seconds']}s vs process "
+            f"{comparison['process_seconds']}s over {comparison['rounds']} rounds "
+            f"({comparison['pool_speedup']}x)"
+        )
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     total = sum(payload["timings"].values())

@@ -12,11 +12,14 @@ Walks ``README.md`` and every ``docs/*.md``, and
 Exit code 0 when everything passes; 1 with a per-file error report
 otherwise.  Run locally or in CI::
 
-    python scripts/check_docs.py
+    python scripts/check_docs.py               # snippets + links
+    python scripts/check_docs.py --links-only  # fast dead-link check
+    python scripts/check_docs.py --snippets-only
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -65,10 +68,28 @@ def check_links(path: Path) -> list[str]:
     return errors
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--links-only",
+        action="store_true",
+        help="only verify relative link targets (fast, no code execution)",
+    )
+    mode.add_argument(
+        "--snippets-only",
+        action="store_true",
+        help="only execute fenced python snippets",
+    )
+    args = parser.parse_args(argv)
+
     failures = []
     for path in doc_files():
-        errors = run_snippets(path) + check_links(path)
+        errors = []
+        if not args.links_only:
+            errors += run_snippets(path)
+        if not args.snippets_only:
+            errors += check_links(path)
         snippet_count = len(PYTHON_FENCE.findall(path.read_text(encoding="utf-8")))
         status = "ok" if not errors else f"{len(errors)} error(s)"
         print(f"{path.relative_to(ROOT)}: {snippet_count} snippet(s), {status}")

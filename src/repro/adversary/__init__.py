@@ -6,6 +6,11 @@ Privacy" (S&P 2011), which the demo uses as its empirical privacy metric
 prior (mobility) model through the mechanism's density, and outputs the
 location estimate minimising expected Euclidean error.  The user's privacy is
 the attacker's expected error.
+
+Everything here is batch-first with scalar reference paths
+(``batched=False``) and — for the metric functions — an optional
+shard-parallel execution mode (``shards=`` / ``backend=``) riding the
+distributed evaluation layer (:mod:`repro.engine.distributed`).
 """
 
 from repro.adversary.inference import BayesianAttacker

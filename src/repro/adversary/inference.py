@@ -56,6 +56,21 @@ class BayesianAttacker:
         mechanism density; disclosable cells get zero likelihood because
         their releases are point masses that a continuous observation almost
         surely does not match.
+
+        Parameters
+        ----------
+        release:
+            One observed :class:`~repro.core.mechanisms.Release` (point,
+            exactness flag, spent epsilon).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_cells,)`` probability vector summing to 1.  Raises
+            :class:`~repro.errors.ValidationError` when the observation is
+            impossible under every cell.  Deterministic — inference draws
+            no randomness, so batched and scalar attacks agree wherever the
+            releases do.
         """
         n = self.world.n_cells
         if release.exact:
@@ -82,6 +97,19 @@ class BayesianAttacker:
         likelihoods, exact releases collapse to one-hot rows, and rows whose
         prior excludes the observation fall back to likelihood-only
         inference — the same semantics as the scalar path, row by row.
+
+        Parameters
+        ----------
+        batch:
+            A :class:`~repro.core.mechanisms.ReleaseBatch` (rows are
+            independent; the batch may mix exact and noisy releases).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(len(batch), n_cells)``; row ``i`` equals
+            ``posterior(batch[i])`` (asserted in
+            ``tests/test_eval_batched.py``).
         """
         n = self.world.n_cells
         out = np.empty((len(batch), n))
@@ -126,7 +154,13 @@ class BayesianAttacker:
         return estimates
 
     def expected_error_batch(self, batch: ReleaseBatch) -> np.ndarray:
-        """Residual uncertainty per release: ``(len(batch),)`` min expected loss."""
+        """Residual uncertainty per release: ``(len(batch),)`` min expected loss.
+
+        The batched counterpart of :meth:`expected_error` — one posterior
+        matrix and one GEMM against the cached all-pairs distance matrix
+        cover the whole batch; row ``i`` matches the scalar call on
+        ``batch[i]`` to float round-off.
+        """
         posteriors = self.posterior_batch(batch)
         return (posteriors @ self._distances()).min(axis=1)
 
@@ -136,6 +170,14 @@ class BayesianAttacker:
         Element ``i`` equals :meth:`inference_error` on the ``i``-th release
         (same estimates, same ``np.hypot`` distance), computed for the whole
         batch with one posterior matrix.
+
+        Parameters
+        ----------
+        batch:
+            The observed releases.
+        true_cells:
+            One ground-truth cell per batch row (shape-checked; raises
+            :class:`~repro.errors.ValidationError` on mismatch).
         """
         true_arr = self.world.cells_array(true_cells, context="inference_error_batch")
         if true_arr.shape != (len(batch),):
@@ -158,13 +200,27 @@ class BayesianAttacker:
         return int(np.argmin(expected_losses))
 
     def expected_error(self, release: Release) -> float:
-        """The attacker's residual uncertainty: min expected Euclidean loss."""
+        """The attacker's residual uncertainty: min expected Euclidean loss.
+
+        ``min_x E_posterior[d_E(x, s)]`` for one observed ``release`` — the
+        quantity Shokri et al. call the expected estimation error.  Scalar
+        reference for :meth:`expected_error_batch`.
+        """
         posterior = self.posterior(release)
         expected_losses = self._distances() @ posterior
         return float(expected_losses.min())
 
     def inference_error(self, release: Release, true_cell: int) -> float:
-        """Realised attack error: distance from the estimate to the truth."""
+        """Realised attack error: distance from the estimate to the truth.
+
+        Parameters
+        ----------
+        release:
+            The observed release.
+        true_cell:
+            Ground-truth cell the release came from (validated against the
+            world).  Scalar reference for :meth:`inference_error_batch`.
+        """
         estimate = self.estimate(release)
         return self.world.distance(estimate, self.world.check_cell(true_cell))
 

@@ -25,17 +25,29 @@ __all__ = ["TrackingResult", "TrajectoryAttacker"]
 
 @dataclass(frozen=True)
 class TrackingResult:
-    """Outcome of a tracking attack over a released trajectory."""
+    """Outcome of a tracking attack over a released trajectory.
+
+    Attributes
+    ----------
+    estimates:
+        The attacker's Bayes-optimal cell estimate after each release, in
+        stream order.
+    errors:
+        Euclidean distance from each estimate to the true cell at that
+        step (``len(errors) == len(estimates)``).
+    """
 
     estimates: tuple[int, ...]
     errors: tuple[float, ...]
 
     @property
     def mean_error(self) -> float:
+        """Average per-step localisation error — E10's ``tracking_error``."""
         return float(np.mean(self.errors))
 
     @property
     def final_error(self) -> float:
+        """Localisation error after the last release (fully filtered belief)."""
         return self.errors[-1]
 
 
@@ -68,11 +80,28 @@ class TrajectoryAttacker:
     ) -> TrackingResult:
         """Filter over ``releases`` and score localisation error per step.
 
-        ``releases`` may be a list of scalar records or a whole
-        :class:`~repro.core.mechanisms.ReleaseBatch` (e.g. the output of one
-        engine round over a trajectory).  ``mechanisms`` may be a single
-        mechanism (static policy) or one per release (dynamic policies, e.g.
-        the temporal releaser's per-step repaired graphs).
+        Parameters
+        ----------
+        releases:
+            The observed stream — a list of scalar
+            :class:`~repro.core.mechanisms.Release` records or a whole
+            :class:`~repro.core.mechanisms.ReleaseBatch` (e.g. the output
+            of one engine round over a trajectory); a batch is expanded to
+            its scalar rows, so both forms attack identically.
+        mechanisms:
+            A single mechanism (static policy) or one per release (dynamic
+            policies, e.g. the temporal releaser's per-step repaired
+            graphs); supplies the likelihood at each filter update.
+        true_cells:
+            Ground truth per step, for scoring only — the filter never
+            sees it.
+
+        Returns
+        -------
+        TrackingResult
+            Per-step estimates and errors.  Deterministic: filtering draws
+            no randomness, so the result depends only on the releases (and
+            therefore inherits whatever RNG-stream contract produced them).
         """
         if isinstance(releases, ReleaseBatch):
             releases = releases.to_releases()

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro --seed 7 release --policy Gb --epsilon 1.0 --cell 27
     python -m repro release --mechanism planar_laplace --cell 27 --count 1000
     python -m repro experiment e1 --size 8 --users 12 --horizon 36
+    python -m repro experiment e1 --shards 4 --backend pool
     python -m repro experiment e8 --engine-spec spec.json --shards 4 --backend process
     python -m repro engines
     python -m repro datasets
@@ -117,13 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=None,
-        help="pin the E8 scalability sweep to one shard count",
+        help="e8: pin the scalability sweep to one shard count; e1/e4: run "
+        "their metrics shard-parallel with this many shards (other "
+        "experiments have no distributed metrics yet and warn)",
     )
     experiment.add_argument(
         "--backend",
         choices=backend_names(),
         default=None,
-        help="pin the E8 scalability sweep to one execution backend",
+        help="e8: pin the scalability sweep to one execution backend; e1/e4: "
+        "execution backend for shard-parallel metrics (e.g. the long-lived "
+        "'pool' worker pool)",
     )
 
     sub.add_parser(
@@ -251,12 +256,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     "builds the engine from the spec verbatim)",
                     file=sys.stderr,
                 )
+        # For E8 the flags pin the release-throughput sweep; for E1/E4 they
+        # route the metric calls over the distributed evaluation path with
+        # that shard count / backend.  The remaining runners do not consume
+        # the eval fields yet — say so instead of silently running
+        # single-process (mirrors the engine-spec warning above).
+        if (args.shards is not None or args.backend is not None) and args.name not in (
+            "e1",
+            "e4",
+            "e8",
+        ):
+            print(
+                f"warning: experiment {args.name} has no shard-parallel "
+                "metrics; --shards/--backend are ignored (supported: e1, e4, e8)",
+                file=sys.stderr,
+            )
         if args.shards is not None:
             if args.shards < 1:
                 raise ValidationError(f"shards must be >= 1, got {args.shards}")
-            config = replace(config, shard_counts=(args.shards,))
+            field = "shard_counts" if args.name == "e8" else "eval_shards"
+            value = (args.shards,) if args.name == "e8" else args.shards
+            config = replace(config, **{field: value})
         if args.backend is not None:
-            config = replace(config, backends=(args.backend,))
+            if args.name == "e8":
+                config = replace(config, backends=(args.backend,))
+            else:
+                config = replace(config, eval_backend=args.backend)
     except (ReproError, OSError, ValueError, KeyError) as exc:
         # bad spec file: missing, malformed JSON, or unknown registry names.
         # Only construction is guarded — a failure inside a runner is a bug

@@ -13,23 +13,36 @@ population-scale engine:
   string-name registry;
 * :mod:`~repro.engine.registry` — one source of truth for mechanism and
   policy names shared by experiments, the CLI, and saved configs;
-* :class:`ShardPlan` + :func:`sharded_release_rounds` — deterministic
-  population sharding with per-user RNG streams, executed on a pluggable
-  :class:`ExecutionBackend` (``serial`` / ``thread`` / ``process``) so one
-  seeded run reproduces element-wise at any shard count.
+* :class:`ShardPlan` + :func:`sharded_release_rounds` /
+  :func:`stream_shard_releases` — deterministic population sharding with
+  per-user RNG streams, executed on a pluggable :class:`ExecutionBackend`
+  (``serial`` / ``thread`` / ``process`` / long-lived ``pool``) so one
+  seeded run reproduces element-wise at any shard count;
+* :mod:`~repro.engine.distributed` — the evaluation layer's counterpart:
+  :func:`sharded_metric` folds per-shard :class:`MetricShardResult`
+  pieces with an exact associative merge, so E1/E4-class metrics scale
+  over the same plans and backends as the release path.
 """
 
 from repro.engine.backends import (
     ExecutionBackend,
+    PoolBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     backend_names,
     ensure_backend,
+    owned_backend,
     register_backend,
     resolve_backend,
 )
-from repro.engine.engine import PrivacyEngine
+from repro.engine.engine import EngineRef, PrivacyEngine, resolve_release_source
+from repro.engine.distributed import (
+    MetricShardResult,
+    merge_metric_results,
+    sharded_metric,
+    slot_plan,
+)
 from repro.engine.registry import (
     mechanism_names,
     policy_names,
@@ -38,21 +51,29 @@ from repro.engine.registry import (
     resolve_mechanism,
     resolve_policy,
 )
-from repro.engine.sharding import ShardPlan, sharded_release_rounds
+from repro.engine.sharding import ShardPlan, sharded_release_rounds, stream_shard_releases
 from repro.engine.specs import EngineSpec, ExecutionSpec, MechanismSpec, PolicySpec
 
 __all__ = [
     "PrivacyEngine",
+    "EngineRef",
+    "resolve_release_source",
     "EngineSpec",
     "MechanismSpec",
     "PolicySpec",
     "ExecutionSpec",
     "ShardPlan",
     "sharded_release_rounds",
+    "stream_shard_releases",
+    "MetricShardResult",
+    "sharded_metric",
+    "merge_metric_results",
+    "slot_plan",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "PoolBackend",
     "register_mechanism",
     "register_policy",
     "register_backend",
@@ -60,6 +81,7 @@ __all__ = [
     "resolve_policy",
     "resolve_backend",
     "ensure_backend",
+    "owned_backend",
     "mechanism_names",
     "policy_names",
     "backend_names",

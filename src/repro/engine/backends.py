@@ -1,9 +1,10 @@
 """Pluggable execution backends for shard-parallel work.
 
 A backend answers one question: *how* do independent shard tasks run —
-in-process (``serial``), on a thread pool (``thread``), or on a process pool
-(``process``, via :mod:`concurrent.futures`)?  Backends are registry-named
-exactly like mechanisms and policies, so an :class:`~repro.engine.specs.EngineSpec`
+in-process (``serial``), on a thread pool (``thread``), on a per-call
+process pool (``process``), or on a long-lived process pool (``pool``, all
+via :mod:`concurrent.futures`)?  Backends are registry-named exactly like
+mechanisms and policies, so an :class:`~repro.engine.specs.EngineSpec`
 (or a saved JSON spec file) can carry ``backend="process"`` and every layer —
 pipeline, experiments, CLI — resolves it through the same table.
 
@@ -12,14 +13,32 @@ picklable function over a task list and returns the results **in task
 order**, whatever the completion order was.  Determinism therefore never
 depends on the backend; scheduling affects wall-clock only.  Anything that
 satisfies that contract (an async loop, a cluster client) can be registered
-with :func:`register_backend` and selected by name.
+with :func:`register_backend` and selected by name.  Two optional protocol
+extensions ride on top:
+
+* :meth:`ExecutionBackend.run_unordered` yields ``(task_index, result)``
+  pairs *as tasks complete*, which is what streaming consumers
+  (:func:`~repro.engine.sharding.stream_shard_releases`,
+  :meth:`~repro.server.pipeline.Server.ingest_shard`) use to avoid a full
+  merge barrier.  The default delegates to :meth:`run`, so custom backends
+  only implement it when they can genuinely stream.
+* :meth:`ExecutionBackend.close` / the context-manager protocol releases
+  whatever the backend holds (the ``pool`` backend's persistent executor).
+  Call sites that *build* a backend from a registry name own it and must
+  close it — including on error — which is what
+  :func:`~repro.engine.sharding.sharded_release_rounds` and the harness do.
 """
 
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from contextlib import contextmanager
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.engine.registry import _register, _resolve
 from repro.errors import ValidationError
@@ -29,9 +48,11 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "PoolBackend",
     "register_backend",
     "resolve_backend",
     "ensure_backend",
+    "owned_backend",
     "backend_names",
 ]
 
@@ -72,6 +93,34 @@ class ExecutionBackend(abc.ABC):
             but must **return** ``[fn(t) for t in tasks]`` order.
         """
 
+    def run_unordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> Iterator[tuple[int, R]]:
+        """Yield ``(task_index, fn(task))`` pairs as tasks complete.
+
+        The streaming half of the contract: consumers that can commit
+        results incrementally (e.g. :meth:`Server.ingest_shard`) iterate
+        this instead of waiting for the whole :meth:`run` list.  Yield
+        order is unspecified; the index identifies the task.  The default
+        implementation delegates to :meth:`run` (one barrier, then ordered
+        yields), so every registered backend — including custom ones that
+        only implement :meth:`run` — satisfies it; the built-in pool
+        backends override it to stream genuinely.
+        """
+        yield from enumerate(self.run(fn, tasks))
+
+    def close(self) -> None:
+        """Release held resources (executors); idempotent.
+
+        The base implementation is a no-op — only backends that keep state
+        across :meth:`run` calls (:class:`PoolBackend`) override it.  After
+        ``close()`` a backend may refuse further work.
+        """
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -106,6 +155,15 @@ class _PoolBackend(ExecutionBackend):
         with self._executor_cls(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, tasks))
 
+    def run_unordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> Iterator[tuple[int, R]]:
+        if len(tasks) <= 1:
+            yield from enumerate(fn(task) for task in tasks)
+            return
+        with self._executor_cls(max_workers=self.max_workers) as pool:
+            futures = {pool.submit(fn, task): index for index, task in enumerate(tasks)}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(max_workers={self.max_workers})"
 
@@ -132,6 +190,64 @@ class ProcessBackend(_PoolBackend):
 
     name = "process"
     _executor_cls = ProcessPoolExecutor
+
+
+class PoolBackend(ExecutionBackend):
+    """Long-lived process-pool execution for repeated rounds and sweeps.
+
+    :class:`ProcessBackend` pays its full setup cost on *every* call: a
+    fresh ``ProcessPoolExecutor`` is spun up, every task pickles its whole
+    engine across the process boundary, and the workers die when the call
+    returns.  ``pool`` keeps one executor alive across :meth:`run` calls
+    instead, so repeated rounds / sweeps (the E8 harness, epsilon sweeps,
+    benchmark loops) pay worker startup once.  Combined with
+    :class:`~repro.engine.engine.EngineRef` — which ships a spec hash
+    instead of a pickled engine and lets each worker cache the built engine
+    by that hash — repeated rounds stop re-pickling construction state
+    entirely.
+
+    A failing task propagates its exception to the caller but leaves the
+    executor intact: the pool stays usable for the next call.  The executor
+    is created lazily on first use and released by :meth:`close` (or by
+    using the backend as a context manager); call sites that resolve
+    ``"pool"`` from the registry own the instance and must close it.
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = None if max_workers is None else int(max_workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        # Even a singleton task goes through the pool: the whole point is
+        # that workers stay warm (cached engines) for the *next* call.
+        if not tasks:
+            return []
+        return list(self._pool().map(fn, tasks))
+
+    def run_unordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> Iterator[tuple[int, R]]:
+        if not tasks:
+            return
+        futures = {self._pool().submit(fn, task): index for index, task in enumerate(tasks)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"PoolBackend(max_workers={self.max_workers}, {state})"
 
 
 def register_backend(name: str, factory: BackendFactory, aliases: Iterable[str] = ()) -> None:
@@ -167,6 +283,31 @@ def ensure_backend(backend: "str | ExecutionBackend | None", **params) -> Execut
     return factory(**params)
 
 
+@contextmanager
+def owned_backend(
+    backend: "str | ExecutionBackend | None", **params
+) -> "Iterator[ExecutionBackend]":
+    """Yield a live backend, closing it on exit **iff this call built it**.
+
+    The ownership rule every shard-parallel entry point follows: a caller
+    who passes a live :class:`ExecutionBackend` keeps responsibility for its
+    lifetime (so one ``pool`` instance can be reused across many rounds),
+    while a registry *name* (or ``None``) is resolved here and reliably
+    closed — including when the body raises — so a failing harness run can
+    never leak a process pool.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if params:
+            raise ValidationError("params only apply when resolving a backend by name")
+        yield backend
+        return
+    live = ensure_backend(backend, **params)
+    try:
+        yield live
+    finally:
+        live.close()
+
+
 def backend_names() -> list[str]:
     """Canonical names of every registered backend, sorted."""
     return sorted(_BACKENDS)
@@ -175,3 +316,4 @@ def backend_names() -> list[str]:
 register_backend("serial", SerialBackend, aliases=("sync", "inline"))
 register_backend("thread", ThreadBackend, aliases=("threads", "threadpool"))
 register_backend("process", ProcessBackend, aliases=("processes", "multiprocess"))
+register_backend("pool", PoolBackend, aliases=("worker_pool", "persistent"))

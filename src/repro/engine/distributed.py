@@ -1,0 +1,186 @@
+"""Distributed evaluation: shard-parallel metrics over plans and backends.
+
+PR 3 scaled the *release* (transactional) path across users; this module
+gives the *evaluation* (analytical) path the same treatment without coupling
+the two — the classic HTAP split of shared-but-decoupled infrastructure.
+Both paths ride the same primitives: a deterministic
+:class:`~repro.engine.sharding.ShardPlan` partitions the metric's work keys
+(users for trace metrics like E1's ``monitoring_utility``, trial slots for
+cell metrics like E4's ``adversary_error``) into contiguous shards with one
+RNG-stream seed per key, and an
+:class:`~repro.engine.backends.ExecutionBackend` decides how shards run.
+
+Each shard scores only its own keys on those keys' own streams and returns a
+:class:`MetricShardResult`; :func:`sharded_metric` executes the shards and
+folds the results with :meth:`MetricShardResult.merge`.
+
+Merge semantics (why results are invariant under sharding)
+----------------------------------------------------------
+The merge is deliberately **exact**, not approximate:
+
+* Error-style components (*weighted means*) are carried as **per-key
+  partial sums** plus per-key counts.  Merging concatenates the per-key
+  arrays in shard order — concatenation is associative, and shards hold
+  contiguous blocks of the key order, so any shard count reassembles the
+  *identical* global array.  The final weighted mean
+  (``sums.sum() / counts.sum()``) is then one reduction over that array:
+  bit-identical for 1, 2, or 50 shards, on any backend.
+* Count-style components (*flow reduction*) are carried as
+  :class:`collections.Counter` maps (e.g. E1's inter-area flow counts) and
+  merged by integer addition — exact and associative.  Flows are
+  within-user transitions and every user lives in exactly one shard, so
+  per-shard flow counters partition the global counters.
+
+Randomness is attached to keys, never shards: seeds come from one
+:func:`~repro.utils.rng.spawn_seeds` draw over the global key order, so the
+key -> stream mapping cannot move when re-sharding.  Together the two
+properties give the distributed-metric contract asserted in
+``tests/test_distributed_eval.py``: *k*-shard output on any backend equals
+the 1-shard single-process batched output exactly, and both match the
+scalar per-release reference to float round-off.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.engine.backends import ExecutionBackend, owned_backend
+from repro.engine.sharding import ShardPlan
+from repro.errors import ValidationError
+
+__all__ = ["MetricShardResult", "sharded_metric", "merge_metric_results", "slot_plan"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class MetricShardResult:
+    """One shard's contribution to a distributed metric, mergeable exactly.
+
+    Attributes
+    ----------
+    sums:
+        ``component name -> per-key partial sums`` (one float per work key
+        owned by the shard, in the shard's key order).  Components that end
+        up as weighted means (mean Euclidean error, area hits, inference
+        error) live here.
+    counts:
+        Per-key release/trial counts aligned with every array in ``sums`` —
+        the weights of the weighted means.
+    flows:
+        ``component name -> Counter`` for count-valued components merged by
+        addition (E1's true/observed inter-area flows).  Empty for metrics
+        without a flow part.
+    """
+
+    sums: Mapping[str, np.ndarray]
+    counts: np.ndarray
+    flows: Mapping[str, Counter]
+
+    def merge(self, other: "MetricShardResult") -> "MetricShardResult":
+        """Fold two shard results into one; associative and exact.
+
+        Per-key arrays concatenate (``self`` first — callers merge in shard
+        order, which reassembles the global key order) and flow counters
+        add.  Because neither operation rounds, ``merge`` is associative:
+        any grouping of shards produces the same result, which is what the
+        shard-count-invariance tests pin down.
+        """
+        if set(self.sums) != set(other.sums) or set(self.flows) != set(other.flows):
+            raise ValidationError("cannot merge shard results with different components")
+        return MetricShardResult(
+            sums={
+                name: np.concatenate([values, other.sums[name]])
+                for name, values in self.sums.items()
+            },
+            counts=np.concatenate([self.counts, other.counts]),
+            flows={name: flows + other.flows[name] for name, flows in self.flows.items()},
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        """Number of work keys (users / trial slots) covered so far."""
+        return len(self.counts)
+
+    @property
+    def n_releases(self) -> int:
+        """Total releases scored across all merged shards."""
+        return int(self.counts.sum())
+
+    def weighted_mean(self, name: str) -> float:
+        """``sums[name].sum() / counts.sum()`` — the final metric value.
+
+        One reduction over the reassembled global per-key array, so the
+        value is bit-identical for every shard count and backend.
+        """
+        total = self.n_releases
+        if total == 0:
+            raise ValidationError("no releases scored; cannot take a mean")
+        return float(self.sums[name].sum()) / total
+
+
+def merge_metric_results(results: Sequence[MetricShardResult]) -> MetricShardResult:
+    """Fold shard results in shard order into one :class:`MetricShardResult`."""
+    if not results:
+        raise ValidationError("need at least one shard result to merge")
+    return reduce(MetricShardResult.merge, results)
+
+
+def sharded_metric(
+    scorer: Callable[[T], MetricShardResult],
+    tasks: Sequence[T],
+    backend: "str | ExecutionBackend | None" = None,
+) -> MetricShardResult:
+    """Score shard tasks on a backend and merge them into one result.
+
+    Parameters
+    ----------
+    scorer:
+        Module-level function mapping one shard task to a
+        :class:`MetricShardResult` (module-level so process backends can
+        pickle it).  Tasks carry everything the scorer needs — for process
+        backends, spec-built engines travel as
+        :class:`~repro.engine.engine.EngineRef` spec hashes that workers
+        resolve against their local cache.
+    tasks:
+        One task per non-empty shard, in shard order.  Results are merged in
+        this order regardless of completion order, so the backend can never
+        influence the merged value.
+    backend:
+        Registry name, live backend, or ``None`` (serial).  Backends named
+        here are owned by this call and closed before returning — even when
+        a shard raises — so a failing sweep cannot leak a process pool.
+
+    Returns
+    -------
+    MetricShardResult
+        The exact fold of every shard's result; finalise with
+        :meth:`MetricShardResult.weighted_mean` and the flow counters.
+    """
+    with owned_backend(backend) as live:
+        results = live.run(scorer, tasks)
+    return merge_metric_results(results)
+
+
+def slot_plan(
+    n_slots: int, shards: int, rng=None
+) -> ShardPlan:
+    """A :class:`ShardPlan` over trial slots ``0..n_slots-1``.
+
+    Cell-level metrics (E4's ``utility_error`` / ``adversary_error`` /
+    ``expected_inference_error``) have no users; their work keys are the
+    positions of the evaluated true cells, which may repeat.  Slot indices
+    are already sorted and unique, so they drop straight into
+    :class:`ShardPlan` — reusing the exact per-key seeding (one
+    ``spawn_seeds`` draw over the global slot order) and contiguous balanced
+    partitioning that make the release path invariant under re-sharding.
+    """
+    if n_slots < 1:
+        raise ValidationError("need at least one slot to shard")
+    return ShardPlan.build(range(n_slots), shards, rng=rng)

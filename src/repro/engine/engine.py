@@ -12,6 +12,8 @@ users keep the one-liner ergonomics.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -22,7 +24,7 @@ from repro.engine.specs import EngineSpec
 from repro.errors import ValidationError
 from repro.geo.grid import GridWorld
 
-__all__ = ["PrivacyEngine"]
+__all__ = ["PrivacyEngine", "EngineRef", "resolve_release_source"]
 
 
 class PrivacyEngine:
@@ -217,3 +219,103 @@ class PrivacyEngine:
             f"policy={self.policy.name!r}, epsilon={self.epsilon}, "
             f"world={self.world.width}x{self.world.height})"
         )
+
+
+#: spec hash -> built engine, per process.  In a worker of the ``pool``
+#: backend this cache outlives individual tasks *and* individual runs, which
+#: is what amortises engine construction across repeated rounds/sweeps.
+_ENGINE_CACHE: dict[str, PrivacyEngine] = {}
+
+
+class EngineRef:
+    """Picklable engine handle: a spec hash instead of a pickled engine.
+
+    Shard tasks used to carry the live :class:`PrivacyEngine`, so every task
+    sent to a process backend re-pickled the whole construction state
+    (policy graph, cached sensitivities / hulls, the world) on every round.
+    An ``EngineRef`` pickles down to the engine's declarative description —
+    the canonical :meth:`EngineSpec.to_dict` JSON plus the world dimensions —
+    and a deterministic SHA-256 hash of it.  On the receiving side
+    :meth:`resolve` rebuilds the engine from that spec **once per process**
+    and caches it under the hash, so a long-lived worker (the ``pool``
+    backend) constructs each distinct engine exactly once no matter how many
+    tasks or rounds it serves.
+
+    Determinism: spec-built engines are pure functions of (spec, world), so
+    a worker-rebuilt engine draws exactly the releases the originating
+    engine would — the sharded determinism contract is unaffected.
+
+    In-process (serial / thread backends, or the originating side of a
+    process backend) the live engine is kept and returned directly; only
+    pickling drops it.
+    """
+
+    __slots__ = ("_engine", "_payload")
+
+    def __init__(self, engine: PrivacyEngine) -> None:
+        if engine.spec is None:
+            raise ValidationError(
+                "EngineRef requires a spec-built engine (engine.spec is None)"
+            )
+        self._engine: PrivacyEngine | None = engine
+        self._payload = (
+            json.dumps(engine.spec.to_dict(), sort_keys=True),
+            int(engine.world.width),
+            int(engine.world.height),
+            float(engine.world.cell_size),
+        )
+
+    @staticmethod
+    def wrap(source):
+        """``EngineRef`` for a spec-built engine; anything else unchanged.
+
+        The convenience used by task builders: live mechanisms and spec-less
+        engines still travel by value (the pre-ref behaviour), spec-built
+        engines travel by reference.
+        """
+        if isinstance(source, PrivacyEngine) and source.spec is not None:
+            return EngineRef(source)
+        return source
+
+    @property
+    def spec_hash(self) -> str:
+        """SHA-256 over (canonical spec JSON, world dims) — the cache key."""
+        return hashlib.sha256(repr(self._payload).encode()).hexdigest()
+
+    def resolve(self) -> PrivacyEngine:
+        """The live engine: held, cached-by-hash, or rebuilt from the spec."""
+        if self._engine is None:
+            key = self.spec_hash
+            engine = _ENGINE_CACHE.get(key)
+            if engine is None:
+                spec_json, width, height, cell_size = self._payload
+                world = GridWorld(width, height, cell_size=cell_size)
+                spec = EngineSpec.from_dict(json.loads(spec_json))
+                engine = PrivacyEngine.from_spec(world, spec)
+                _ENGINE_CACHE[key] = engine
+            self._engine = engine
+        return self._engine
+
+    def __getstate__(self) -> dict:
+        return {"payload": self._payload}
+
+    def __setstate__(self, state: dict) -> None:
+        self._payload = state["payload"]
+        self._engine = None
+
+    def __repr__(self) -> str:
+        held = "live" if self._engine is not None else "unresolved"
+        return f"EngineRef({self.spec_hash[:12]}, {held})"
+
+
+def resolve_release_source(source):
+    """Live release source from a task field: resolve refs, pass the rest.
+
+    Shard tasks may carry a :class:`~repro.core.mechanisms.Mechanism`, a
+    :class:`PrivacyEngine`, or an :class:`EngineRef`; scorers call this once
+    and then treat the result uniformly (all three expose ``release`` /
+    ``release_batch`` / ``pdf_matrix`` / ``world``).
+    """
+    if isinstance(source, EngineRef):
+        return source.resolve()
+    return source

@@ -32,7 +32,8 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 import numpy as np
 
 from repro.core.mechanisms.base import ReleaseBatch
-from repro.engine.backends import ExecutionBackend, ensure_backend
+from repro.engine.backends import ExecutionBackend, owned_backend
+from repro.engine.engine import EngineRef, resolve_release_source
 from repro.errors import DataError, ValidationError
 from repro.utils.rng import spawn_seeds
 
@@ -40,7 +41,12 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.engine.engine import PrivacyEngine
     from repro.mobility.trajectory import TraceDB
 
-__all__ = ["ShardPlan", "ShardTask", "sharded_release_rounds"]
+__all__ = [
+    "ShardPlan",
+    "ShardTask",
+    "sharded_release_rounds",
+    "stream_shard_releases",
+]
 
 
 @dataclass(frozen=True)
@@ -175,11 +181,15 @@ class ShardTask:
     """One shard's work order: its users, their seeds, and their traces.
 
     Plain data plus the engine, so a :class:`~repro.engine.backends.ProcessBackend`
-    can pickle it to a worker.  ``times[i]`` / ``cells[i]`` are user
-    ``users[i]``'s check-in times and true cells in time order.
+    can pickle it to a worker.  ``engine`` is an
+    :class:`~repro.engine.engine.EngineRef` whenever the engine was built
+    from a spec — the ref pickles as a spec hash and the worker rebuilds
+    (and caches) the engine, instead of re-shipping construction state with
+    every task — and the live engine otherwise.  ``times[i]`` / ``cells[i]``
+    are user ``users[i]``'s check-in times and true cells in time order.
     """
 
-    engine: "PrivacyEngine"
+    engine: "PrivacyEngine | EngineRef"
     users: tuple[int, ...]
     seeds: tuple[int, ...]
     times: tuple[tuple[int, ...], ...]
@@ -196,6 +206,7 @@ def _execute_shard(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray,
     (the task's user order, then time), matching the task's flattened
     ``times``/``cells``.  Module-level so process pools can pickle it.
     """
+    engine = resolve_release_source(task.engine)
     n = sum(len(cells) for cells in task.cells)
     points = np.empty((n, 2), dtype=float)
     exact = np.empty(n, dtype=bool)
@@ -203,7 +214,7 @@ def _execute_shard(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray,
     mechanism = ""
     offset = 0
     for seed, cells in zip(task.seeds, task.cells):
-        batch = task.engine.release_batch(list(cells), rng=np.random.default_rng(seed))
+        batch = engine.release_batch(list(cells), rng=np.random.default_rng(seed))
         stop = offset + len(batch)
         points[offset:stop] = batch.points
         exact[offset:stop] = batch.exact
@@ -216,11 +227,12 @@ def _execute_shard(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray,
 def _shard_tasks(engine: "PrivacyEngine", true_db: "TraceDB", plan: ShardPlan) -> list[ShardTask]:
     """Materialise one picklable :class:`ShardTask` per non-empty shard."""
     tasks = []
+    transferable = EngineRef.wrap(engine)
     for _, users, seeds in plan.iter_shards():
         histories = [true_db.user_history(user) for user in users]
         tasks.append(
             ShardTask(
-                engine=engine,
+                engine=transferable,
                 users=users,
                 seeds=seeds,
                 times=tuple(tuple(c.time for c in history) for history in histories),
@@ -228,6 +240,73 @@ def _shard_tasks(engine: "PrivacyEngine", true_db: "TraceDB", plan: ShardPlan) -
             )
         )
     return tasks
+
+
+def _flatten_task_rows(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """User-major ``(users, times, cells)`` row arrays for one shard task."""
+    n = sum(len(times) for times in task.times)
+    users_rows = np.empty(n, dtype=int)
+    times_rows = np.empty(n, dtype=int)
+    cells_rows = np.empty(n, dtype=int)
+    offset = 0
+    for user, user_times, user_cells in zip(task.users, task.times, task.cells):
+        stop = offset + len(user_times)
+        users_rows[offset:stop] = user
+        times_rows[offset:stop] = user_times
+        cells_rows[offset:stop] = user_cells
+        offset = stop
+    return users_rows, times_rows, cells_rows
+
+
+def stream_shard_releases(
+    engine: "PrivacyEngine",
+    true_db: "TraceDB",
+    plan: ShardPlan,
+    backend: "str | ExecutionBackend | None" = "serial",
+) -> Iterator[tuple[np.ndarray, np.ndarray, ReleaseBatch]]:
+    """Yield each shard's releases **as the shard completes** (any order).
+
+    The streaming counterpart of :func:`sharded_release_rounds`: instead of
+    a full merge barrier (flatten every shard, lexsort the whole population,
+    regroup into rounds), each completed shard is handed to the consumer
+    immediately as ``(users, times, batch)`` row arrays in the shard's
+    user-major order.  :meth:`~repro.server.pipeline.Server.ingest_shard`
+    consumes exactly this shape and commits each shard's rows ordered by
+    ``(time, user)``.
+
+    Yield *order* follows shard completion and is therefore
+    backend-dependent, but the yielded *values* are not: every user lives in
+    exactly one shard and draws from their own seed stream, so the union of
+    yielded rows — and any per-user downstream state — is a pure function of
+    ``(engine, true_db, plan)``.
+
+    Parameters
+    ----------
+    engine / true_db / plan:
+        As in :func:`sharded_release_rounds` (the plan must cover exactly
+        the database's users).
+    backend:
+        A registry name, live backend, or ``None`` (serial).  Backends named
+        here are owned by this generator and closed when the iteration
+        finishes or the consumer abandons it; live instances are left open
+        for reuse.
+    """
+    if plan.users != tuple(sorted(true_db.users())):
+        raise DataError("shard plan does not cover the trace database's users")
+    tasks = _shard_tasks(engine, true_db, plan)
+    with owned_backend(backend) as live:
+        for index, (points, exact, epsilons, mechanism) in live.run_unordered(
+            _execute_shard, tasks
+        ):
+            task = tasks[index]
+            users_rows, times_rows, cells_rows = _flatten_task_rows(task)
+            yield users_rows, times_rows, ReleaseBatch(
+                points=points,
+                exact=exact,
+                epsilons=epsilons,
+                cells=cells_rows,
+                mechanism=mechanism,
+            )
 
 
 def sharded_release_rounds(
@@ -261,12 +340,14 @@ def sharded_release_rounds(
 
     Determinism: output is a pure function of ``(engine, true_db, plan)``;
     the backend and shard count never change a single release (asserted per
-    backend in ``tests/test_sharding.py``).
+    backend in ``tests/test_sharding.py``).  Backends named here (rather
+    than passed live) are closed before returning, even on error.
     """
     if plan.users != tuple(sorted(true_db.users())):
         raise DataError("shard plan does not cover the trace database's users")
     tasks = _shard_tasks(engine, true_db, plan)
-    results = ensure_backend(backend).run(_execute_shard, tasks)
+    with owned_backend(backend) as live:
+        results = live.run(_execute_shard, tasks)
 
     # Flatten in shard order: shards hold contiguous blocks of the sorted
     # user list, so rows arrive sorted by (user, time) globally.
@@ -281,12 +362,11 @@ def sharded_release_rounds(
     offset = 0
     for task, (shard_points, shard_exact, shard_epsilons, shard_mechanism) in zip(tasks, results):
         shard_start = offset
-        for user, user_times, user_cells in zip(task.users, task.times, task.cells):
-            stop = offset + len(user_times)
-            users_rows[offset:stop] = user
-            times_rows[offset:stop] = user_times
-            cells_rows[offset:stop] = user_cells
-            offset = stop
+        task_users, task_times, task_cells = _flatten_task_rows(task)
+        offset = shard_start + len(task_users)
+        users_rows[shard_start:offset] = task_users
+        times_rows[shard_start:offset] = task_times
+        cells_rows[shard_start:offset] = task_cells
         points[shard_start:offset] = shard_points
         exact[shard_start:offset] = shard_exact
         epsilons[shard_start:offset] = shard_epsilons

@@ -11,6 +11,14 @@ call and aggregates every metric with NumPy (inter-area flows via
 ``np.unique`` over area-pair codes).  The batched path consumes the same
 seeded RNG stream as the scalar loop, so both paths score identically;
 ``batched=False`` keeps the per-check-in reference loop.
+
+The scorer also scales *across users*: ``monitoring_utility(...,
+shards=k, backend="process")`` partitions the population with the same
+deterministic :class:`~repro.engine.sharding.ShardPlan` the release
+pipeline uses (per-**user** RNG streams over the sorted user list), scores
+each shard independently, and merges per-shard
+:class:`~repro.engine.distributed.MetricShardResult` pieces exactly —
+so the report is bit-identical for every shard count and execution backend.
 """
 
 from __future__ import annotations
@@ -134,19 +142,68 @@ def monitoring_utility(
     block_cols: int = 4,
     rng=None,
     batched: bool = True,
+    shards: int | None = None,
+    backend=None,
 ) -> MonitoringReport:
     """Release every check-in of ``true_db`` and score monitoring utility.
 
     This is experiment E1's inner loop: perturb each true location with
     ``mechanism``, then compare Euclidean error, coarse-area agreement, and
-    inter-area flows.  The default path draws all releases in one
-    :meth:`~repro.core.mechanisms.Mechanism.release_batch` call and scores
-    them with NumPy; ``batched=False`` runs the scalar per-check-in reference
-    loop.  Both consume the same seeded RNG stream, so a seeded batched run
-    reproduces the seeded scalar run.
+    inter-area flows.
+
+    Parameters
+    ----------
+    world:
+        Location universe (also the snapping grid for area agreement).
+    mechanism:
+        The release mechanism to score.  A spec-built
+        :class:`~repro.engine.PrivacyEngine` is also accepted — recommended
+        with ``backend="pool"``, where shard tasks then ship a spec hash
+        (:class:`~repro.engine.EngineRef`) instead of pickled construction
+        state.
+    true_db:
+        Ground-truth traces (must be non-empty).
+    block_rows / block_cols:
+        Coarse-area tiling of the monitor.
+    rng:
+        Seed source.  Unsharded runs consume it as one stream over the
+        check-ins in :meth:`~repro.mobility.trajectory.TraceDB.to_arrays`
+        order; sharded runs spawn one child stream per *user* from it
+        (the release pipeline's layout).
+    batched:
+        ``True`` (default) scores via vectorized ``release_batch`` draws;
+        ``False`` runs the scalar per-release reference loop.  Both consume
+        the same seeded stream(s), so the two modes agree to float
+        round-off in either layout.
+    shards / backend:
+        ``None`` / ``None`` (default) keeps the single-process paths above.
+        Providing either routes scoring over a deterministic
+        :class:`~repro.engine.sharding.ShardPlan` with per-user streams and
+        the named :class:`~repro.engine.backends.ExecutionBackend` —
+        output is then **bit-identical for every shard count and backend**
+        (exact merge, see :mod:`repro.engine.distributed`), though not
+        equal to the unsharded single-stream run (the two layouts consume
+        ``rng`` differently, exactly as in the release pipeline).
+
+    Returns
+    -------
+    MonitoringReport
+        Mean Euclidean error, area accuracy, flow L1 error, release count.
     """
     if len(true_db) == 0:
         raise DataError("true trace database is empty")
+    if shards is not None or backend is not None:
+        return _monitoring_utility_sharded(
+            world,
+            mechanism,
+            true_db,
+            block_rows,
+            block_cols,
+            rng=rng,
+            batched=batched,
+            shards=1 if shards is None else int(shards),
+            backend=backend,
+        )
     generator = ensure_rng(rng)
     monitor = LocationMonitor(world, block_rows, block_cols)
 
@@ -201,4 +258,146 @@ def _monitoring_utility_scalar(
         area_accuracy=area_hits / count,
         flow_l1_error=_flow_l1_error(monitor.flows(true_db), monitor.flows(released_db)),
         n_releases=count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard-parallel path (E1 over ShardPlan + ExecutionBackend)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _MonitorShardTask:
+    """One shard's monitoring workload: its users, streams, and traces.
+
+    Plain data plus the release source, so process backends can pickle it;
+    ``source`` is an :class:`~repro.engine.EngineRef` for spec-built engines
+    (workers rebuild and cache by spec hash) or the live mechanism.
+    ``times[i]`` / ``cells[i]`` are user ``users[i]``'s check-ins in time
+    order — the user-major layout whose per-user blocks concatenate back
+    into :meth:`TraceDB.to_arrays` order.
+    """
+
+    source: object
+    block_rows: int
+    block_cols: int
+    users: tuple[int, ...]
+    seeds: tuple[int, ...]
+    times: tuple[tuple[int, ...], ...]
+    cells: tuple[tuple[int, ...], ...]
+    batched: bool
+
+
+def _score_monitor_shard(task: _MonitorShardTask):
+    """Score one shard's users on their own streams; module-level for pickling.
+
+    Per user: their whole trace is released from their own seed stream
+    (one vectorized ``release_batch`` call, or the scalar per-release loop
+    when ``task.batched`` is false — same stream, so same points to float
+    identity).  Returns a :class:`~repro.engine.distributed.MetricShardResult`
+    with per-user error / area-hit sums (weighted-mean components) and the
+    shard's true/observed flow counters (flows are within-user transitions,
+    so per-user sharding partitions them exactly).
+    """
+    from repro.engine import resolve_release_source
+    from repro.engine.distributed import MetricShardResult
+
+    source = resolve_release_source(task.source)
+    world = source.world
+    monitor = LocationMonitor(world, task.block_rows, task.block_cols)
+    n_users = len(task.users)
+    n_rows = sum(len(cells) for cells in task.cells)
+
+    users_rows = np.empty(n_rows, dtype=int)
+    times_rows = np.empty(n_rows, dtype=int)
+    cells_rows = np.empty(n_rows, dtype=int)
+    points = np.empty((n_rows, 2), dtype=float)
+    error_sums = np.empty(n_users, dtype=float)
+    hit_sums = np.empty(n_users, dtype=float)
+    counts = np.empty(n_users, dtype=int)
+
+    offset = 0
+    for index, (user, seed, user_times, user_cells) in enumerate(
+        zip(task.users, task.seeds, task.times, task.cells)
+    ):
+        generator = np.random.default_rng(seed)
+        stop = offset + len(user_cells)
+        if task.batched:
+            batch = source.release_batch(list(user_cells), rng=generator)
+            points[offset:stop] = batch.points
+        else:  # scalar reference: same stream, one release() per check-in
+            for row, cell in enumerate(user_cells, start=offset):
+                points[row] = source.release(cell, rng=generator).point
+        users_rows[offset:stop] = user
+        times_rows[offset:stop] = user_times
+        cells_rows[offset:stop] = user_cells
+
+        centres = world.coords_array(np.asarray(user_cells, dtype=int))
+        errors = np.hypot(
+            points[offset:stop, 0] - centres[:, 0],
+            points[offset:stop, 1] - centres[:, 1],
+        )
+        error_sums[index] = errors.sum()
+        counts[index] = stop - offset
+        offset = stop
+
+    released_cells = world.snap_batch(points)
+    hits = monitor.area_of_batch(released_cells) == monitor.area_of_batch(cells_rows)
+    # Per-user hit counts: rows are user-major, so reduce per contiguous block.
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    for index in range(n_users):
+        hit_sums[index] = np.count_nonzero(hits[bounds[index] : bounds[index + 1]])
+
+    return MetricShardResult(
+        sums={"error": error_sums, "area_hits": hit_sums},
+        counts=counts,
+        flows={
+            "true": monitor.flows_from_arrays(users_rows, times_rows, cells_rows),
+            "observed": monitor.flows_from_arrays(users_rows, times_rows, released_cells),
+        },
+    )
+
+
+def _monitoring_utility_sharded(
+    world: GridWorld,
+    mechanism,
+    true_db: TraceDB,
+    block_rows: int,
+    block_cols: int,
+    rng,
+    batched: bool,
+    shards: int,
+    backend,
+) -> MonitoringReport:
+    """E1 over ``ShardPlan`` + ``ExecutionBackend`` (see ``monitoring_utility``)."""
+    from repro.engine import EngineRef, ShardPlan
+    from repro.engine.distributed import sharded_metric
+    from repro.errors import ValidationError
+
+    # Workers score against the release source's own world; refuse a
+    # mismatched explicit world instead of silently diverging from the
+    # unsharded path (which uses the passed world throughout).
+    if mechanism.world != world:
+        raise ValidationError("mechanism was built for a different world")
+    plan = ShardPlan.build(sorted(true_db.users()), shards, rng=rng)
+    source = EngineRef.wrap(mechanism)
+    tasks = []
+    for _, users, seeds in plan.iter_shards():
+        histories = [true_db.user_history(user) for user in users]
+        tasks.append(
+            _MonitorShardTask(
+                source=source,
+                block_rows=block_rows,
+                block_cols=block_cols,
+                users=users,
+                seeds=seeds,
+                times=tuple(tuple(c.time for c in history) for history in histories),
+                cells=tuple(tuple(c.cell for c in history) for history in histories),
+                batched=batched,
+            )
+        )
+    merged = sharded_metric(_score_monitor_shard, tasks, backend=backend)
+    return MonitoringReport(
+        mean_euclidean_error=merged.weighted_mean("error"),
+        area_accuracy=merged.weighted_mean("area_hits"),
+        flow_l1_error=_flow_l1_error(merged.flows["true"], merged.flows["observed"]),
+        n_releases=merged.n_releases,
     )

@@ -92,6 +92,16 @@ class ExperimentConfig:
     runner that calls the sharded release path); ``engine_spec`` — usually
     loaded from a JSON file via the CLI's ``--engine-spec`` — pins the whole
     sweep to one declarative engine (see :meth:`with_engine_spec`).
+
+    ``eval_shards`` / ``eval_backend`` route the *evaluation* layer (the E1
+    and E4 metric runners) over the distributed-metric path
+    (:mod:`repro.engine.distributed`): ``None`` / ``None`` (default) keeps
+    the single-process batched metrics, anything else shards metric scoring
+    with per-user / per-slot RNG streams on the named execution backend —
+    results are then invariant under the shard count and backend, but use a
+    different (equally deterministic) stream layout than the unsharded
+    default.  The CLI maps ``repro experiment e1 --shards N --backend B``
+    onto these fields.
     """
 
     world_size: int = 12
@@ -111,6 +121,8 @@ class ExperimentConfig:
     monitor_block: tuple[int, int] = (4, 4)
     shard_counts: tuple[int, ...] = (1, 2, 4)
     backends: tuple[str, ...] = ("serial", "thread", "process")
+    eval_shards: int | None = None
+    eval_backend: str | None = None
     engine_spec: EngineSpec | None = field(default=None, compare=False)
 
     def make_world(self) -> GridWorld:

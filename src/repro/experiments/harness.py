@@ -1,14 +1,29 @@
 """Runners regenerating every evaluation artifact (experiments E1-E12).
 
-Each function returns a :class:`~repro.experiments.reporting.ResultTable`
-with the rows the corresponding demo panel plots.  E8 (scalability) is
-:func:`run_scalability` — sharded release-round throughput across execution
-backends; the micro-latency view (per-release / per-filter-step timings)
-additionally lives in ``benchmarks/bench_e8_scalability.py``.
+Each function takes an :class:`~repro.experiments.configs.ExperimentConfig`
+(laptop-scale defaults) and returns a
+:class:`~repro.experiments.reporting.ResultTable` with the rows the
+corresponding demo panel plots.  Every runner seeds all randomness from
+``config.rng()``, so the same config reproduces the same table.
+
+Two runners are execution-aware:
+
+* E8 (:func:`run_scalability`) sweeps the sharded *release* path across
+  ``config.backends x config.shard_counts`` and, since the distributed
+  evaluation layer exists, times the sharded E1 metric over the same plan —
+  release and eval throughput side by side, each with a live determinism
+  column.  The micro-latency view (per-release / per-filter-step timings)
+  additionally lives in ``benchmarks/bench_e8_scalability.py``.
+* E1 / E4 route their metric calls over the distributed-metric path when
+  ``config.eval_shards`` / ``config.eval_backend`` are set (the CLI's
+  ``repro experiment e1 --shards N --backend B``); one execution backend is
+  opened per runner and shared by every metric call in the sweep, so a
+  ``pool`` backend's workers stay warm across the whole table.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from time import perf_counter
 
 import numpy as np
@@ -17,6 +32,7 @@ from repro.adversary.inference import BayesianAttacker
 from repro.adversary.metrics import adversary_error, utility_error
 from repro.core.mechanisms import PolicyLaplaceMechanism, PolicyPlanarIsotropicMechanism
 from repro.core.policies import random_policy
+from repro.engine import EngineSpec, PrivacyEngine, ensure_backend
 from repro.epidemic.analysis import r0_estimation_error
 from repro.epidemic.monitor import monitoring_utility
 from repro.epidemic.tracing import ContactTracingProtocol, static_tracing
@@ -53,8 +69,50 @@ def _dataset(config: ExperimentConfig, world):
     return make_dataset(config.dataset, world, rng=config.rng(), **kwargs)
 
 
+@contextmanager
+def _eval_execution(config: ExperimentConfig):
+    """``(shards, backend)`` for a runner's metric calls, backend held open.
+
+    ``(None, None)`` when the config doesn't request distributed evaluation
+    (metrics then take their single-process paths).  Otherwise one live
+    backend is opened for the *whole* runner and closed afterwards — so a
+    ``pool`` backend forks its workers once per table, not once per metric
+    call — and a missing shard count defaults to 1.
+    """
+    if config.eval_shards is None and config.eval_backend is None:
+        yield None, None
+        return
+    with ensure_backend(config.eval_backend) as backend:
+        yield (1 if config.eval_shards is None else int(config.eval_shards)), backend
+
+
+def _metric_source(world, policy, policy_name, mechanism_name, epsilon, sharded: bool):
+    """The release source a metric runner scores.
+
+    Single-process runs get the bare mechanism (the seed behaviour).
+    Sharded runs get the same mechanism wrapped in a spec-carrying
+    :class:`~repro.engine.PrivacyEngine`, so shard tasks travel as
+    :class:`~repro.engine.EngineRef` spec hashes and pool workers cache the
+    built engine across the sweep instead of unpickling it per task.
+    """
+    mechanism = build_mechanism(mechanism_name, world, policy, epsilon)
+    if not sharded:
+        return mechanism
+    spec = EngineSpec.named(mechanism_name, policy_name, epsilon=float(epsilon))
+    return PrivacyEngine(world, policy, mechanism, spec=spec)
+
+
 def run_monitoring_utility(config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
-    """E1: location-monitoring utility vs epsilon per policy x mechanism."""
+    """E1: location-monitoring utility vs epsilon per policy x mechanism.
+
+    One row per ``(policy, mechanism, epsilon)`` combination with the three
+    monitoring metrics (mean Euclidean error, area accuracy, flow L1).  All
+    draws come from one ``config.rng()`` stream consumed combination-major;
+    with ``config.eval_shards`` / ``config.eval_backend`` set, each
+    combination's scoring instead spawns per-user streams and fans out over
+    the distributed-metric path (values are then invariant under shard
+    count and backend, but follow that layout's — equally seeded — streams).
+    """
     world = config.make_world()
     db = _dataset(config, world)
     table = ResultTable(
@@ -62,32 +120,44 @@ def run_monitoring_utility(config: ExperimentConfig = ExperimentConfig()) -> Res
         title=f"E1: location monitoring utility ({config.dataset})",
     )
     rng = config.rng()
-    for policy_name in config.policies:
-        policy = build_policy(policy_name, world)
-        for mechanism_name in config.mechanisms:
-            for epsilon in config.epsilons:
-                mechanism = build_mechanism(mechanism_name, world, policy, epsilon)
-                report = monitoring_utility(
-                    world,
-                    mechanism,
-                    db,
-                    block_rows=config.monitor_block[0],
-                    block_cols=config.monitor_block[1],
-                    rng=rng,
-                )
-                table.add_row(
-                    policy_name,
-                    mechanism_name,
-                    epsilon,
-                    report.mean_euclidean_error,
-                    report.area_accuracy,
-                    report.flow_l1_error,
-                )
+    with _eval_execution(config) as (shards, backend):
+        for policy_name in config.policies:
+            policy = build_policy(policy_name, world)
+            for mechanism_name in config.mechanisms:
+                for epsilon in config.epsilons:
+                    source = _metric_source(
+                        world, policy, policy_name, mechanism_name, epsilon, shards is not None
+                    )
+                    report = monitoring_utility(
+                        world,
+                        source,
+                        db,
+                        block_rows=config.monitor_block[0],
+                        block_cols=config.monitor_block[1],
+                        rng=rng,
+                        shards=shards,
+                        backend=backend,
+                    )
+                    table.add_row(
+                        policy_name,
+                        mechanism_name,
+                        epsilon,
+                        report.mean_euclidean_error,
+                        report.area_accuracy,
+                        report.flow_l1_error,
+                    )
     return table
 
 
 def run_r0_estimation(config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
-    """E2: error of the R0 estimate from perturbed vs true locations."""
+    """E2: error of the R0 estimate from perturbed vs true locations.
+
+    One row per ``(policy, mechanism, epsilon)`` with the true and
+    perturbed-data R0 estimates and their absolute difference.  All
+    perturbation draws come from one ``config.rng()`` stream consumed
+    combination-major (batched inside ``r0_estimation_error``, which keeps
+    the scalar loop's stream).
+    """
     world = config.make_world()
     db = _dataset(config, world)
     table = ResultTable(
@@ -113,7 +183,15 @@ def run_r0_estimation(config: ExperimentConfig = ExperimentConfig()) -> ResultTa
 
 
 def run_contact_tracing(config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
-    """E3: dynamic-Gc tracing vs the static perturbed-data baseline."""
+    """E3: dynamic-Gc tracing vs the static perturbed-data baseline.
+
+    Per epsilon, runs the dynamic contact-tracing protocol and the static
+    baseline against the same diagnosed patient (the user with the most
+    ground-truth contacts) and reports precision/recall/F1 plus the
+    epsilon actually spent.  Both methods draw from the same
+    ``config.rng()`` stream in interleaved order, so rows are reproducible
+    per config seed.
+    """
     world = config.make_world()
     db = _dataset(config, world)
     diagnosis_time = db.times()[-1]
@@ -167,7 +245,17 @@ def run_contact_tracing(config: ExperimentConfig = ExperimentConfig()) -> Result
 
 
 def run_adversary_error(config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
-    """E4: empirical privacy (Bayesian adversary error) per policy."""
+    """E4: empirical privacy (Bayesian adversary error) per policy.
+
+    One row per ``(policy, mechanism, epsilon)`` with the attacker's mean
+    realised inference error and the matching utility error over one shared
+    sample of true cells (``config.trials`` trials per cell).  Draws come
+    from one ``config.rng()`` stream; with ``config.eval_shards`` /
+    ``config.eval_backend`` set, both metrics fan out over the
+    distributed-metric path with per-trial-slot streams (per-shard
+    attackers are built inside the workers — under the ``pool`` backend
+    their cached distance matrices survive the whole sweep).
+    """
     world = config.make_world()
     rng = config.rng()
     sample_size = min(20, world.n_cells)
@@ -176,26 +264,39 @@ def run_adversary_error(config: ExperimentConfig = ExperimentConfig()) -> Result
         ["policy", "mechanism", "epsilon", "adversary_error", "utility_error"],
         title="E4: empirical privacy (adversary inference error)",
     )
-    for policy_name in config.policies:
-        policy = build_policy(policy_name, world)
-        for mechanism_name in config.mechanisms:
-            for epsilon in config.epsilons:
-                mechanism = build_mechanism(mechanism_name, world, policy, epsilon)
-                # One attacker per built mechanism, reused across all of this
-                # mechanism's batched adversary draws.
-                attacker = BayesianAttacker(world, mechanism)
-                privacy = adversary_error(
-                    world,
-                    mechanism,
-                    true_cells,
-                    rng=rng,
-                    trials_per_cell=config.trials,
-                    attacker=attacker,
-                )
-                utility = utility_error(
-                    world, mechanism, true_cells, rng=rng, trials_per_cell=config.trials
-                )
-                table.add_row(policy_name, mechanism_name, epsilon, privacy, utility)
+    with _eval_execution(config) as (shards, backend):
+        for policy_name in config.policies:
+            policy = build_policy(policy_name, world)
+            for mechanism_name in config.mechanisms:
+                for epsilon in config.epsilons:
+                    sharded = shards is not None
+                    source = _metric_source(
+                        world, policy, policy_name, mechanism_name, epsilon, sharded
+                    )
+                    # One attacker per built mechanism, reused across all of
+                    # this mechanism's batched adversary draws (sharded runs
+                    # build per-shard attackers in the workers instead).
+                    attacker = None if sharded else BayesianAttacker(world, source)
+                    privacy = adversary_error(
+                        world,
+                        source,
+                        true_cells,
+                        rng=rng,
+                        trials_per_cell=config.trials,
+                        attacker=attacker,
+                        shards=shards,
+                        backend=backend,
+                    )
+                    utility = utility_error(
+                        world,
+                        source,
+                        true_cells,
+                        rng=rng,
+                        trials_per_cell=config.trials,
+                        shards=shards,
+                        backend=backend,
+                    )
+                    table.add_row(policy_name, mechanism_name, epsilon, privacy, utility)
     return table
 
 
@@ -205,7 +306,14 @@ def run_random_policy_tradeoff(
     densities: tuple[float, ...] = (0.05, 0.1, 0.3),
     epsilon: float = 1.0,
 ) -> ResultTable:
-    """E5: the demo's random-policy-graph privacy/utility explorer."""
+    """E5: the demo's random-policy-graph privacy/utility explorer.
+
+    For each ``(size, density)`` pair, samples a random policy graph from
+    ``config.rng()``, builds P-LM at ``epsilon``, and scores utility and
+    adversary error over (up to 20 of) its protected cells with
+    ``config.trials`` trials each — graph sampling and metric draws share
+    one stream, so the table is a pure function of the config seed.
+    """
     world = config.make_world()
     rng = config.rng()
     table = ResultTable(
@@ -525,29 +633,53 @@ def run_metapop_forecast(
 
 
 def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
-    """E8: sharded release-round throughput vs shard count per backend.
+    """E8: sharded release *and* evaluation throughput per backend x shards.
 
-    Releases the configured workload through
-    :func:`~repro.server.pipeline.run_release_rounds_batched` for every
-    ``(backend, shards)`` pair in ``config.backends x config.shard_counts``,
-    timing each full run.  The engine comes from :meth:`ExperimentConfig.
-    make_engine`, so ``--engine-spec`` files flow straight into this sweep.
+    For every ``(backend, shards)`` pair in ``config.backends x
+    config.shard_counts`` this times two full runs over the configured
+    workload:
 
-    Every run is seeded with ``config.seed`` under the sharded path's
-    per-user-stream contract, so all combinations must release identical
-    values; the ``matches_serial`` column re-asserts that element-wise
-    against an explicit serial 1-shard baseline run (computed up front,
-    outside the timed sweep) — a live determinism check riding along with
-    the throughput numbers, meaningful even when the sweep is pinned to a
-    single non-serial combination.
+    * the release path —
+      :func:`~repro.server.pipeline.run_release_rounds_batched` with
+      streaming shard ingestion (``seconds`` / ``releases_per_sec``);
+    * the evaluation path — the sharded E1 metric
+      (:func:`~repro.epidemic.monitor.monitoring_utility` over the same
+      shard plan and backend), reported as ``eval_seconds`` /
+      ``eval_releases_per_sec``.
+
+    The engine comes from :meth:`ExperimentConfig.make_engine`, so
+    ``--engine-spec`` files flow straight into this sweep.  One backend
+    instance is built per backend name and shared across that backend's
+    whole row block, which is what lets the ``pool`` backend amortise
+    worker startup and engine pickling across the sweep.
+
+    Every run is seeded with ``config.seed`` under the sharded
+    per-user-stream contract, so all combinations must produce identical
+    values; ``matches_serial`` re-asserts that element-wise for the
+    released rounds and ``eval_matches_serial`` compares the full
+    :class:`~repro.epidemic.monitor.MonitoringReport` bit-for-bit — both
+    against explicit serial 1-shard baselines computed up front, outside
+    the timed sweep.  The checks ride along with the throughput numbers
+    and stay meaningful even when the sweep is pinned to a single
+    non-serial combination.
     """
     world = config.make_world()
     db = _dataset(config, world)
     engine = config.make_engine(world=world)
+    block_rows, block_cols = config.monitor_block
     table = ResultTable(
-        ["backend", "shards", "seconds", "releases_per_sec", "matches_serial"],
+        [
+            "backend",
+            "shards",
+            "seconds",
+            "releases_per_sec",
+            "matches_serial",
+            "eval_seconds",
+            "eval_releases_per_sec",
+            "eval_matches_serial",
+        ],
         title=(
-            f"E8: sharded release rounds ({config.dataset}, "
+            f"E8: sharded release + eval rounds ({config.dataset}, "
             f"{config.n_users} users x {config.horizon} steps, "
             f"{engine.mechanism.name})"
         ),
@@ -556,20 +688,34 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
         world, db, engine, rng=config.seed, shards=1, backend="serial"
     )
     baseline = list(reference.released_db.checkins())
-    for backend in config.backends:
-        for shards in config.shard_counts:
-            start = perf_counter()
-            server = run_release_rounds_batched(
-                world, db, engine, rng=config.seed, shards=shards, backend=backend
-            )
-            seconds = perf_counter() - start
-            table.add_row(
-                backend,
-                shards,
-                round(seconds, 6),
-                round(len(db) / seconds, 1),
-                list(server.released_db.checkins()) == baseline,
-            )
+    eval_baseline = monitoring_utility(
+        world, engine, db, block_rows, block_cols,
+        rng=config.seed, shards=1, backend="serial",
+    )
+    for backend_name in config.backends:
+        with ensure_backend(backend_name) as backend:
+            for shards in config.shard_counts:
+                start = perf_counter()
+                server = run_release_rounds_batched(
+                    world, db, engine, rng=config.seed, shards=shards, backend=backend
+                )
+                seconds = perf_counter() - start
+                start = perf_counter()
+                report = monitoring_utility(
+                    world, engine, db, block_rows, block_cols,
+                    rng=config.seed, shards=shards, backend=backend,
+                )
+                eval_seconds = perf_counter() - start
+                table.add_row(
+                    backend_name,
+                    shards,
+                    round(seconds, 6),
+                    round(len(db) / seconds, 1),
+                    list(server.released_db.checkins()) == baseline,
+                    round(eval_seconds, 6),
+                    round(len(db) / eval_seconds, 1),
+                    report == eval_baseline,
+                )
     return table
 
 

@@ -18,12 +18,17 @@ The batched path also scales *across users*: pass ``shards=`` / ``backend=``
 deterministic :class:`~repro.engine.sharding.ShardPlan` whose per-user RNG
 streams make the output invariant under shard count and execution backend —
 a k-shard multiprocess run reproduces the 1-shard run, which itself
-reproduces the per-client reference :func:`run_release_rounds`.
+reproduces the per-client reference :func:`run_release_rounds`.  Sharded
+runs ingest *streamingly*: each shard's releases are committed via
+:meth:`Server.ingest_shard` as the shard completes, rather than waiting on
+a full population merge.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
 
 from repro.core.accounting import BudgetLedger
 from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
@@ -179,6 +184,65 @@ class Server:
             self.ledger.charge(int(user), time, float(epsilon), purpose=purpose)
         return cells
 
+    def ingest_shard(
+        self,
+        users,
+        times,
+        batch: ReleaseBatch,
+        purpose: str = "stream",
+    ):
+        """Stream one population shard's releases into the server.
+
+        The streaming counterpart of :meth:`ingest_batch`: where that method
+        takes one *round* (one timestep, many users), this takes one
+        *shard* (many users, their whole traces) the moment the shard's
+        worker finishes — which is how the sharded pipeline ingests results
+        as they complete instead of holding every shard for a full
+        merge-and-lexsort barrier.
+
+        Parameters
+        ----------
+        users / times:
+            One user id and timestep per batch row (row ``i`` of ``batch``
+            is user ``users[i]``'s release at ``times[i]``), in whatever
+            order the shard produced them.
+        batch:
+            The shard's releases (``len(batch)`` must match, else
+            :class:`~repro.errors.DataError`).
+        purpose:
+            Ledger purpose tag (defaults to the streaming feed).
+
+        Returns
+        -------
+        numpy.ndarray
+            The snapped cell per input row (input order, not commit order).
+
+        Commit order and determinism
+        ----------------------------
+        Rows are committed in ``(time, user)`` order *within the shard*.
+        Across shards the arrival order follows backend scheduling, but
+        every user lives in exactly one shard, so all per-user state — the
+        released trace rows, and each user's ledger total (charges arrive
+        in that user's time order) — is identical to what the barrier path
+        (:func:`~repro.engine.sharding.sharded_release_rounds` +
+        :meth:`ingest_batch` per round) produces.  Only the interleaving of
+        *different* users' ledger entries can vary with scheduling.
+        """
+        users = np.asarray(users, dtype=int)
+        times = np.asarray(times, dtype=int)
+        if len(users) != len(batch) or len(times) != len(batch):
+            raise DataError(
+                f"shard of {len(batch)} releases does not match "
+                f"{len(users)} users / {len(times)} times"
+            )
+        cells = self.world.snap_batch(batch.points)
+        order = np.lexsort((users, times))  # commit by (time, user)
+        self.released_db.record_many(users[order], times[order], cells[order])
+        epsilons = batch.epsilons[order]
+        for row, user, time in zip(range(len(order)), users[order], times[order]):
+            self.ledger.charge(int(user), int(time), float(epsilons[row]), purpose=purpose)
+        return cells
+
     def push_policy(self, client: Client, policy: PolicyGraph) -> None:
         """Offer a policy update; the demo's clients always consent."""
         client.accept_policy(policy)
@@ -318,19 +382,28 @@ def run_release_rounds_batched(
             server.ingest_batch(users, time, batch)
         return server
 
-    from repro.engine.sharding import ShardPlan, sharded_release_rounds
+    from contextlib import ExitStack
+
+    from repro.engine.sharding import ShardPlan, stream_shard_releases
 
     # Each half of the spec's execution block is an independent default, so
     # overriding just the backend keeps the spec's shard count (and vice
     # versa) instead of silently discarding it.
     if shards is None:
         shards = int(execution.shards) if execution is not None else 1
-    if backend is None and execution is not None:
-        backend = execution.build()
     plan = ShardPlan.build(sorted(true_db.users()), int(shards), rng=rng)
     server = Server(world)
-    for time, users, batch in sharded_release_rounds(
-        engine, true_db, plan, backend=backend
-    ):
-        server.ingest_batch(users, time, batch)
+    # Streaming ingestion: each shard is committed the moment its worker
+    # finishes (ordered by (time, user) within the shard) instead of
+    # holding all shards for a merge barrier.  Per-user server state is
+    # scheduling-independent — see Server.ingest_shard.
+    with ExitStack() as stack:
+        if backend is None and execution is not None:
+            # A backend built here from the spec is owned here: close it
+            # when the run ends (or raises), exactly like a named backend.
+            backend = stack.enter_context(execution.build())
+        for shard_users, shard_times, batch in stream_shard_releases(
+            engine, true_db, plan, backend=backend
+        ):
+            server.ingest_shard(shard_users, shard_times, batch)
     return server

@@ -22,7 +22,7 @@ from repro.geo.grid import GridWorld
 from repro.mobility.synthetic import geolife_like
 from repro.server.pipeline import run_release_rounds, run_release_rounds_batched
 
-BACKENDS = ["serial", "thread", "process"]
+BACKENDS = ["serial", "thread", "process", "pool"]
 
 
 @pytest.fixture
@@ -115,7 +115,7 @@ class TestShardPlan:
 
 class TestBackendRegistry:
     def test_builtins_registered(self):
-        assert {"serial", "thread", "process"} <= set(backend_names())
+        assert {"serial", "thread", "process", "pool"} <= set(backend_names())
 
     def test_resolve_aliases_case_insensitive(self):
         assert resolve_backend("THREADS")[0] == "thread"
