@@ -26,6 +26,14 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
         "pool_vs_process": {"rounds": 5, "shards": 4,
                             "process_seconds": 1.4, "pool_seconds": 0.6,
                             "pool_speedup": 2.3, ...}
+      },
+      "epidemic_eval": {                                  # E17
+        "sweep": [{"metric": "e2_r0_estimation_error", "backend": "pool",
+                   "shards": 4, "seconds": 0.08,
+                   "releases_per_sec": 24000.0, "matches_serial": true}, ...],
+        "async_ingest": {"backend": "process", "shards": 4,
+                         "sync_seconds": 0.9, "async_seconds": 0.7,
+                         "async_speedup": 1.3, "async_matches_sync": true, ...}
       }
     }
 
@@ -34,8 +42,11 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
 throughput, each with its determinism check against the 1-shard serial
 baseline.  ``distributed_eval`` is the E16 distributed-evaluation sweep
 (sharded metric throughput per backend, plus the repeated-round
-pool-vs-process comparison).  E13 (engine micro throughput) and the
-per-release latency half of E8 remain pytest-benchmark micro-benchmarks::
+pool-vs-process comparison); ``epidemic_eval`` is the E17 epidemic sweep
+(sharded R0 / metapop-flow throughput per backend, plus the async-vs-sync
+shard-ingestion comparison with its state-equality bit).  E13 (engine micro
+throughput) and the per-release latency half of E8 remain pytest-benchmark
+micro-benchmarks::
 
     PYTHONPATH=src pytest benchmarks/bench_e15_sharded_rounds.py --benchmark-only
 
@@ -58,6 +69,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_e16_distributed_eval as bench_e16  # noqa: E402
+import bench_e17_epidemic_eval as bench_e17  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -81,6 +93,7 @@ ENTRY_POINTS = {
 
 SHARDED_ENTRY = "e15_sharded_rounds"
 DISTRIBUTED_ENTRY = "e16_distributed_eval"
+EPIDEMIC_ENTRY = "e17_epidemic_eval"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -123,13 +136,22 @@ def run_distributed_eval(smoke: bool) -> dict:
     return bench_e16.distributed_eval_block(smoke)
 
 
+def run_epidemic_eval(smoke: bool) -> dict:
+    """The E17 block: epidemic-evaluator sweep plus async-vs-sync ingestion.
+
+    Delegates to ``bench_e17_epidemic_eval.epidemic_eval_block`` — the same
+    single-source-of-truth arrangement as E16.
+    """
+    return bench_e17.epidemic_eval_block(smoke)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
     parser.add_argument(
         "--only",
         action="append",
-        choices=sorted(ENTRY_POINTS) + [SHARDED_ENTRY, DISTRIBUTED_ENTRY],
+        choices=sorted(ENTRY_POINTS) + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -141,10 +163,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     config = make_config(args.smoke)
-    names = args.only or sorted(ENTRY_POINTS) + [SHARDED_ENTRY, DISTRIBUTED_ENTRY]
+    names = args.only or sorted(ENTRY_POINTS) + [
+        SHARDED_ENTRY,
+        DISTRIBUTED_ENTRY,
+        EPIDEMIC_ENTRY,
+    ]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
-        if name in (SHARDED_ENTRY, DISTRIBUTED_ENTRY):
+        if name in (SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY):
             continue
         runner = ENTRY_POINTS[name]
         start = time.perf_counter()
@@ -180,6 +206,23 @@ def main(argv: list[str] | None = None) -> int:
             f"  pool {comparison['pool_seconds']}s vs process "
             f"{comparison['process_seconds']}s over {comparison['rounds']} rounds "
             f"({comparison['pool_speedup']}x)"
+        )
+    if EPIDEMIC_ENTRY in names:
+        start = time.perf_counter()
+        payload["epidemic_eval"] = run_epidemic_eval(args.smoke)
+        payload["timings"][EPIDEMIC_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{EPIDEMIC_ENTRY:<28} {payload['timings'][EPIDEMIC_ENTRY]:>10.3f}s")
+        for record in payload["epidemic_eval"]["sweep"]:
+            print(
+                f"  {record['metric']:<24} {record['backend']:<8} shards={record['shards']}"
+                f"  {record['releases_per_sec']:>12,.0f} releases/s"
+                f"  matches_serial={record['matches_serial']}"
+            )
+        ingest = payload["epidemic_eval"]["async_ingest"]
+        print(
+            f"  async ingest {ingest['async_seconds']}s vs sync "
+            f"{ingest['sync_seconds']}s ({ingest['async_speedup']}x, "
+            f"matches={ingest['async_matches_sync']})"
         )
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -7,7 +7,9 @@ Usage (after ``pip install -e .``)::
     python -m repro release --mechanism planar_laplace --cell 27 --count 1000
     python -m repro experiment e1 --size 8 --users 12 --horizon 36
     python -m repro experiment e1 --shards 4 --backend pool
+    python -m repro experiment e11 --shards 4 --backend process
     python -m repro experiment e8 --engine-spec spec.json --shards 4 --backend process
+    python -m repro experiment e8 --shards 4 --backend pool --async-ingest
     python -m repro engines
     python -m repro datasets
 
@@ -54,7 +56,16 @@ EXPERIMENTS = {
     "e6": harness.run_theorem_bounds,
     "e7": harness.run_policy_matrix,
     "e8": harness.run_scalability,
+    "e9": harness.run_mechanism_ablation,
+    "e10": harness.run_temporal_privacy,
+    "e11": harness.run_metapop_forecast,
+    "e12": harness.run_dataset_sensitivity,
 }
+
+#: experiments whose runners consume ``--shards`` / ``--backend``: E8 pins
+#: its sweep, the others route their metrics over the distributed
+#: evaluation path.  Anything else has no shard-parallel work and errors.
+SHARDED_EXPERIMENTS = frozenset({"e1", "e2", "e3", "e4", "e5", "e8", "e11"})
 
 #: Names accepted on the command line: paper display names plus canonical
 #: spec names, all resolved through the engine registry.
@@ -118,17 +129,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=None,
-        help="e8: pin the scalability sweep to one shard count; e1/e4: run "
-        "their metrics shard-parallel with this many shards (other "
-        "experiments have no distributed metrics yet and warn)",
+        help="e8: pin the scalability sweep to one shard count; "
+        "e1/e2/e3/e4/e5/e11: run their metrics shard-parallel with this "
+        "many shards (experiments without distributed metrics error)",
     )
     experiment.add_argument(
         "--backend",
         choices=backend_names(),
         default=None,
-        help="e8: pin the scalability sweep to one execution backend; e1/e4: "
-        "execution backend for shard-parallel metrics (e.g. the long-lived "
-        "'pool' worker pool)",
+        help="e8: pin the scalability sweep to one execution backend; "
+        "e1/e2/e3/e4/e5/e11: execution backend for shard-parallel metrics "
+        "(e.g. the long-lived 'pool' worker pool)",
+    )
+    experiment.add_argument(
+        "--async-ingest",
+        action="store_true",
+        help="e8: overlap sharded release computation with server commits "
+        "through the bounded async commit queue",
     )
 
     sub.add_parser(
@@ -256,21 +273,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     "builds the engine from the spec verbatim)",
                     file=sys.stderr,
                 )
-        # For E8 the flags pin the release-throughput sweep; for E1/E4 they
-        # route the metric calls over the distributed evaluation path with
-        # that shard count / backend.  The remaining runners do not consume
-        # the eval fields yet — say so instead of silently running
-        # single-process (mirrors the engine-spec warning above).
-        if (args.shards is not None or args.backend is not None) and args.name not in (
-            "e1",
-            "e4",
-            "e8",
+        # For E8 the flags pin the release-throughput sweep; for the metric
+        # runners they route metric calls over the distributed evaluation
+        # path with that shard count / backend.  Experiments with no
+        # shard-parallel work refuse the flags outright — an ignored
+        # distribution request should never look like a distributed run.
+        if (args.shards is not None or args.backend is not None) and (
+            args.name not in SHARDED_EXPERIMENTS
         ):
-            print(
-                f"warning: experiment {args.name} has no shard-parallel "
-                "metrics; --shards/--backend are ignored (supported: e1, e4, e8)",
-                file=sys.stderr,
+            supported = ", ".join(sorted(SHARDED_EXPERIMENTS, key=lambda n: int(n[1:])))
+            raise ValidationError(
+                f"experiment {args.name} has no shard-parallel metrics; "
+                f"--shards/--backend apply to: {supported}"
             )
+        if args.async_ingest:
+            if args.name != "e8":
+                raise ValidationError(
+                    "--async-ingest overlaps sharded release commits and "
+                    "only applies to e8"
+                )
+            config = replace(config, async_ingest=True)
         if args.shards is not None:
             if args.shards < 1:
                 raise ValidationError(f"shards must be >= 1, got {args.shards}")

@@ -26,10 +26,19 @@ The merge is deliberately **exact**, not approximate:
   (``sums.sum() / counts.sum()``) is then one reduction over that array:
   bit-identical for 1, 2, or 50 shards, on any backend.
 * Count-style components (*flow reduction*) are carried as
-  :class:`collections.Counter` maps (e.g. E1's inter-area flow counts) and
-  merged by integer addition — exact and associative.  Flows are
-  within-user transitions and every user lives in exactly one shard, so
-  per-shard flow counters partition the global counters.
+  :class:`collections.Counter` maps and merged by integer addition — exact,
+  associative, and commutative.  Three metric families ride this kind:
+  E1's inter-area flow counts and E11's metapopulation flow matrices
+  (within-user transitions, so per-user sharding partitions the global
+  counters), and E2's **epoch-keyed occupancy counters** — ``(time, cell)
+  -> head count`` maps from which the R0 contact estimator recovers the
+  global co-location pair count as ``sum(n * (n - 1) / 2)`` per key, an
+  integer identity no shard boundary can perturb.
+* Membership-style components (*event sets*) are carried as frozensets and
+  merged by union — the contact-tracing protocol's per-user contact-event
+  sets (candidates / flagged / true contacts).  Every user lives in exactly
+  one shard, so per-shard sets are disjoint and union is exact,
+  associative, and commutative.
 
 Randomness is attached to keys, never shards: seeds come from one
 :func:`~repro.utils.rng.spawn_seeds` draw over the global key order, so the
@@ -43,9 +52,9 @@ scalar per-release reference to float round-off.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import reduce
-from typing import Callable, Mapping, Sequence, TypeVar
+from typing import AbstractSet, Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
@@ -74,24 +83,36 @@ class MetricShardResult:
         the weights of the weighted means.
     flows:
         ``component name -> Counter`` for count-valued components merged by
-        addition (E1's true/observed inter-area flows).  Empty for metrics
-        without a flow part.
+        addition (E1's true/observed inter-area flows, E11's flow matrices,
+        E2's epoch-keyed occupancy counters).  Empty for metrics without a
+        count part.
+    sets:
+        ``component name -> frozenset`` for membership-valued components
+        merged by union (the tracing protocol's per-user contact-event
+        sets).  Per-shard sets are disjoint — every work key lives in
+        exactly one shard — so union is exact.  Empty for metrics without
+        a set part.
     """
 
     sums: Mapping[str, np.ndarray]
     counts: np.ndarray
     flows: Mapping[str, Counter]
+    sets: Mapping[str, AbstractSet] = field(default_factory=dict)
 
     def merge(self, other: "MetricShardResult") -> "MetricShardResult":
         """Fold two shard results into one; associative and exact.
 
         Per-key arrays concatenate (``self`` first — callers merge in shard
-        order, which reassembles the global key order) and flow counters
-        add.  Because neither operation rounds, ``merge`` is associative:
-        any grouping of shards produces the same result, which is what the
-        shard-count-invariance tests pin down.
+        order, which reassembles the global key order), flow counters add,
+        and event sets union.  Because none of the three operations rounds,
+        ``merge`` is associative: any grouping of shards produces the same
+        result, which is what the shard-count-invariance tests pin down.
         """
-        if set(self.sums) != set(other.sums) or set(self.flows) != set(other.flows):
+        if (
+            set(self.sums) != set(other.sums)
+            or set(self.flows) != set(other.flows)
+            or set(self.sets) != set(other.sets)
+        ):
             raise ValidationError("cannot merge shard results with different components")
         return MetricShardResult(
             sums={
@@ -100,6 +121,10 @@ class MetricShardResult:
             },
             counts=np.concatenate([self.counts, other.counts]),
             flows={name: flows + other.flows[name] for name, flows in self.flows.items()},
+            sets={
+                name: frozenset(members) | frozenset(other.sets[name])
+                for name, members in self.sets.items()
+            },
         )
 
     # ------------------------------------------------------------------

@@ -13,11 +13,12 @@
 
 from repro.epidemic.seir import SEIRModel
 from repro.epidemic.outbreak import OutbreakResult, simulate_outbreak
-from repro.epidemic.monitor import LocationMonitor, monitoring_utility
+from repro.epidemic.monitor import LocationMonitor, monitoring_utility, perturbed_flows
 from repro.epidemic.analysis import (
     contact_rate,
     estimate_r0_contacts,
     estimate_r0_seir,
+    pair_events,
     perturb_tracedb,
     r0_estimation_error,
 )
@@ -28,6 +29,7 @@ from repro.epidemic.metapop import (
     MetapopTrajectory,
     flow_matrix,
     forecast_divergence,
+    forecast_from_flows,
 )
 
 __all__ = [
@@ -35,6 +37,9 @@ __all__ = [
     "MetapopTrajectory",
     "flow_matrix",
     "forecast_divergence",
+    "forecast_from_flows",
+    "pair_events",
+    "perturbed_flows",
     "HealthCode",
     "HealthCodeReport",
     "HealthCodeService",

@@ -9,6 +9,15 @@ LocationMonitor` parameterise a metapopulation SEIR model — one S/E/I/R
 compartment vector per coarse area, coupled by the observed mobility — and
 the forecasting error between the true-flow and perturbed-flow models is the
 end-to-end utility of the monitoring app.
+
+The pipeline is fed by :func:`~repro.epidemic.monitor.perturbed_flows`,
+whose ``shards=`` / ``backend=`` arguments scale the flow measurement over
+metric shard plans: per-shard flow counters are integer
+:class:`~collections.Counter` maps merged by exact addition (flows are
+within-user transitions, so per-user shards partition them), and
+:func:`forecast_from_flows` turns the merged counters into a forecast —
+so a sharded E11 run forecasts from *bit-identical* flow matrices at any
+shard count, on any execution backend.
 """
 
 from __future__ import annotations
@@ -21,7 +30,13 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.utils.validation import check_non_negative, check_positive
 
-__all__ = ["MetapopulationSEIR", "MetapopTrajectory", "flow_matrix", "forecast_divergence"]
+__all__ = [
+    "MetapopulationSEIR",
+    "MetapopTrajectory",
+    "flow_matrix",
+    "forecast_divergence",
+    "forecast_from_flows",
+]
 
 
 def flow_matrix(flows: Counter, n_areas: int) -> np.ndarray:
@@ -161,6 +176,40 @@ class MetapopulationSEIR:
             infectious=history[:, 2],
             recovered=history[:, 3],
         )
+
+
+def forecast_from_flows(
+    flows: Counter,
+    n_areas: int,
+    populations,
+    beta: float,
+    sigma: float,
+    gamma: float,
+    mobility_rate: float = 0.2,
+    seed_area: int | None = None,
+    steps: int = 100,
+) -> MetapopTrajectory:
+    """Fit-and-run: flow counts -> mobility matrix -> metapop SEIR forecast.
+
+    The one-call form of the E11 pipeline's tail, consuming exactly what
+    :func:`~repro.epidemic.monitor.perturbed_flows` (sharded or not)
+    produces.  ``seed_area`` defaults to the most populous area — the
+    harness's seeding convention — and ``populations`` is one head count per
+    coarse area.  Deterministic: the same flow counters always forecast the
+    same trajectory, which is what lets the sharded flow path claim
+    end-to-end E11 invariance.
+    """
+    pops = np.asarray(populations, dtype=float)
+    model = MetapopulationSEIR(
+        flow_matrix(flows, n_areas),
+        beta=beta,
+        sigma=sigma,
+        gamma=gamma,
+        mobility_rate=mobility_rate,
+    )
+    if seed_area is None:
+        seed_area = int(np.argmax(pops))
+    return model.simulate(pops, seed_area=seed_area, steps=steps)
 
 
 def forecast_divergence(

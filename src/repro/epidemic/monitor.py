@@ -36,7 +36,7 @@ from repro.mobility.trajectory import TraceDB
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_integer
 
-__all__ = ["LocationMonitor", "MonitoringReport", "monitoring_utility"]
+__all__ = ["LocationMonitor", "MonitoringReport", "monitoring_utility", "perturbed_flows"]
 
 
 @dataclass(frozen=True)
@@ -356,28 +356,28 @@ def _score_monitor_shard(task: _MonitorShardTask):
     )
 
 
-def _monitoring_utility_sharded(
+def _monitor_shard_tasks(
     world: GridWorld,
     mechanism,
     true_db: TraceDB,
     block_rows: int,
     block_cols: int,
-    rng,
+    plan,
     batched: bool,
-    shards: int,
-    backend,
-) -> MonitoringReport:
-    """E1 over ``ShardPlan`` + ``ExecutionBackend`` (see ``monitoring_utility``)."""
-    from repro.engine import EngineRef, ShardPlan
-    from repro.engine.distributed import sharded_metric
+) -> list[_MonitorShardTask]:
+    """One picklable :class:`_MonitorShardTask` per non-empty plan shard.
+
+    Shared by the E1 report and the E11 flow pipeline so both score through
+    the exact same shard layout (and the same worker-side engine cache).
+    Workers score against the release source's own world; a mismatched
+    explicit world is refused instead of silently diverging from the
+    unsharded path (which uses the passed world throughout).
+    """
+    from repro.engine import EngineRef
     from repro.errors import ValidationError
 
-    # Workers score against the release source's own world; refuse a
-    # mismatched explicit world instead of silently diverging from the
-    # unsharded path (which uses the passed world throughout).
     if mechanism.world != world:
         raise ValidationError("mechanism was built for a different world")
-    plan = ShardPlan.build(sorted(true_db.users()), shards, rng=rng)
     source = EngineRef.wrap(mechanism)
     tasks = []
     for _, users, seeds in plan.iter_shards():
@@ -394,10 +394,89 @@ def _monitoring_utility_sharded(
                 batched=batched,
             )
         )
+    return tasks
+
+
+def _monitoring_utility_sharded(
+    world: GridWorld,
+    mechanism,
+    true_db: TraceDB,
+    block_rows: int,
+    block_cols: int,
+    rng,
+    batched: bool,
+    shards: int,
+    backend,
+) -> MonitoringReport:
+    """E1 over ``ShardPlan`` + ``ExecutionBackend`` (see ``monitoring_utility``)."""
+    from repro.engine import ShardPlan
+    from repro.engine.distributed import sharded_metric
+
+    plan = ShardPlan.build(sorted(true_db.users()), shards, rng=rng)
+    tasks = _monitor_shard_tasks(world, mechanism, true_db, block_rows, block_cols, plan, batched)
     merged = sharded_metric(_score_monitor_shard, tasks, backend=backend)
     return MonitoringReport(
         mean_euclidean_error=merged.weighted_mean("error"),
         area_accuracy=merged.weighted_mean("area_hits"),
         flow_l1_error=_flow_l1_error(merged.flows["true"], merged.flows["observed"]),
         n_releases=merged.n_releases,
+    )
+
+
+def perturbed_flows(
+    world: GridWorld,
+    mechanism,
+    true_db: TraceDB,
+    block_rows: int = 4,
+    block_cols: int = 4,
+    rng=None,
+    batched: bool = True,
+    shards: int | None = None,
+    backend=None,
+) -> tuple[Counter, Counter]:
+    """``(true_flows, observed_flows)`` inter-area counters for E11.
+
+    The metapopulation forecast pipeline's input: release every check-in of
+    ``true_db`` through ``mechanism`` and count inter-area transitions on
+    both the true and the released (snapped) stream.  ``true_flows`` is
+    deterministic; ``observed_flows`` depends on the draws.
+
+    With ``shards=`` / ``backend=`` the population fans out over the same
+    per-user :class:`~repro.engine.sharding.ShardPlan` layout as the E1
+    report (flows are within-user transitions, so per-shard counters
+    partition the global counters and merge by exact Counter addition) —
+    both counters are then **bit-identical for every shard count and
+    backend**, though on the per-user-stream layout rather than the
+    unsharded single stream.  ``batched=False`` runs the scalar per-release
+    reference loop on whichever layout is selected.
+    """
+    if len(true_db) == 0:
+        raise DataError("true trace database is empty")
+    if shards is not None or backend is not None:
+        from repro.engine import ShardPlan
+        from repro.engine.distributed import sharded_metric
+
+        plan = ShardPlan.build(
+            sorted(true_db.users()), 1 if shards is None else int(shards), rng=rng
+        )
+        tasks = _monitor_shard_tasks(
+            world, mechanism, true_db, block_rows, block_cols, plan, batched
+        )
+        merged = sharded_metric(_score_monitor_shard, tasks, backend=backend)
+        return Counter(merged.flows["true"]), Counter(merged.flows["observed"])
+
+    generator = ensure_rng(rng)
+    monitor = LocationMonitor(world, block_rows, block_cols)
+    users, times, cells = true_db.to_arrays()
+    if batched:
+        batch = mechanism.release_batch(cells, rng=generator)
+        released_cells = world.snap_batch(batch.points)
+    else:  # scalar reference: same stream, one release() per check-in
+        released_cells = np.array(
+            [world.snap(mechanism.release(int(cell), rng=generator).point) for cell in cells],
+            dtype=int,
+        )
+    return (
+        monitor.flows_from_arrays(users, times, cells),
+        monitor.flows_from_arrays(users, times, released_cells),
     )

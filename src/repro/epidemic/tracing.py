@@ -21,6 +21,19 @@ The demo's tracing procedure, reproduced end to end:
 Ground truth is the same rule evaluated on the true traces, so the outcome
 reports precision/recall/F1 of the privacy-preserving procedure plus its
 communication and privacy cost.
+
+The protocol also scales *across users*: ``protocol.run(..., shards=k,
+backend="process")`` partitions the non-patient population with the same
+deterministic :class:`~repro.engine.sharding.ShardPlan` the release pipeline
+uses.  Every step of the procedure is per-user once the patient's infected
+``(cell, time)`` set is known — a user's original stream, candidate screen,
+re-send, flag decision, and ground-truth contact status depend only on their
+own trace, their own RNG stream, and the (shared, deterministic) infected
+set — so each shard returns **per-user contact-event sets** (candidates /
+flagged / true contacts) that merge by disjoint union, plus per-user re-send
+budget sums.  Sharded outcomes are bit-identical for every shard count and
+execution backend; like every sharded evaluator they follow the per-user
+stream layout rather than the unsharded protocol's single shared stream.
 """
 
 from __future__ import annotations
@@ -34,7 +47,7 @@ from repro.core.accounting import BudgetLedger
 from repro.core.mechanisms.base import Mechanism
 from repro.core.policies import contact_tracing_policy
 from repro.core.policy_graph import PolicyGraph
-from repro.errors import TracingError
+from repro.errors import TracingError, ValidationError
 from repro.geo.distance import euclidean
 from repro.geo.grid import GridWorld
 from repro.mobility.trajectory import TraceDB
@@ -44,6 +57,137 @@ from repro.utils.validation import check_integer, check_positive
 __all__ = ["TracingOutcome", "ContactTracingProtocol", "static_tracing"]
 
 MechanismFactory = Callable[[GridWorld, PolicyGraph, float], Mechanism]
+
+
+# ----------------------------------------------------------------------
+# Shard-parallel path (E3 over ShardPlan + ExecutionBackend)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TracingShardTask:
+    """One shard's tracing workload: its users' windowed traces and streams.
+
+    Plain data plus the two release sources (base policy and Gc), so process
+    backends can pickle it; sources are
+    :class:`~repro.engine.EngineRef`-wrapped (spec-built engines travel as
+    spec hashes, live mechanisms as themselves).  ``infected`` is the
+    patient's disclosed ``(cell, time)`` set — shared, deterministic input
+    to every shard.  ``times[i]`` / ``cells[i]`` are user ``users[i]``'s
+    in-window check-ins in time order.
+    """
+
+    base_source: object
+    tracing_source: object
+    users: tuple[int, ...]
+    seeds: tuple[int, ...]
+    times: tuple[tuple[int, ...], ...]
+    cells: tuple[tuple[int, ...], ...]
+    infected: tuple[tuple[int, int], ...]
+    radius: float
+    min_count: int
+    batched: bool
+
+
+def _score_tracing_shard(task: _TracingShardTask):
+    """Run the tracing procedure for one shard's users (module-level for pickling).
+
+    Each user's whole window rides their own seed stream: first the original
+    release under the base policy (screened against the infected set), then —
+    candidates only — the Gc re-send, continuing the *same* generator.  Every
+    decision (candidacy, flag, ground-truth contact) is a pure function of
+    the user's own trace, their stream, and the shared infected set, so the
+    per-user event sets merge by disjoint union.  ``task.batched`` selects
+    vectorized ``release_batch`` draws or the scalar per-release reference
+    loop — same streams, so the same points to float identity.
+    """
+    from repro.engine import resolve_release_source
+    from repro.engine.distributed import MetricShardResult
+
+    base = resolve_release_source(task.base_source)
+    tracing = resolve_release_source(task.tracing_source)
+    world = base.world
+    infected_pairs = set(task.infected)
+    patient_at = {time: cell for cell, time in task.infected}
+    centers_by_time: dict[int, list] = {}
+    for cell, time in task.infected:
+        centers_by_time.setdefault(time, []).append(world.coords(cell))
+
+    n_users = len(task.users)
+    epsilon_sums = np.zeros(n_users, dtype=float)
+    resend_counts = np.zeros(n_users, dtype=int)
+    candidates: set[int] = set()
+    flagged: set[int] = set()
+    true_contacts: set[int] = set()
+
+    for index, (user, seed, user_times, user_cells) in enumerate(
+        zip(task.users, task.seeds, task.times, task.cells)
+    ):
+        if not user_cells:
+            continue
+        # Ground truth: the co-location rule against the patient's true trace.
+        colocations = sum(
+            1
+            for time, cell in zip(user_times, user_cells)
+            if patient_at.get(time) == cell
+        )
+        if colocations >= task.min_count:
+            true_contacts.add(user)
+
+        # Step 1: the original stream under the base policy, own stream.
+        generator = np.random.default_rng(seed)
+        if task.batched:
+            batch = base.release_batch(list(user_cells), rng=generator)
+            released_cells = world.snap_batch(batch.points).tolist()
+        else:  # scalar reference: same stream, one release() per check-in
+            released_cells = [
+                world.snap(base.release(cell, rng=generator).point)
+                for cell in user_cells
+            ]
+
+        # Step 4a: candidate screen on the released (snapped) stream.
+        if not any(
+            any(
+                euclidean(world.coords(cell), center) <= task.radius
+                for center in centers_by_time.get(time, ())
+            )
+            for time, cell in zip(user_times, released_cells)
+        ):
+            continue
+        candidates.add(user)
+
+        # Step 4b/5: re-send the window under Gc (same generator, continued)
+        # and apply the suspected-infection rule.  Budget is charged up
+        # front, as in the scalar ledger path: exactness is a policy
+        # property, known before any noise is drawn.
+        epsilon_sums[index] = sum(
+            0.0 if tracing.is_exact(cell) else tracing.epsilon for cell in user_cells
+        )
+        resend_counts[index] = len(user_cells)
+        if task.batched:
+            resend = tracing.release_batch(list(user_cells), rng=generator)
+            snapped = world.snap_batch(resend.points).tolist()
+            exact = resend.exact.tolist()
+        else:
+            releases = [tracing.release(cell, rng=generator) for cell in user_cells]
+            snapped = [world.snap(release.point) for release in releases]
+            exact = [release.exact for release in releases]
+        hits = sum(
+            1
+            for is_exact, cell, time in zip(exact, snapped, user_times)
+            if is_exact and (cell, time) in infected_pairs
+        )
+        if hits >= task.min_count:
+            flagged.add(user)
+
+    return MetricShardResult(
+        sums={"epsilon_spent": epsilon_sums},
+        counts=resend_counts,
+        flows={},
+        sets={
+            "candidates": frozenset(candidates),
+            "flagged": frozenset(flagged),
+            "true_contacts": frozenset(true_contacts),
+        },
+    )
 
 
 @dataclass(frozen=True)
@@ -135,14 +279,39 @@ class ContactTracingProtocol:
         rng=None,
         released_db: TraceDB | None = None,
         ledger: BudgetLedger | None = None,
+        shards: int | None = None,
+        backend=None,
+        batched: bool = True,
     ) -> TracingOutcome:
         """Execute the full procedure for one diagnosed ``patient``.
 
         ``released_db`` is the server's view of the original perturbed
         stream; when omitted it is generated here with the base mechanism.
+
+        ``shards`` / ``backend`` (default ``None`` / ``None``: the
+        single-stream procedure below) partition the non-patient population
+        over a per-user :class:`~repro.engine.sharding.ShardPlan` executed on
+        the named :class:`~repro.engine.backends.ExecutionBackend`; per-shard
+        contact-event sets and budget sums merge exactly, so the sharded
+        outcome is **bit-identical for every shard count and backend**.  The
+        sharded layout attaches randomness to users (original release, then
+        re-send, on each user's own stream), so it deliberately differs from
+        the unsharded shared-stream run; ``batched=False`` runs the per-shard
+        scalar per-release reference loop on the same streams.  Sharded runs
+        generate the released stream themselves — ``released_db`` / ``ledger``
+        are not supported there.
         """
         if patient not in true_db.users():
             raise TracingError(f"patient {patient} not in the trace database")
+        if shards is not None or backend is not None:
+            if released_db is not None or ledger is not None:
+                raise ValidationError(
+                    "sharded tracing generates its own per-user released stream; "
+                    "released_db / ledger are only supported unsharded"
+                )
+            return self._run_sharded(
+                true_db, patient, diagnosis_time, rng, shards, backend, batched
+            )
         generator = ensure_rng(rng)
         ledger = ledger if ledger is not None else BudgetLedger()
         start = diagnosis_time - self.window + 1
@@ -185,6 +354,78 @@ class ContactTracingProtocol:
             true_contacts=true_contacts,
             candidates=frozenset(candidates),
             epsilon_spent=ledger.by_purpose().get("tracing-resend", 0.0),
+            policy_name=tracing_policy.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_sharded(
+        self,
+        true_db: TraceDB,
+        patient: int,
+        diagnosis_time: int,
+        rng,
+        shards: int | None,
+        backend,
+        batched: bool,
+    ) -> TracingOutcome:
+        """The procedure over ``ShardPlan`` + ``ExecutionBackend`` (see ``run``)."""
+        from repro.engine import EngineRef, ShardPlan
+        from repro.engine.distributed import sharded_metric
+
+        start = diagnosis_time - self.window + 1
+        patient_history = true_db.user_history(patient, start=start, end=diagnosis_time)
+        if not patient_history:
+            raise TracingError(f"patient {patient} has no history in the window")
+        infected_pairs = {(checkin.cell, checkin.time) for checkin in patient_history}
+        infected_cells = {cell for cell, _ in infected_pairs}
+
+        base_mechanism = self.mechanism_factory(self.world, self.base_policy, self.epsilon)
+        tracing_policy = contact_tracing_policy(self.base_policy, infected_cells, name="Gc")
+        tracing_mechanism = self.mechanism_factory(self.world, tracing_policy, self.epsilon)
+        radius = self._effective_radius(base_mechanism)
+
+        # The plan covers the non-patient population: every tracing decision
+        # concerns those users, and the patient's disclosure is the shared
+        # deterministic input every shard screens against.
+        others = sorted(true_db.users() - {patient})
+        if not others:
+            return TracingOutcome(
+                flagged=frozenset(),
+                true_contacts=frozenset(),
+                candidates=frozenset(),
+                epsilon_spent=0.0,
+                policy_name=tracing_policy.name,
+            )
+        plan = ShardPlan.build(others, 1 if shards is None else int(shards), rng=rng)
+        base_source = EngineRef.wrap(base_mechanism)
+        tracing_source = EngineRef.wrap(tracing_mechanism)
+        infected = tuple(sorted(infected_pairs))
+        tasks = []
+        for _, users, seeds in plan.iter_shards():
+            histories = [
+                true_db.user_history(user, start=start, end=diagnosis_time)
+                for user in users
+            ]
+            tasks.append(
+                _TracingShardTask(
+                    base_source=base_source,
+                    tracing_source=tracing_source,
+                    users=users,
+                    seeds=seeds,
+                    times=tuple(tuple(c.time for c in history) for history in histories),
+                    cells=tuple(tuple(c.cell for c in history) for history in histories),
+                    infected=infected,
+                    radius=radius,
+                    min_count=self.min_count,
+                    batched=batched,
+                )
+            )
+        merged = sharded_metric(_score_tracing_shard, tasks, backend=backend)
+        return TracingOutcome(
+            flagged=frozenset(merged.sets["flagged"]),
+            true_contacts=frozenset(merged.sets["true_contacts"]),
+            candidates=frozenset(merged.sets["candidates"]),
+            epsilon_spent=float(merged.sums["epsilon_spent"].sum()),
             policy_name=tracing_policy.name,
         )
 

@@ -93,15 +93,20 @@ class ExperimentConfig:
     loaded from a JSON file via the CLI's ``--engine-spec`` — pins the whole
     sweep to one declarative engine (see :meth:`with_engine_spec`).
 
-    ``eval_shards`` / ``eval_backend`` route the *evaluation* layer (the E1
-    and E4 metric runners) over the distributed-metric path
-    (:mod:`repro.engine.distributed`): ``None`` / ``None`` (default) keeps
-    the single-process batched metrics, anything else shards metric scoring
-    with per-user / per-slot RNG streams on the named execution backend —
-    results are then invariant under the shard count and backend, but use a
-    different (equally deterministic) stream layout than the unsharded
-    default.  The CLI maps ``repro experiment e1 --shards N --backend B``
-    onto these fields.
+    ``eval_shards`` / ``eval_backend`` route the *evaluation* layer (the
+    E1 / E2 / E3 / E4 / E5 / E11 metric runners) over the distributed-metric
+    path (:mod:`repro.engine.distributed`): ``None`` / ``None`` (default)
+    keeps the single-process batched metrics, anything else shards metric
+    scoring with per-user / per-slot RNG streams on the named execution
+    backend — results are then invariant under the shard count and backend,
+    but use a different (equally deterministic) stream layout than the
+    unsharded default.  The CLI maps ``repro experiment e1 --shards N
+    --backend B`` onto these fields.
+
+    ``async_ingest`` routes E8's sharded release runs through the server's
+    bounded async commit queue (:class:`~repro.server.pipeline.
+    AsyncShardCommitter`) so shard commits overlap release computation;
+    per-user server state is element-wise unchanged.
     """
 
     world_size: int = 12
@@ -123,6 +128,7 @@ class ExperimentConfig:
     backends: tuple[str, ...] = ("serial", "thread", "process")
     eval_shards: int | None = None
     eval_backend: str | None = None
+    async_ingest: bool = False
     engine_spec: EngineSpec | None = field(default=None, compare=False)
 
     def make_world(self) -> GridWorld:

@@ -14,11 +14,16 @@ Two runners are execution-aware:
   release and eval throughput side by side, each with a live determinism
   column.  The micro-latency view (per-release / per-filter-step timings)
   additionally lives in ``benchmarks/bench_e8_scalability.py``.
-* E1 / E4 route their metric calls over the distributed-metric path when
-  ``config.eval_shards`` / ``config.eval_backend`` are set (the CLI's
-  ``repro experiment e1 --shards N --backend B``); one execution backend is
+* E1 / E2 / E3 / E4 / E5 / E11 route their metric calls over the
+  distributed-metric path when ``config.eval_shards`` /
+  ``config.eval_backend`` are set (the CLI's ``repro experiment e1 --shards
+  N --backend B``): E1's monitoring report, E2's R0 occupancy counters,
+  E3's tracing event sets, E4/E5's trial grids, and E11's metapopulation
+  flow matrices all shard over the same plans.  One execution backend is
   opened per runner and shared by every metric call in the sweep, so a
   ``pool`` backend's workers stay warm across the whole table.
+  ``config.async_ingest`` additionally overlaps E8's sharded release runs
+  with server commits through the bounded async commit queue.
 """
 
 from __future__ import annotations
@@ -156,7 +161,11 @@ def run_r0_estimation(config: ExperimentConfig = ExperimentConfig()) -> ResultTa
     perturbed-data R0 estimates and their absolute difference.  All
     perturbation draws come from one ``config.rng()`` stream consumed
     combination-major (batched inside ``r0_estimation_error``, which keeps
-    the scalar loop's stream).
+    the scalar loop's stream).  With ``config.eval_shards`` /
+    ``config.eval_backend`` set, each combination instead spawns per-user
+    streams and folds epoch-keyed occupancy counters over the
+    distributed-metric path (values invariant under shard count and
+    backend).
     """
     world = config.make_world()
     db = _dataset(config, world)
@@ -165,20 +174,27 @@ def run_r0_estimation(config: ExperimentConfig = ExperimentConfig()) -> ResultTa
         title="E2: R0 estimation accuracy",
     )
     rng = config.rng()
-    for policy_name in config.policies:
-        policy = build_policy(policy_name, world)
-        for mechanism_name in config.mechanisms:
-            for epsilon in config.epsilons:
-                mechanism = build_mechanism(mechanism_name, world, policy, epsilon)
-                r0_true, r0_perturbed, error = r0_estimation_error(
-                    world,
-                    mechanism,
-                    db,
-                    p_transmit=config.p_transmit,
-                    gamma=config.gamma,
-                    rng=rng,
-                )
-                table.add_row(policy_name, mechanism_name, epsilon, r0_true, r0_perturbed, error)
+    with _eval_execution(config) as (shards, backend):
+        for policy_name in config.policies:
+            policy = build_policy(policy_name, world)
+            for mechanism_name in config.mechanisms:
+                for epsilon in config.epsilons:
+                    source = _metric_source(
+                        world, policy, policy_name, mechanism_name, epsilon, shards is not None
+                    )
+                    r0_true, r0_perturbed, error = r0_estimation_error(
+                        world,
+                        source,
+                        db,
+                        p_transmit=config.p_transmit,
+                        gamma=config.gamma,
+                        rng=rng,
+                        shards=shards,
+                        backend=backend,
+                    )
+                    table.add_row(
+                        policy_name, mechanism_name, epsilon, r0_true, r0_perturbed, error
+                    )
     return table
 
 
@@ -190,7 +206,10 @@ def run_contact_tracing(config: ExperimentConfig = ExperimentConfig()) -> Result
     ground-truth contacts) and reports precision/recall/F1 plus the
     epsilon actually spent.  Both methods draw from the same
     ``config.rng()`` stream in interleaved order, so rows are reproducible
-    per config seed.
+    per config seed.  With ``config.eval_shards`` / ``config.eval_backend``
+    set, the dynamic protocol fans its non-patient population out over the
+    distributed-metric path (per-user streams; outcomes invariant under
+    shard count and backend) while the static baseline stays single-stream.
     """
     world = config.make_world()
     db = _dataset(config, world)
@@ -208,39 +227,42 @@ def run_contact_tracing(config: ExperimentConfig = ExperimentConfig()) -> Result
         f"{len(db.contacts_of(patient, min_count=2, start=start, end=diagnosis_time))})",
     )
     rng = config.rng()
-    for epsilon in config.epsilons:
-        protocol = ContactTracingProtocol(
-            world,
-            base_policy,
-            PolicyLaplaceMechanism,
-            epsilon,
-            min_count=2,
-            window=window,
-        )
-        outcome = protocol.run(db, patient, diagnosis_time, rng=rng)
-        table.add_row(
-            "dynamic-Gc",
-            epsilon,
-            outcome.precision,
-            outcome.recall,
-            outcome.f1,
-            len(outcome.candidates),
-            outcome.epsilon_spent,
-        )
-        mechanism = PolicyLaplaceMechanism(world, base_policy, epsilon)
-        released = perturb_tracedb(world, mechanism, db, rng=rng)
-        baseline = static_tracing(
-            world, released, db, patient, diagnosis_time, window=window, min_count=2
-        )
-        table.add_row(
-            "static",
-            epsilon,
-            baseline.precision,
-            baseline.recall,
-            baseline.f1,
-            len(baseline.candidates),
-            baseline.epsilon_spent,
-        )
+    with _eval_execution(config) as (shards, backend):
+        for epsilon in config.epsilons:
+            protocol = ContactTracingProtocol(
+                world,
+                base_policy,
+                PolicyLaplaceMechanism,
+                epsilon,
+                min_count=2,
+                window=window,
+            )
+            outcome = protocol.run(
+                db, patient, diagnosis_time, rng=rng, shards=shards, backend=backend
+            )
+            table.add_row(
+                "dynamic-Gc",
+                epsilon,
+                outcome.precision,
+                outcome.recall,
+                outcome.f1,
+                len(outcome.candidates),
+                outcome.epsilon_spent,
+            )
+            mechanism = PolicyLaplaceMechanism(world, base_policy, epsilon)
+            released = perturb_tracedb(world, mechanism, db, rng=rng)
+            baseline = static_tracing(
+                world, released, db, patient, diagnosis_time, window=window, min_count=2
+            )
+            table.add_row(
+                "static",
+                epsilon,
+                baseline.precision,
+                baseline.recall,
+                baseline.f1,
+                len(baseline.candidates),
+                baseline.epsilon_spent,
+            )
     return table
 
 
@@ -312,7 +334,10 @@ def run_random_policy_tradeoff(
     ``config.rng()``, builds P-LM at ``epsilon``, and scores utility and
     adversary error over (up to 20 of) its protected cells with
     ``config.trials`` trials each — graph sampling and metric draws share
-    one stream, so the table is a pure function of the config seed.
+    one stream, so the table is a pure function of the config seed.  With
+    ``config.eval_shards`` / ``config.eval_backend`` set, both metrics fan
+    out over the distributed-metric path with per-trial-slot streams
+    (per-shard attackers are built inside the workers, as in E4).
     """
     world = config.make_world()
     rng = config.rng()
@@ -320,20 +345,25 @@ def run_random_policy_tradeoff(
         ["size", "density", "n_edges", "utility_error", "adversary_error"],
         title=f"E5: random policy graphs (epsilon={epsilon})",
     )
-    for size in sizes:
-        for density in densities:
-            policy = random_policy(world, size=size, density=density, rng=rng)
-            mechanism = PolicyLaplaceMechanism(world, policy, epsilon)
-            protected = [c for c in policy.nodes if not policy.is_disclosable(c)]
-            if not protected:
-                continue
-            cells = protected[: min(20, len(protected))]
-            attacker = BayesianAttacker(world, mechanism)
-            utility = utility_error(world, mechanism, cells, rng=rng, trials_per_cell=config.trials)
-            privacy = adversary_error(
-                world, mechanism, cells, rng=rng, trials_per_cell=config.trials, attacker=attacker
-            )
-            table.add_row(size, density, policy.n_edges, utility, privacy)
+    with _eval_execution(config) as (shards, backend):
+        for size in sizes:
+            for density in densities:
+                policy = random_policy(world, size=size, density=density, rng=rng)
+                mechanism = PolicyLaplaceMechanism(world, policy, epsilon)
+                protected = [c for c in policy.nodes if not policy.is_disclosable(c)]
+                if not protected:
+                    continue
+                cells = protected[: min(20, len(protected))]
+                attacker = None if shards is not None else BayesianAttacker(world, mechanism)
+                utility = utility_error(
+                    world, mechanism, cells, rng=rng, trials_per_cell=config.trials,
+                    shards=shards, backend=backend,
+                )
+                privacy = adversary_error(
+                    world, mechanism, cells, rng=rng, trials_per_cell=config.trials,
+                    attacker=attacker, shards=shards, backend=backend,
+                )
+                table.add_row(size, density, policy.n_edges, utility, privacy)
     return table
 
 
@@ -582,10 +612,14 @@ def run_metapop_forecast(
     The monitoring app's end-to-end utility (Sec. 3.1's motivation): fit a
     metapopulation SEIR to the inter-area flows of the true stream and of
     each perturbed stream, and report the divergence between the forecast
-    infectious curves, per policy and budget.
+    infectious curves, per policy and budget.  With ``config.eval_shards`` /
+    ``config.eval_backend`` set, each combination's flow measurement fans
+    out over the distributed-metric path (per-user streams; the merged flow
+    matrices — and therefore the forecasts — are invariant under shard
+    count and backend).
     """
-    from repro.epidemic.metapop import MetapopulationSEIR, flow_matrix, forecast_divergence
-    from repro.epidemic.monitor import LocationMonitor
+    from repro.epidemic.metapop import forecast_divergence, forecast_from_flows
+    from repro.epidemic.monitor import LocationMonitor, perturbed_flows
 
     world = config.make_world()
     db = _dataset(config, world)
@@ -601,14 +635,16 @@ def run_metapop_forecast(
     populations = occupancy * scale * n_areas + 1.0
 
     def forecast(flows):
-        model = MetapopulationSEIR(
-            flow_matrix(flows, n_areas),
+        return forecast_from_flows(
+            flows,
+            n_areas,
+            populations,
             beta=beta,
             sigma=config.sigma,
             gamma=config.gamma,
             mobility_rate=mobility_rate,
+            steps=forecast_steps,
         )
-        return model.simulate(populations, seed_area=int(np.argmax(populations)), steps=forecast_steps)
 
     reference = forecast(monitor.flows(db))
     table = ResultTable(
@@ -616,19 +652,31 @@ def run_metapop_forecast(
         title="E11: metapopulation forecast from perturbed flows",
     )
     rng = config.rng()
-    for policy_name in config.policies:
-        policy = build_policy(policy_name, world)
-        for epsilon in config.epsilons:
-            mechanism = PolicyLaplaceMechanism(world, policy, epsilon)
-            released = perturb_tracedb(world, mechanism, db, rng=rng)
-            candidate = forecast(monitor.flows(released))
-            table.add_row(
-                policy_name,
-                epsilon,
-                forecast_divergence(reference, candidate),
-                reference.peak_time(),
-                candidate.peak_time(),
-            )
+    with _eval_execution(config) as (shards, backend):
+        for policy_name in config.policies:
+            policy = build_policy(policy_name, world)
+            for epsilon in config.epsilons:
+                source = _metric_source(
+                    world, policy, policy_name, "P-LM", epsilon, shards is not None
+                )
+                _, observed_flows = perturbed_flows(
+                    world,
+                    source,
+                    db,
+                    block_rows=config.monitor_block[0],
+                    block_cols=config.monitor_block[1],
+                    rng=rng,
+                    shards=shards,
+                    backend=backend,
+                )
+                candidate = forecast(observed_flows)
+                table.add_row(
+                    policy_name,
+                    epsilon,
+                    forecast_divergence(reference, candidate),
+                    reference.peak_time(),
+                    candidate.peak_time(),
+                )
     return table
 
 
@@ -697,7 +745,8 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
             for shards in config.shard_counts:
                 start = perf_counter()
                 server = run_release_rounds_batched(
-                    world, db, engine, rng=config.seed, shards=shards, backend=backend
+                    world, db, engine, rng=config.seed, shards=shards, backend=backend,
+                    async_ingest=config.async_ingest,
                 )
                 seconds = perf_counter() - start
                 start = perf_counter()

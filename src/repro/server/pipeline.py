@@ -22,10 +22,25 @@ reproduces the per-client reference :func:`run_release_rounds`.  Sharded
 runs ingest *streamingly*: each shard's releases are committed via
 :meth:`Server.ingest_shard` as the shard completes, rather than waiting on
 a full population merge.
+
+Commits can additionally run *asynchronously*: :class:`AsyncShardCommitter`
+(``server.async_committer(max_pending=k)``) moves :meth:`Server.ingest_shard`
+onto a background committer thread behind a bounded queue, so the producer —
+the release computation draining :func:`stream_shard_releases` — overlaps
+with commit work instead of alternating with it.  The queue bound is the
+backpressure contract: at most ``max_pending`` completed shards wait
+uncommitted, and a producer that outruns the committer blocks on ``submit``
+instead of buffering the whole population.  Ordering is unchanged — shards
+commit one at a time, each ``(time, user)``-ordered within itself, in
+submission order — so per-user server state is element-wise identical to
+synchronous ingestion (``run_release_rounds_batched(..., async_ingest=True)``
+is the wired-up form).
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -33,7 +48,7 @@ import numpy as np
 from repro.core.accounting import BudgetLedger
 from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
 from repro.core.policy_graph import PolicyGraph
-from repro.errors import DataError, PolicyError
+from repro.errors import DataError, PolicyError, ValidationError
 from repro.geo.grid import GridWorld
 from repro.mobility.trajectory import TraceDB
 from repro.server.localdb import LocalLocationDB
@@ -42,7 +57,13 @@ from repro.utils.rng import ensure_rng, spawn_rngs
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports core)
     from repro.engine import PrivacyEngine
 
-__all__ = ["Client", "Server", "run_release_rounds", "run_release_rounds_batched"]
+__all__ = [
+    "AsyncShardCommitter",
+    "Client",
+    "Server",
+    "run_release_rounds",
+    "run_release_rounds_batched",
+]
 
 MechanismFactory = Callable[[GridWorld, PolicyGraph, float], Mechanism]
 
@@ -247,6 +268,123 @@ class Server:
         """Offer a policy update; the demo's clients always consent."""
         client.accept_policy(policy)
 
+    def async_committer(
+        self, max_pending: int = 2, purpose: str = "stream"
+    ) -> "AsyncShardCommitter":
+        """A bounded background committer feeding :meth:`ingest_shard`.
+
+        See :class:`AsyncShardCommitter` for the ordering and backpressure
+        contract.  Use as a context manager so the queue is always drained
+        (and any commit error re-raised) when the producing loop ends.
+        """
+        return AsyncShardCommitter(self, max_pending=max_pending, purpose=purpose)
+
+
+class AsyncShardCommitter:
+    """Commit population shards on a background thread, bounded by backpressure.
+
+    The synchronous streaming path alternates between computing shards and
+    committing them: the main thread blocks inside
+    :meth:`Server.ingest_shard` while backend workers sit idle.  This
+    committer moves commits onto one daemon thread behind a
+    ``queue.Queue(maxsize=max_pending)``, so release computation and commit
+    work overlap.
+
+    Contract
+    --------
+    * **Ordering** — shards commit strictly in submission order, one at a
+      time, each ordered by ``(time, user)`` within itself (the
+      :meth:`Server.ingest_shard` contract).  Since every user lives in
+      exactly one shard, all per-user server state is element-wise identical
+      to synchronous ingestion; only the interleaving of *different* users'
+      ledger entries can differ, exactly as in the synchronous streaming
+      path.
+    * **Backpressure** — at most ``max_pending`` completed shards wait
+      uncommitted; :meth:`submit` blocks once the bound is reached, so a
+      fast producer cannot buffer an unbounded population in memory.
+    * **Atomicity / failure** — a shard is committed whole or not at all:
+      after a commit error the committer stops committing (it keeps
+      consuming, so blocked producers always unblock, and discards the
+      remainder) and re-raises the original exception from :meth:`submit`
+      or :meth:`close`.  A producer that dies mid-stream leaves only whole,
+      fully-committed shards behind.
+
+    Use as a context manager; on normal exit :meth:`close` drains every
+    queued shard before returning, so the server is fully caught up.
+    """
+
+    def __init__(self, server: Server, max_pending: int = 2, purpose: str = "stream") -> None:
+        if int(max_pending) < 1:
+            raise ValidationError(f"max_pending must be >= 1, got {max_pending}")
+        self._server = server
+        self._purpose = purpose
+        self._queue: queue.Queue = queue.Queue(maxsize=int(max_pending))
+        self._error: BaseException | None = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name="shard-committer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            if self._error is None:
+                try:
+                    self._server.ingest_shard(*item, purpose=self._purpose)
+                except BaseException as exc:  # re-raised on submit/close
+                    self._error = exc
+
+    def submit(self, users, times, batch: ReleaseBatch) -> None:
+        """Queue one shard for commit, blocking while ``max_pending`` wait.
+
+        Raises the first commit error (if any) instead of queueing more work
+        on a server whose stream already failed.
+        """
+        if self._closed:
+            raise ValidationError("cannot submit to a closed committer")
+        if self._error is not None:
+            self.close()
+        self._queue.put((users, times, batch))
+
+    def close(self) -> None:
+        """Drain pending commits, stop the thread, re-raise any commit error.
+
+        Idempotent; after closing, :meth:`submit` refuses further shards.
+        """
+        if not self._closed:
+            self._closed = True
+            self._queue.put(None)
+            self._thread.join()
+        if self._error is not None:
+            raise self._error
+
+    @property
+    def pending(self) -> int:
+        """Shards queued but not yet committed (approximate, for monitoring)."""
+        return self._queue.qsize()
+
+    def __enter__(self) -> "AsyncShardCommitter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+            return
+        try:
+            # The producer already failed; finish whole queued shards but let
+            # the producer's exception win over any commit error.
+            self.close()
+        except BaseException:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"pending={self.pending}"
+        return f"AsyncShardCommitter(max_pending={self._queue.maxsize}, {state})"
+
 
 def run_release_rounds(
     world: GridWorld,
@@ -317,6 +455,7 @@ def run_release_rounds_batched(
     rng=None,
     shards: int | None = None,
     backend=None,
+    async_ingest: "bool | int" = False,
 ) -> Server:
     """Release the whole population through the engine, one round per timestep.
 
@@ -352,6 +491,17 @@ def run_release_rounds_batched(
         only one of ``shards`` / ``backend`` is given, the other falls back
         to the engine spec's execution block (if any) before the serial /
         1-shard defaults.
+    async_ingest:
+        ``False`` (default) commits each shard synchronously on the
+        producing thread.  ``True`` (or an ``int`` queue depth; ``True``
+        means 2) commits through an :class:`AsyncShardCommitter` instead,
+        overlapping commit work with release computation behind a bounded
+        backpressure queue — per-user server state is element-wise
+        unchanged (see the committer's contract).  Requires the sharded
+        path: the single-stream layout has no shard commits to overlap, so
+        requesting async ingestion without ``shards`` / ``backend`` (or a
+        spec execution block) raises :class:`~repro.errors.ValidationError`
+        rather than silently switching RNG layouts.
 
     Returns
     -------
@@ -373,6 +523,11 @@ def run_release_rounds_batched(
         raise DataError("true trace database has no users")
     execution = engine.spec.execution if engine.spec is not None else None
     if shards is None and backend is None and execution is None:
+        if async_ingest:
+            raise ValidationError(
+                "async ingestion rides the sharded streaming path; "
+                "pass shards= and/or backend= to enable it"
+            )
         generator = ensure_rng(rng)
         server = Server(world)
         for time in true_db.times():
@@ -402,8 +557,17 @@ def run_release_rounds_batched(
             # A backend built here from the spec is owned here: close it
             # when the run ends (or raises), exactly like a named backend.
             backend = stack.enter_context(execution.build())
+        if async_ingest:
+            # Entered after the backend, so on exit the committer drains
+            # (committing every whole queued shard) before the backend closes.
+            committer = stack.enter_context(
+                server.async_committer(max_pending=2 if async_ingest is True else int(async_ingest))
+            )
+            commit = committer.submit
+        else:
+            commit = server.ingest_shard
         for shard_users, shard_times, batch in stream_shard_releases(
             engine, true_db, plan, backend=backend
         ):
-            server.ingest_shard(shard_users, shard_times, batch)
+            commit(shard_users, shard_times, batch)
     return server
