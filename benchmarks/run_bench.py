@@ -34,6 +34,13 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
         "async_ingest": {"backend": "process", "shards": 4,
                          "sync_seconds": 0.9, "async_seconds": 0.7,
                          "async_speedup": 1.3, "async_matches_sync": true, ...}
+      },
+      "durable_ingest": {                                 # E18
+        "overhead": {"memory_seconds": 0.5, "durable_seconds": 0.6,
+                     "overhead_ratio": 1.2, "within_budget": true,
+                     "matches_memory": true, ...},
+        "out_of_core": {"rows": 10000000, "rows_per_sec": 310000.0,
+                        "db_size_mb": 760.2, "rss_growth_mb": 45.1, ...}
       }
     }
 
@@ -70,6 +77,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_e16_distributed_eval as bench_e16  # noqa: E402
 import bench_e17_epidemic_eval as bench_e17  # noqa: E402
+import bench_e18_durable_ingest as bench_e18  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -94,6 +102,7 @@ ENTRY_POINTS = {
 SHARDED_ENTRY = "e15_sharded_rounds"
 DISTRIBUTED_ENTRY = "e16_distributed_eval"
 EPIDEMIC_ENTRY = "e17_epidemic_eval"
+DURABLE_ENTRY = "e18_durable_ingest"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -145,13 +154,23 @@ def run_epidemic_eval(smoke: bool) -> dict:
     return bench_e17.epidemic_eval_block(smoke)
 
 
+def run_durable_ingest(smoke: bool) -> dict:
+    """The E18 block: durable-vs-memory overhead plus out-of-core ingest.
+
+    Delegates to ``bench_e18_durable_ingest.durable_ingest_block`` — same
+    single-source-of-truth arrangement as E16/E17.
+    """
+    return bench_e18.durable_ingest_block(smoke)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
     parser.add_argument(
         "--only",
         action="append",
-        choices=sorted(ENTRY_POINTS) + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY],
+        choices=sorted(ENTRY_POINTS)
+        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -167,10 +186,11 @@ def main(argv: list[str] | None = None) -> int:
         SHARDED_ENTRY,
         DISTRIBUTED_ENTRY,
         EPIDEMIC_ENTRY,
+        DURABLE_ENTRY,
     ]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
-        if name in (SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY):
+        if name in (SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY):
             continue
         runner = ENTRY_POINTS[name]
         start = time.perf_counter()
@@ -223,6 +243,22 @@ def main(argv: list[str] | None = None) -> int:
             f"  async ingest {ingest['async_seconds']}s vs sync "
             f"{ingest['sync_seconds']}s ({ingest['async_speedup']}x, "
             f"matches={ingest['async_matches_sync']})"
+        )
+    if DURABLE_ENTRY in names:
+        start = time.perf_counter()
+        payload["durable_ingest"] = run_durable_ingest(args.smoke)
+        payload["timings"][DURABLE_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{DURABLE_ENTRY:<28} {payload['timings'][DURABLE_ENTRY]:>10.3f}s")
+        overhead = payload["durable_ingest"]["overhead"]
+        print(
+            f"  durable {overhead['durable_releases_per_sec']:>12,.0f} releases/s vs "
+            f"memory {overhead['memory_releases_per_sec']:>12,.0f} releases/s "
+            f"({overhead['overhead_ratio']}x, matches={overhead['matches_memory']})"
+        )
+        ooc = payload["durable_ingest"]["out_of_core"]
+        print(
+            f"  out-of-core {ooc['rows']:,} rows at {ooc['rows_per_sec']:,.0f} rows/s, "
+            f"{ooc['db_size_mb']}MB on disk, rss growth {ooc['rss_growth_mb']}MB"
         )
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

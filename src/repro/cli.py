@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment e11 --shards 4 --backend process
     python -m repro experiment e8 --engine-spec spec.json --shards 4 --backend process
     python -m repro experiment e8 --shards 4 --backend pool --async-ingest
+    python -m repro experiment e8 --shards 4 --store run.sqlite
+    python -m repro experiment e8 --shards 4 --store run.sqlite --resume
     python -m repro engines
     python -m repro datasets
 
@@ -147,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="e8: overlap sharded release computation with server commits "
         "through the bounded async commit queue",
     )
+    experiment.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="e8: additionally time durable ingest — every shard committed "
+        "transactionally into a SQLite TraceStore at PATH (reported in the "
+        "durable_releases_per_sec column; see docs/persistence.md)",
+    )
+    experiment.add_argument(
+        "--resume",
+        action="store_true",
+        help="e8: resume the interrupted store-backed run recorded at "
+        "--store instead of starting fresh (spec/seed mismatches abort)",
+    )
 
     sub.add_parser(
         "engines", help="list registered mechanism, policy, and backend names"
@@ -240,7 +257,7 @@ def _load_engine_spec(path: Path) -> EngineSpec:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.errors import ReproError, ValidationError
+    from repro.errors import ReproError, StoreError, ValidationError
 
     config = ExperimentConfig(
         world_size=args.size,
@@ -304,18 +321,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 config = replace(config, backends=(args.backend,))
             else:
                 config = replace(config, eval_backend=args.backend)
+        if args.store is not None or args.resume:
+            if args.name != "e8":
+                raise ValidationError(
+                    "--store/--resume drive the durable ingest sweep and "
+                    "only apply to e8"
+                )
+            if args.resume and args.store is None:
+                raise ValidationError("--resume requires --store")
+            config = replace(config, store_path=str(args.store), resume=args.resume)
     except (ReproError, OSError, ValueError, KeyError) as exc:
         # bad spec file: missing, malformed JSON, or unknown registry names.
         # Only construction is guarded — a failure inside a runner is a bug
         # and should surface as a traceback, not a one-line message.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    table = EXPERIMENTS[args.name](config)
+    try:
+        table = EXPERIMENTS[args.name](config)
+    except StoreError as exc:
+        # Store failures are environmental/operator errors, not bugs: a
+        # resume against the wrong spec or seed (ResumeMismatchError), an
+        # unreadable path, an incompatible schema.  Exit non-zero with the
+        # message instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(table.pretty())
     return 0
 
 
 def _cmd_engines() -> int:
+    import sqlite3
+
     print("mechanisms:")
     for name in mechanism_names():
         print(f"  {name}")
@@ -325,6 +361,14 @@ def _cmd_engines() -> int:
     print("backends:")
     for name in backend_names():
         print(f"  {name}")
+    print("store:")
+    from repro.store import SCHEMA_VERSION
+
+    print(
+        f"  sqlite (TraceStore schema v{SCHEMA_VERSION}, "
+        f"SQLite {sqlite3.sqlite_version}, WAL) — "
+        "durable shard commits via `experiment e8 --store PATH`"
+    )
     return 0
 
 

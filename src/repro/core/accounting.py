@@ -13,10 +13,19 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import BudgetError
 from repro.utils.validation import check_non_negative
 
 __all__ = ["BudgetEntry", "BudgetLedger"]
+
+
+def _as_scalar_list(values) -> list:
+    """Plain Python scalars from an array-like (fast bulk-charge path)."""
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return list(values)
 
 
 @dataclass(frozen=True)
@@ -38,12 +47,22 @@ class BudgetLedger:
         Optional per-user lifetime budget.  :meth:`charge` raises
         :class:`~repro.errors.BudgetError` when an expenditure would exceed
         it, *before* recording the entry.
+    record_entries:
+        When ``False`` the ledger keeps only the per-user running totals
+        and skips the per-charge :class:`BudgetEntry` log — the
+        population-scale setting (a 10M-row ingest would otherwise retain
+        ~10M entry objects).  Cap enforcement and every total
+        (:meth:`spent`, :meth:`total_spent`) are unaffected;
+        :attr:`entries` / :meth:`spent_in_window` / :meth:`by_purpose`
+        cover only recorded entries.  Store-backed runs lose nothing: the
+        ``releases`` table *is* the durable per-charge log.
     """
 
-    def __init__(self, cap: float | None = None) -> None:
+    def __init__(self, cap: float | None = None, record_entries: bool = True) -> None:
         if cap is not None:
             check_non_negative("cap", cap)
         self.cap = cap
+        self.record_entries = bool(record_entries)
         self._entries: list[BudgetEntry] = []
         self._spent: dict[int, float] = defaultdict(float)
 
@@ -57,9 +76,46 @@ class BudgetLedger:
                 f"exceeding cap {self.cap:.4g}"
             )
         entry = BudgetEntry(user=int(user), time=int(time), epsilon=float(epsilon), purpose=purpose)
-        self._entries.append(entry)
+        if self.record_entries:
+            self._entries.append(entry)
         self._spent[entry.user] += entry.epsilon
         return entry
+
+    def charge_many(self, users, times, epsilons, purpose: str = "") -> int:
+        """Bulk :meth:`charge` over parallel arrays; returns the row count.
+
+        Semantically ``for u, t, e in zip(...): self.charge(u, t, e,
+        purpose)`` — same sequential cap enforcement, same scalar float
+        accumulation order (so per-user totals are bit-identical to the
+        scalar loop), same entries when ``record_entries`` is on — minus
+        the per-row method-call and dataclass overhead on the batched
+        ingest hot path.  Raises mid-way exactly where the scalar loop
+        would; rows before the offending one remain charged.
+        """
+        cap = self.cap
+        spent = self._spent
+        entries = self._entries
+        record = self.record_entries
+        count = 0
+        for user, time, epsilon in zip(
+            _as_scalar_list(users), _as_scalar_list(times), _as_scalar_list(epsilons)
+        ):
+            if epsilon < 0:
+                check_non_negative("epsilon", epsilon)
+            user = int(user)
+            epsilon = float(epsilon)
+            if cap is not None and spent[user] + epsilon > cap + 1e-12:
+                raise BudgetError(
+                    f"user {user} would spend {spent[user] + epsilon:.4g} "
+                    f"exceeding cap {cap:.4g}"
+                )
+            if record:
+                entries.append(
+                    BudgetEntry(user=user, time=int(time), epsilon=epsilon, purpose=purpose)
+                )
+            spent[user] += epsilon
+            count += 1
+        return count
 
     def spent(self, user: int) -> float:
         """Total epsilon spent by ``user`` (sequential composition)."""

@@ -24,6 +24,7 @@ boundary.
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_right
 from dataclasses import dataclass
 from functools import cached_property
@@ -121,6 +122,23 @@ class ShardPlan:
             stop += size + (1 if shard < extra else 0)
             ends.append(stop)
         return ends
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """SHA-256 identity of the plan's seed material.
+
+        Covers the sorted user list, every per-user stream seed, and the
+        shard count — everything a resumed run must share with the original
+        for re-derivation to be bit-identical.  Two plans built from the
+        same ``(rng seed, users)`` always agree; a different parent seed,
+        population, or shard count yields a different fingerprint.  Recorded
+        by :class:`~repro.store.resume.RunManifest` and validated on resume.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.asarray(self.users, dtype=np.int64).tobytes())
+        digest.update(np.asarray(self.seeds, dtype=np.uint64).tobytes())
+        digest.update(int(self.n_shards).to_bytes(8, "little"))
+        return digest.hexdigest()
 
     def _index_of(self, user: int) -> int:
         """Position of ``user`` in the sorted user list (its stream index)."""
@@ -224,11 +242,18 @@ def _execute_shard(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray,
     return points, exact, epsilons, mechanism
 
 
-def _shard_tasks(engine: "PrivacyEngine", true_db: "TraceDB", plan: ShardPlan) -> list[ShardTask]:
-    """Materialise one picklable :class:`ShardTask` per non-empty shard."""
+def _shard_tasks(
+    engine: "PrivacyEngine",
+    true_db: "TraceDB",
+    plan: ShardPlan,
+    only_shards: "frozenset[int] | set[int] | None" = None,
+) -> list[ShardTask]:
+    """Materialise one picklable :class:`ShardTask` per selected non-empty shard."""
     tasks = []
     transferable = EngineRef.wrap(engine)
-    for _, users, seeds in plan.iter_shards():
+    for shard, users, seeds in plan.iter_shards():
+        if only_shards is not None and shard not in only_shards:
+            continue
         histories = [true_db.user_history(user) for user in users]
         tasks.append(
             ShardTask(
@@ -263,6 +288,7 @@ def stream_shard_releases(
     true_db: "TraceDB",
     plan: ShardPlan,
     backend: "str | ExecutionBackend | None" = "serial",
+    only_shards: "frozenset[int] | set[int] | None" = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray, ReleaseBatch]]:
     """Yield each shard's releases **as the shard completes** (any order).
 
@@ -290,10 +316,17 @@ def stream_shard_releases(
         here are owned by this generator and closed when the iteration
         finishes or the consumer abandons it; live instances are left open
         for reuse.
+    only_shards:
+        Optional subset of shard indices to execute (others are skipped
+        entirely — no task is even built).  This is the resume hook: a
+        store-backed restart passes the shards whose ``(shard, round)``
+        commits are incomplete.  Because each shard draws only from its own
+        users' seed streams, running a subset yields exactly the rows the
+        full run would have produced for those shards.
     """
     if plan.users != tuple(sorted(true_db.users())):
         raise DataError("shard plan does not cover the trace database's users")
-    tasks = _shard_tasks(engine, true_db, plan)
+    tasks = _shard_tasks(engine, true_db, plan, only_shards=only_shards)
     with owned_backend(backend) as live:
         for index, (points, exact, epsilons, mechanism) in live.run_unordered(
             _execute_shard, tasks

@@ -77,15 +77,28 @@ class ExecutionSpec:
     never affects the released values — per-user RNG streams make output
     invariant under sharding (see :mod:`repro.engine.sharding`) — so this is
     a pure throughput knob that can live in a saved spec file.
+
+    ``store`` / ``resume`` extend the block to durability: a store path
+    makes :func:`~repro.server.pipeline.run_release_rounds_batched` commit
+    every shard transactionally into a
+    :class:`~repro.store.TraceStore` at that path, and ``resume=True``
+    continues an interrupted run recorded there (see
+    ``docs/persistence.md``).  Like the rest of the block these are run
+    control, not engine identity — the resume spec hash deliberately
+    excludes them (:func:`~repro.store.resume.engine_spec_hash`).
     """
 
     backend: str = "serial"
     shards: int = 1
     params: Mapping = field(default_factory=dict)
+    store: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if int(self.shards) < 1:
             raise ValidationError(f"shards must be >= 1, got {self.shards}")
+        if self.resume and self.store is None:
+            raise ValidationError("resume=True requires a store path")
 
     def build(self) -> ExecutionBackend:
         """Instantiate the named backend with this spec's params."""
@@ -123,19 +136,29 @@ class EngineSpec:
         backend: str | None = None,
         shards: int | None = None,
         backend_params: Mapping | None = None,
+        store: str | None = None,
+        resume: bool = False,
     ) -> "EngineSpec":
         """Spec from bare names — the common construction path.
 
-        ``backend`` / ``shards`` / ``backend_params`` are optional; providing
-        any of them attaches an :class:`ExecutionSpec` (missing pieces take
-        the serial / 1-shard defaults).
+        ``backend`` / ``shards`` / ``backend_params`` / ``store`` /
+        ``resume`` are optional; providing any of them attaches an
+        :class:`ExecutionSpec` (missing pieces take the serial / 1-shard /
+        in-memory defaults).
         """
         execution = None
-        if backend is not None or shards is not None or backend_params is not None:
+        if (
+            backend is not None
+            or shards is not None
+            or backend_params is not None
+            or store is not None
+        ):
             execution = ExecutionSpec(
                 backend=backend if backend is not None else "serial",
                 shards=shards if shards is not None else 1,
                 params=dict(backend_params or {}),
+                store=store,
+                resume=bool(resume),
             )
         return cls(
             mechanism=MechanismSpec(
@@ -163,11 +186,18 @@ class EngineSpec:
             },
         }
         if self.execution is not None:
-            payload["execution"] = {
+            execution = {
                 "backend": self.execution.canonical_name,
                 "shards": int(self.execution.shards),
                 "params": dict(self.execution.params),
             }
+            # Durability keys appear only when set, so spec files written
+            # before the store subsystem existed round-trip unchanged.
+            if self.execution.store is not None:
+                execution["store"] = self.execution.store
+                if self.execution.resume:
+                    execution["resume"] = True
+            payload["execution"] = execution
         return payload
 
     @classmethod
@@ -191,5 +221,7 @@ class EngineSpec:
                 backend=execution.get("backend", "serial"),
                 shards=int(execution.get("shards", 1)),
                 params=dict(execution.get("params", {})),
+                store=execution.get("store"),
+                resume=bool(execution.get("resume", False)),
             ),
         )

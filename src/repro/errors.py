@@ -38,3 +38,17 @@ class BudgetError(ReproError):
 
 class TracingError(ReproError):
     """The contact-tracing protocol was driven into an invalid state."""
+
+
+class StoreError(ReproError):
+    """A durable trace-store operation failed (I/O, schema, misuse)."""
+
+
+class ResumeMismatchError(StoreError):
+    """A resume was attempted against a store recorded for a different run.
+
+    Raised when the engine spec hash or the shard plan's seed material does
+    not match what the store recorded at ingest time — resuming would
+    silently produce a *different* trace than the interrupted run, so the
+    mismatch aborts with the differing fields named instead.
+    """

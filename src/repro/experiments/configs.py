@@ -107,6 +107,14 @@ class ExperimentConfig:
     bounded async commit queue (:class:`~repro.server.pipeline.
     AsyncShardCommitter`) so shard commits overlap release computation;
     per-user server state is element-wise unchanged.
+
+    ``store_path`` / ``resume`` make E8 additionally measure *durable*
+    ingest: each sweep combination re-runs store-backed against a
+    :class:`~repro.store.TraceStore` at that path (committing every shard
+    transactionally, see ``docs/persistence.md``) and reports the durable
+    throughput next to the in-memory one.  ``resume=True`` continues an
+    interrupted store-backed run instead of starting fresh.  The CLI maps
+    ``repro experiment e8 --store PATH [--resume]`` onto these fields.
     """
 
     world_size: int = 12
@@ -129,6 +137,8 @@ class ExperimentConfig:
     eval_shards: int | None = None
     eval_backend: str | None = None
     async_ingest: bool = False
+    store_path: str | None = None
+    resume: bool = False
     engine_spec: EngineSpec | None = field(default=None, compare=False)
 
     def make_world(self) -> GridWorld:
@@ -186,4 +196,7 @@ class ExperimentConfig:
         if spec.execution is not None:
             overrides["backends"] = (spec.execution.canonical_name,)
             overrides["shard_counts"] = tuple(sorted({1, int(spec.execution.shards)}))
+            if spec.execution.store is not None:
+                overrides["store_path"] = spec.execution.store
+                overrides["resume"] = bool(spec.execution.resume)
         return replace(self, **overrides)

@@ -29,6 +29,7 @@ Two runners are execution-aware:
 from __future__ import annotations
 
 from contextlib import contextmanager
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
@@ -710,6 +711,13 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
     the timed sweep.  The checks ride along with the throughput numbers
     and stay meaningful even when the sweep is pinned to a single
     non-serial combination.
+
+    With ``config.store_path`` set, each combination is additionally timed
+    store-backed — every shard committed transactionally into a
+    :class:`~repro.store.TraceStore` (fresh per combination, unless
+    ``config.resume`` continues an existing run) — and reported in a
+    ``durable_releases_per_sec`` column (``None`` without a store), whose
+    output must also match the serial baseline.
     """
     world = config.make_world()
     db = _dataset(config, world)
@@ -725,6 +733,7 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
             "eval_seconds",
             "eval_releases_per_sec",
             "eval_matches_serial",
+            "durable_releases_per_sec",
         ],
         title=(
             f"E8: sharded release + eval rounds ({config.dataset}, "
@@ -755,6 +764,27 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
                     rng=config.seed, shards=shards, backend=backend,
                 )
                 eval_seconds = perf_counter() - start
+                durable_rate = None
+                if config.store_path is not None:
+                    # Fresh store per combination (each is a complete run of
+                    # its own) unless the caller is resuming one; matching
+                    # the serial baseline folds the durable output into the
+                    # sweep's determinism check.
+                    if not config.resume:
+                        for suffix in ("", "-wal", "-shm"):
+                            Path(config.store_path + suffix).unlink(missing_ok=True)
+                    start = perf_counter()
+                    durable_server = run_release_rounds_batched(
+                        world, db, engine, rng=config.seed, shards=shards,
+                        backend=backend, async_ingest=config.async_ingest,
+                        store=config.store_path, resume=config.resume,
+                    )
+                    durable_seconds = perf_counter() - start
+                    if list(durable_server.released_db.checkins()) != baseline:
+                        raise AssertionError(
+                            "store-backed run diverged from the serial baseline"
+                        )
+                    durable_rate = round(len(db) / durable_seconds, 1)
                 table.add_row(
                     backend_name,
                     shards,
@@ -764,6 +794,7 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
                     round(eval_seconds, 6),
                     round(len(db) / eval_seconds, 1),
                     report == eval_baseline,
+                    durable_rate,
                 )
     return table
 

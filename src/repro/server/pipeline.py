@@ -152,11 +152,47 @@ class Client:
 
 
 class Server:
-    """The semi-honest collector: snapped releases plus a budget ledger."""
+    """The semi-honest collector: snapped releases plus a budget ledger.
 
-    def __init__(self, world: GridWorld, ledger: BudgetLedger | None = None) -> None:
+    Parameters
+    ----------
+    world:
+        The snapping grid shared with the clients.
+    ledger:
+        Budget ledger (a fresh uncapped one by default).
+    store:
+        Optional :class:`~repro.store.TraceStore`.  When set, every
+        :meth:`ingest_shard` call durably commits the shard — release rows
+        plus its ``(shard, round)`` recovery marks — in one SQLite
+        transaction *before* touching in-memory state, so a crash at any
+        point leaves only whole shards behind (the resume contract of
+        ``docs/persistence.md``).
+    out_of_core:
+        Requires ``store``.  The released trace then lives *only* on disk:
+        ``released_db`` becomes a read-only
+        :class:`~repro.store.StoredTraceDB` view and shard ingestion skips
+        the in-memory mirror, bounding server RSS by the largest single
+        shard instead of the population.
+    """
+
+    def __init__(
+        self,
+        world: GridWorld,
+        ledger: BudgetLedger | None = None,
+        store=None,
+        out_of_core: bool = False,
+    ) -> None:
         self.world = world
-        self.released_db = TraceDB()
+        self.store = store
+        self.out_of_core = bool(out_of_core)
+        if self.out_of_core:
+            if store is None:
+                raise ValidationError("out_of_core=True requires a TraceStore")
+            from repro.store.outofcore import StoredTraceDB
+
+            self.released_db = StoredTraceDB(store)
+        else:
+            self.released_db = TraceDB()
         self.ledger = ledger if ledger is not None else BudgetLedger()
 
     def ingest(self, user: int, time: int, release: Release, purpose: str = "stream") -> int:
@@ -211,6 +247,7 @@ class Server:
         times,
         batch: ReleaseBatch,
         purpose: str = "stream",
+        shard: int | None = None,
     ):
         """Stream one population shard's releases into the server.
 
@@ -232,11 +269,25 @@ class Server:
             :class:`~repro.errors.DataError`).
         purpose:
             Ledger purpose tag (defaults to the streaming feed).
+        shard:
+            The shard's index in the run's plan.  Required when the server
+            is store-backed (it keys the durable ``(shard, round)`` commit
+            marks); ignored otherwise, so existing callers and subclasses
+            need not pass it.
 
         Returns
         -------
         numpy.ndarray
             The snapped cell per input row (input order, not commit order).
+
+        Durability
+        ----------
+        On a store-backed server the whole shard — snapped release rows
+        plus one commit mark per round it contains — is written in a single
+        SQLite transaction *before* any in-memory mutation.  A crash
+        therefore never leaves the store ahead of or torn relative to what
+        a resume can rebuild: either the shard is fully durable (and will
+        be replayed / skipped) or absent (and will be re-derived).
 
         Commit order and determinism
         ----------------------------
@@ -257,12 +308,52 @@ class Server:
                 f"{len(users)} users / {len(times)} times"
             )
         cells = self.world.snap_batch(batch.points)
+        if self.store is not None:
+            if shard is None:
+                raise DataError(
+                    "store-backed ingest_shard requires the shard index "
+                    "(pass shard=) to key its durable commit marks"
+                )
+            self.store.commit_shard(
+                int(shard),
+                users,
+                times,
+                ReleaseBatch(
+                    points=batch.points,
+                    exact=batch.exact,
+                    epsilons=batch.epsilons,
+                    cells=np.asarray(cells, dtype=np.int64),
+                    mechanism=batch.mechanism,
+                ),
+            )
         order = np.lexsort((users, times))  # commit by (time, user)
-        self.released_db.record_many(users[order], times[order], cells[order])
-        epsilons = batch.epsilons[order]
-        for row, user, time in zip(range(len(order)), users[order], times[order]):
-            self.ledger.charge(int(user), int(time), float(epsilons[row]), purpose=purpose)
+        if not self.out_of_core:
+            self.released_db.record_many(users[order], times[order], cells[order])
+        self.ledger.charge_many(
+            users[order], times[order], batch.epsilons[order], purpose=purpose
+        )
         return cells
+
+    def replay_shard(self, low_user: int, high_user: int, purpose: str = "stream"):
+        """Rebuild in-memory state for one durably committed shard.
+
+        The resume counterpart of :meth:`ingest_shard`: reads the shard's
+        rows back from the store (shards own contiguous user ranges, so
+        ``[low_user, high_user]`` identifies one) in the same ``(time,
+        user)`` order the original commit used, and re-applies the
+        in-memory effects — trace rows (unless ``out_of_core``, where the
+        view already serves them) and ledger charges.  Per-user server
+        state after a replay is element-wise identical to a fresh commit.
+
+        Returns the number of rows replayed.
+        """
+        if self.store is None:
+            raise DataError("replay_shard requires a store-backed server")
+        users, times, cells, epsilons = self.store.shard_rows(low_user, high_user)
+        if not self.out_of_core:
+            self.released_db.record_many(users, times, cells)
+        self.ledger.charge_many(users, times, epsilons, purpose=purpose)
+        return len(users)
 
     def push_policy(self, client: Client, policy: PolicyGraph) -> None:
         """Offer a policy update; the demo's clients always consent."""
@@ -333,22 +424,38 @@ class AsyncShardCommitter:
             if item is None:
                 return
             if self._error is None:
+                users, times, batch, shard = item
                 try:
-                    self._server.ingest_shard(*item, purpose=self._purpose)
+                    if shard is None:
+                        # Keep the historical 3-arg call shape so Server
+                        # subclasses that predate store-backed ingestion
+                        # (and accept no shard kwarg) keep working.
+                        self._server.ingest_shard(users, times, batch, purpose=self._purpose)
+                    else:
+                        self._server.ingest_shard(
+                            users, times, batch, purpose=self._purpose, shard=shard
+                        )
                 except BaseException as exc:  # re-raised on submit/close
                     self._error = exc
 
-    def submit(self, users, times, batch: ReleaseBatch) -> None:
+    def submit(self, users, times, batch: ReleaseBatch, shard: int | None = None) -> None:
         """Queue one shard for commit, blocking while ``max_pending`` wait.
 
         Raises the first commit error (if any) instead of queueing more work
-        on a server whose stream already failed.
+        on a server whose stream already failed — including when the
+        committer was already closed, where the pending worker error still
+        wins over the "closed" misuse report (a caller that races a failed
+        shutdown should see the real failure, not a
+        :class:`~repro.errors.ValidationError` masking it).
+
+        ``shard`` is forwarded to :meth:`Server.ingest_shard` for
+        store-backed servers; omit it for in-memory ingestion.
         """
+        if self._error is not None:
+            self.close()  # re-raises the pending commit error
         if self._closed:
             raise ValidationError("cannot submit to a closed committer")
-        if self._error is not None:
-            self.close()
-        self._queue.put((users, times, batch))
+        self._queue.put((users, times, batch, shard))
 
     def close(self) -> None:
         """Drain pending commits, stop the thread, re-raise any commit error.
@@ -378,8 +485,13 @@ class AsyncShardCommitter:
             # The producer already failed; finish whole queued shards but let
             # the producer's exception win over any commit error.
             self.close()
-        except BaseException:
-            pass
+        except BaseException as commit_error:
+            # Keep the suppressed commit failure visible on the surviving
+            # exception (PEP 678 notes; no-op on interpreters without them).
+            if exc is not None and hasattr(exc, "add_note"):
+                exc.add_note(
+                    f"shard committer also failed while draining: {commit_error!r}"
+                )
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"pending={self.pending}"
@@ -456,6 +568,9 @@ def run_release_rounds_batched(
     shards: int | None = None,
     backend=None,
     async_ingest: "bool | int" = False,
+    store=None,
+    resume: bool = False,
+    out_of_core: bool = False,
 ) -> Server:
     """Release the whole population through the engine, one round per timestep.
 
@@ -502,6 +617,29 @@ def run_release_rounds_batched(
         requesting async ingestion without ``shards`` / ``backend`` (or a
         spec execution block) raises :class:`~repro.errors.ValidationError`
         rather than silently switching RNG layouts.
+    store:
+        Optional durable store — a live :class:`~repro.store.TraceStore`,
+        a path, or ``None``.  When set, every shard commits transactionally
+        with its ``(shard, round)`` recovery marks, and the run can be
+        resumed after a crash (see ``resume``).  Falls back to the engine
+        spec's execution block (``ExecutionSpec.store``).  Durability rides
+        the sharded streaming path only: the single-stream layout advances
+        one shared RNG sequentially and therefore cannot skip committed
+        work, so a store without ``shards`` / ``backend`` raises
+        :class:`~repro.errors.ValidationError`.
+    resume:
+        Continue an interrupted run recorded in ``store``.  The store's
+        manifest (engine spec hash, shard-plan fingerprint, world shape)
+        must match this run — :class:`~repro.errors.ResumeMismatchError`
+        otherwise — after which fully committed shards are *replayed* from
+        disk (not re-derived) and only the missing shards execute.  Because
+        every shard is a pure function of its users' seed streams, the
+        resumed result is bit-identical to the uninterrupted run.
+    out_of_core:
+        With ``store``: keep the released trace on disk only.  The returned
+        server's ``released_db`` is a read-only
+        :class:`~repro.store.StoredTraceDB` view and ingestion skips the
+        in-memory mirror, bounding memory by the largest single shard.
 
     Returns
     -------
@@ -522,11 +660,23 @@ def run_release_rounds_batched(
     if not true_db.users():
         raise DataError("true trace database has no users")
     execution = engine.spec.execution if engine.spec is not None else None
+    if execution is not None:
+        # The spec's execution block supplies store defaults the same way it
+        # supplies shards/backend: explicit arguments win, spec fills gaps.
+        if store is None and getattr(execution, "store", None):
+            store = execution.store
+        resume = bool(resume or getattr(execution, "resume", False))
     if shards is None and backend is None and execution is None:
         if async_ingest:
             raise ValidationError(
                 "async ingestion rides the sharded streaming path; "
                 "pass shards= and/or backend= to enable it"
+            )
+        if store is not None or resume or out_of_core:
+            raise ValidationError(
+                "a durable store rides the sharded streaming path (shard "
+                "commits are its recovery unit); pass shards= and/or "
+                "backend= to enable it"
             )
         generator = ensure_rng(rng)
         server = Server(world)
@@ -547,27 +697,98 @@ def run_release_rounds_batched(
     if shards is None:
         shards = int(execution.shards) if execution is not None else 1
     plan = ShardPlan.build(sorted(true_db.users()), int(shards), rng=rng)
-    server = Server(world)
-    # Streaming ingestion: each shard is committed the moment its worker
-    # finishes (ordered by (time, user) within the shard) instead of
-    # holding all shards for a merge barrier.  Per-user server state is
-    # scheduling-independent — see Server.ingest_shard.
-    with ExitStack() as stack:
-        if backend is None and execution is not None:
-            # A backend built here from the spec is owned here: close it
-            # when the run ends (or raises), exactly like a named backend.
-            backend = stack.enter_context(execution.build())
-        if async_ingest:
-            # Entered after the backend, so on exit the committer drains
-            # (committing every whole queued shard) before the backend closes.
-            committer = stack.enter_context(
-                server.async_committer(max_pending=2 if async_ingest is True else int(async_ingest))
+    live_store = None
+    owned_store = False
+    if store is not None:
+        from repro.store.store import open_store
+
+        live_store, owned_store = open_store(store)
+    elif out_of_core:
+        raise ValidationError("out_of_core=True requires a store")
+    try:
+        only_shards = None
+        if live_store is not None:
+            from repro.store.resume import RunManifest
+
+            committed = live_store.begin_run(
+                RunManifest.for_run(engine, plan, world), resume=resume
             )
-            commit = committer.submit
+            server = Server(world, store=live_store, out_of_core=out_of_core)
+            if committed:
+                # A shard is recoverable iff every (shard, round) pair it
+                # would produce is durably marked; partially committed
+                # shards cannot exist (marks travel in the shard's own
+                # transaction), and a shard whose rounds are all marked is
+                # replayed from disk instead of re-derived.
+                committed_rounds: dict[int, set[int]] = {}
+                for shard_id, round_time in committed:
+                    committed_rounds.setdefault(shard_id, set()).add(round_time)
+                remaining = set()
+                for shard_id, shard_users, _ in plan.iter_shards():
+                    expected = {
+                        checkin.time
+                        for user in shard_users
+                        for checkin in true_db.user_history(user)
+                    }
+                    if expected and expected <= committed_rounds.get(shard_id, set()):
+                        server.replay_shard(shard_users[0], shard_users[-1])
+                    else:
+                        remaining.add(shard_id)
+                only_shards = frozenset(remaining)
         else:
-            commit = server.ingest_shard
-        for shard_users, shard_times, batch in stream_shard_releases(
-            engine, true_db, plan, backend=backend
-        ):
-            commit(shard_users, shard_times, batch)
+            server = Server(world)
+        # Streaming ingestion: each shard is committed the moment its worker
+        # finishes (ordered by (time, user) within the shard) instead of
+        # holding all shards for a merge barrier.  Per-user server state is
+        # scheduling-independent — see Server.ingest_shard.  An empty
+        # only_shards set means every shard was already durable (pure
+        # replay), so there is nothing left to stream.
+        if only_shards is None or only_shards:
+            with ExitStack() as stack:
+                if backend is None and execution is not None:
+                    # A backend built here from the spec is owned here:
+                    # close it when the run ends (or raises), exactly like
+                    # a named backend.
+                    backend = stack.enter_context(execution.build())
+                if async_ingest:
+                    # Entered after the backend, so on exit the committer
+                    # drains (committing every whole queued shard) before
+                    # the backend closes.
+                    committer = stack.enter_context(
+                        server.async_committer(
+                            max_pending=2 if async_ingest is True else int(async_ingest)
+                        )
+                    )
+                    commit = committer.submit
+                else:
+                    commit = server.ingest_shard
+                for shard_users, shard_times, batch in stream_shard_releases(
+                    engine, true_db, plan, backend=backend, only_shards=only_shards
+                ):
+                    if live_store is not None:
+                        # Shards own contiguous blocks of the sorted user
+                        # list, so any member identifies the shard (it keys
+                        # the durable commit).
+                        commit(
+                            shard_users,
+                            shard_times,
+                            batch,
+                            shard=plan.shard_of(int(shard_users[0])),
+                        )
+                    else:
+                        # Historical 3-arg shape: Server subclasses
+                        # predating store-backed ingestion accept no shard
+                        # kwarg.
+                        commit(shard_users, shard_times, batch)
+    except BaseException:
+        if owned_store:
+            live_store.close()
+        raise
+    if owned_store and not out_of_core:
+        # A path-opened store is owned by this call: the run is fully
+        # durable, so hand back the in-memory server detached and close the
+        # file.  (Out-of-core servers keep the store open — their
+        # released_db *is* the store — and the caller closes server.store.)
+        server.store = None
+        live_store.close()
     return server

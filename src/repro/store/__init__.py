@@ -1,0 +1,32 @@
+"""Durable, resumable trace persistence (the ``repro/store/`` subsystem).
+
+An embedded-SQLite layer under :class:`~repro.server.pipeline.Server` and
+``TraceDB``:
+
+* :mod:`repro.store.schema` — the table layout and WAL pragma recipe;
+* :class:`TraceStore` — transactional whole-shard commits, per-``(shard,
+  round)`` recovery state, streaming reads;
+* :class:`RunManifest` (:mod:`repro.store.resume`) — the spec-hash /
+  seed-material identity that validates a resume;
+* :class:`StoredTraceDB` — the out-of-core ``TraceDB`` read view.
+
+See ``docs/persistence.md`` for the full recovery model ("recovery is
+re-derivation") and usage walkthrough.
+"""
+
+from repro.store.outofcore import StoredTraceDB
+from repro.store.resume import RunManifest, engine_spec_hash
+from repro.store.schema import BUSY_TIMEOUT_MS, SCHEMA_VERSION, apply_pragmas, create_schema
+from repro.store.store import TraceStore, open_store
+
+__all__ = [
+    "BUSY_TIMEOUT_MS",
+    "RunManifest",
+    "SCHEMA_VERSION",
+    "StoredTraceDB",
+    "TraceStore",
+    "apply_pragmas",
+    "create_schema",
+    "engine_spec_hash",
+    "open_store",
+]

@@ -1,0 +1,125 @@
+"""Resume validation: the manifest a store records about the run it holds.
+
+Every shard of a store-backed run is a pure function of ``(engine spec,
+per-user seed streams, true traces)``, so *recovery is re-derivation*: a
+resumed run simply re-runs the shards whose ``(shard, round)`` commit marks
+are missing and is bit-identical to the uninterrupted run.  That only holds
+if the resumed run really is the same function — same engine spec, same
+world, same per-user seeds, same partition.  :class:`RunManifest` captures
+exactly that identity:
+
+* ``spec_hash`` — SHA-256 over the engine's canonical description (mechanism
+  name, policy name, epsilon, spec dict when present, world geometry);
+* ``plan_fingerprint`` — SHA-256 over the shard plan's sorted user list,
+  per-user seed streams, and shard count (the *seed material*: a different
+  parent ``rng`` or population yields a different fingerprint);
+* the population / shard / world shape, kept as discrete fields so a
+  mismatch can name what differs.
+
+:meth:`TraceStore.begin_run <repro.store.store.TraceStore.begin_run>` writes
+the manifest on first use and validates it on reopen, raising
+:class:`~repro.errors.ResumeMismatchError` with the differing fields when a
+resume would silently re-run a different experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ResumeMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.engine.engine import PrivacyEngine
+    from repro.engine.sharding import ShardPlan
+    from repro.geo.grid import GridWorld
+
+__all__ = ["RunManifest", "engine_spec_hash"]
+
+
+def engine_spec_hash(engine: "PrivacyEngine") -> str:
+    """Deterministic SHA-256 identity of an engine's *output-relevant* parts.
+
+    Hashes :meth:`~repro.engine.engine.PrivacyEngine.describe` — mechanism
+    name, policy name, epsilon, world geometry, and the canonical spec dict
+    when the engine was spec-built — with the spec's ``execution`` block
+    stripped first.  Execution (backend, shard count, store/resume wiring)
+    is pure run control: per-user RNG streams make released values invariant
+    under it, so a run committed with ``backend="thread"`` may legitimately
+    resume with ``backend="process"``.  Shard count *does* change the commit
+    granularity, but that is covered by the plan fingerprint, which the
+    manifest records separately.
+    """
+    description = engine.describe()
+    spec = description.get("spec")
+    if spec is not None:
+        spec = dict(spec)
+        spec.pop("execution", None)
+        description = {**description, "spec": spec}
+    payload = json.dumps(description, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The identity a store records for its run (all resume preconditions)."""
+
+    spec_hash: str
+    plan_fingerprint: str
+    n_users: int
+    n_shards: int
+    world_width: int
+    world_height: int
+    cell_size: float
+
+    @classmethod
+    def for_run(
+        cls, engine: "PrivacyEngine", plan: "ShardPlan", world: "GridWorld"
+    ) -> "RunManifest":
+        """Manifest for one store-backed sharded run."""
+        return cls(
+            spec_hash=engine_spec_hash(engine),
+            plan_fingerprint=plan.fingerprint,
+            n_users=len(plan.users),
+            n_shards=int(plan.n_shards),
+            world_width=int(world.width),
+            world_height=int(world.height),
+            cell_size=float(world.cell_size),
+        )
+
+    # ------------------------------------------------------------------
+    def as_meta(self) -> dict[str, str]:
+        """String key/value pairs for the store's ``meta`` table."""
+        return {field.name: str(getattr(self, field.name)) for field in fields(self)}
+
+    @classmethod
+    def from_meta(cls, meta: Mapping[str, str]) -> "RunManifest | None":
+        """Rebuild from ``meta`` rows; ``None`` when no manifest was recorded."""
+        if "spec_hash" not in meta:
+            return None
+        return cls(
+            spec_hash=meta["spec_hash"],
+            plan_fingerprint=meta["plan_fingerprint"],
+            n_users=int(meta["n_users"]),
+            n_shards=int(meta["n_shards"]),
+            world_width=int(meta["world_width"]),
+            world_height=int(meta["world_height"]),
+            cell_size=float(meta["cell_size"]),
+        )
+
+    def check_against(self, recorded: "RunManifest", path: str) -> None:
+        """Raise :class:`ResumeMismatchError` naming every differing field."""
+        diffs = [
+            f"{field.name}: run has {getattr(self, field.name)!r}, "
+            f"store recorded {getattr(recorded, field.name)!r}"
+            for field in fields(self)
+            if getattr(self, field.name) != getattr(recorded, field.name)
+        ]
+        if diffs:
+            raise ResumeMismatchError(
+                f"store {path!r} was recorded for a different run; resuming "
+                f"would not reproduce it ({'; '.join(diffs)}).  Use a fresh "
+                "store path, or re-run with the original spec and seed."
+            )

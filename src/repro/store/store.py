@@ -1,0 +1,382 @@
+"""The durable trace store: transactional shard commits over embedded SQLite.
+
+:class:`TraceStore` is the persistence layer under
+:class:`~repro.server.pipeline.Server`: every whole-shard atomic commit the
+in-memory path already performs (:meth:`Server.ingest_shard
+<repro.server.pipeline.Server.ingest_shard>`) maps onto exactly one SQLite
+transaction that writes the shard's release rows *and* its per-``(shard,
+round)`` commit marks together.  Because the marks travel in the same
+transaction, the store can never hold a torn shard: after any crash —
+including kill -9 mid-transaction, which WAL recovery rolls back on the next
+open — the ``shard_commits`` table is a precise inventory of what survived,
+and a resumed run re-derives only the missing shards from their seeds
+(see :mod:`repro.store.resume`).
+
+The same file doubles as the out-of-core backing for populations larger than
+RAM: :class:`~repro.store.outofcore.StoredTraceDB` serves the ``TraceDB``
+read API by streaming from the ``releases`` table, and
+:class:`~repro.server.localdb.LocalLocationDB` can spill its rolling window
+into ``local_windows``.
+
+Threading: the single connection is opened with ``check_same_thread=False``
+so the :class:`~repro.server.pipeline.AsyncShardCommitter` background thread
+can commit while the main thread reads; CPython's ``sqlite3`` is built in
+serialized threading mode, and all writes are additionally funnelled through
+one committer at a time by the pipeline's queue contract.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.resume import RunManifest
+from repro.store.schema import BUSY_TIMEOUT_MS, SCHEMA_VERSION, apply_pragmas, create_schema
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.mechanisms.base import ReleaseBatch
+    from repro.mobility.trajectory import CheckIn, TraceDB
+
+__all__ = ["TraceStore"]
+
+#: Rows fetched per cursor round-trip by the streaming readers.
+_FETCH_BATCH = 10_000
+
+
+class TraceStore:
+    """One run's durable release store (a single SQLite file, WAL mode).
+
+    Parameters
+    ----------
+    path:
+        Database file path (created if absent), or ``":memory:"`` for an
+        ephemeral store (useful in tests — it still exercises the exact
+        transaction shapes, minus crash durability).
+    busy_timeout_ms:
+        Lock-retry window applied to the connection (see
+        :mod:`repro.store.schema` for the full pragma rationale).
+
+    Use as a context manager, or call :meth:`close` explicitly; all write
+    methods are transactional (committed whole or rolled back).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", busy_timeout_ms: int = BUSY_TIMEOUT_MS) -> None:
+        self.path = str(path)
+        try:
+            self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open trace store {self.path!r}: {exc}") from exc
+        apply_pragmas(self.connection, busy_timeout_ms)
+        create_schema(self.connection)
+        self._check_schema_version()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_schema_version(self) -> None:
+        recorded = self._meta().get("schema_version")
+        if recorded is None:
+            with self.connection:
+                self.connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+        elif int(recorded) != SCHEMA_VERSION:
+            raise StoreError(
+                f"trace store {self.path!r} uses schema v{recorded}, this "
+                f"build expects v{SCHEMA_VERSION}; migrate or use a new path"
+            )
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (read-only queries, maintenance)."""
+        if self._connection is None:
+            raise StoreError(f"trace store {self.path!r} is closed")
+        return self._connection
+
+    def close(self) -> None:
+        """Close the connection (idempotent); pending work is rolled back."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def file_size_bytes(self) -> int:
+        """On-disk size of the database file (0 for ``:memory:``)."""
+        if self.path == ":memory:":
+            return 0
+        path = Path(self.path)
+        return path.stat().st_size if path.exists() else 0
+
+    # ------------------------------------------------------------------
+    # Run manifest / resume contract
+    # ------------------------------------------------------------------
+    def _meta(self) -> dict[str, str]:
+        rows = self.connection.execute("SELECT key, value FROM meta").fetchall()
+        return dict(rows)
+
+    def begin_run(self, manifest: RunManifest, resume: bool = False) -> frozenset[tuple[int, int]]:
+        """Record or validate the run identity; return the committed pairs.
+
+        First use of a store records ``manifest`` and returns an empty set.
+        On reopen the manifest must match what was recorded —
+        :class:`~repro.errors.ResumeMismatchError` names every differing
+        field otherwise — and, when commits already exist, ``resume=True``
+        must be passed explicitly so a forgotten old store is never silently
+        extended (:class:`~repro.errors.StoreError`).
+
+        Returns
+        -------
+        frozenset of ``(shard, round)``
+            The durably committed pairs a resumed run may skip.
+        """
+        recorded = RunManifest.from_meta(self._meta())
+        if recorded is None:
+            with self.connection:
+                self.connection.executemany(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    list(manifest.as_meta().items()),
+                )
+            return frozenset()
+        manifest.check_against(recorded, self.path)
+        committed = self.committed()
+        if committed and not resume:
+            raise StoreError(
+                f"trace store {self.path!r} already holds {len(committed)} "
+                "committed (shard, round) pairs from a matching run; pass "
+                "resume=True to continue it, or choose a fresh store path"
+            )
+        return committed
+
+    def manifest(self) -> RunManifest | None:
+        """The recorded run manifest, if any."""
+        return RunManifest.from_meta(self._meta())
+
+    # ------------------------------------------------------------------
+    # Transactional commits
+    # ------------------------------------------------------------------
+    def commit_shard(self, shard: int, users, times, batch: "ReleaseBatch") -> None:
+        """Durably commit one shard's releases in a single transaction.
+
+        Parameters
+        ----------
+        shard:
+            The shard index in the run's :class:`~repro.engine.sharding.ShardPlan`.
+        users / times:
+            One user id / timestep per batch row (any order; rows are keyed
+            ``(user, time)`` so the on-disk layout is order-independent).
+        batch:
+            The shard's releases.  ``batch.cells`` must already hold the
+            *snapped* server-side cells (the pipeline stores the server
+            view, exactly what the in-memory ``released_db`` records).
+
+        The release rows and one ``(shard, round)`` mark per distinct
+        timestep are written in the same transaction — either the whole
+        shard becomes durable or none of it does.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        times = np.asarray(times, dtype=np.int64)
+        rounds, counts = np.unique(times, return_counts=True)
+        rows = zip(
+            users.tolist(),
+            times.tolist(),
+            np.asarray(batch.cells, dtype=np.int64).tolist(),
+            batch.points[:, 0].tolist(),
+            batch.points[:, 1].tolist(),
+            batch.exact.astype(np.int64).tolist(),
+            batch.epsilons.tolist(),
+        )
+        marks = zip([int(shard)] * len(rounds), rounds.tolist(), counts.tolist())
+        try:
+            with self.connection:
+                self.connection.executemany(
+                    "INSERT OR REPLACE INTO releases "
+                    "(user, time, cell, x, y, exact, epsilon) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                self.connection.executemany(
+                    "INSERT OR REPLACE INTO shard_commits (shard, round, n_rows) "
+                    "VALUES (?, ?, ?)",
+                    marks,
+                )
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"commit of shard {shard} ({len(users)} rows) failed: {exc}"
+            ) from exc
+
+    def committed(self) -> frozenset[tuple[int, int]]:
+        """Every durably committed ``(shard, round)`` pair."""
+        rows = self.connection.execute("SELECT shard, round FROM shard_commits").fetchall()
+        return frozenset((int(shard), int(time)) for shard, time in rows)
+
+    # ------------------------------------------------------------------
+    # Reads (streaming where it matters)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        (count,) = self.connection.execute("SELECT COUNT(*) FROM releases").fetchone()
+        return int(count)
+
+    def users(self) -> frozenset[int]:
+        rows = self.connection.execute("SELECT DISTINCT user FROM releases").fetchall()
+        return frozenset(int(user) for (user,) in rows)
+
+    def times(self) -> list[int]:
+        rows = self.connection.execute(
+            "SELECT DISTINCT time FROM releases ORDER BY time"
+        ).fetchall()
+        return [int(time) for (time,) in rows]
+
+    def location(self, user: int, time: int) -> int | None:
+        row = self.connection.execute(
+            "SELECT cell FROM releases WHERE user = ? AND time = ?", (int(user), int(time))
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def at_time(self, time: int) -> dict[int, int]:
+        rows = self.connection.execute(
+            "SELECT user, cell FROM releases WHERE time = ?", (int(time),)
+        ).fetchall()
+        return {int(user): int(cell) for user, cell in rows}
+
+    def user_history(self, user: int) -> "list[CheckIn]":
+        """Time-ordered check-ins of one user (a single clustered range read)."""
+        from repro.mobility.trajectory import CheckIn
+
+        rows = self.connection.execute(
+            "SELECT time, cell FROM releases WHERE user = ? ORDER BY time", (int(user),)
+        ).fetchall()
+        return [CheckIn(time=int(t), user=int(user), cell=int(c)) for t, c in rows]
+
+    def checkins(self) -> "Iterator[CheckIn]":
+        """Stream every check-in in ``(user, time)`` order, out of core.
+
+        Matches :meth:`TraceDB.checkins
+        <repro.mobility.trajectory.TraceDB.checkins>` exactly (same order,
+        same records), but holds only one fetch batch in memory at a time.
+        """
+        from repro.mobility.trajectory import CheckIn
+
+        cursor = self.connection.execute(
+            "SELECT user, time, cell FROM releases ORDER BY user, time"
+        )
+        while True:
+            rows = cursor.fetchmany(_FETCH_BATCH)
+            if not rows:
+                return
+            for user, time, cell in rows:
+                yield CheckIn(time=int(time), user=int(user), cell=int(cell))
+
+    def shard_rows(
+        self, low_user: int, high_user: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Replay arrays for one shard's contiguous user range.
+
+        Shard members are a contiguous block of the plan's sorted user list,
+        so ``user BETWEEN low AND high`` retrieves exactly that shard's rows.
+        Returned as ``(users, times, cells, epsilons)`` ordered by ``(time,
+        user)`` — the commit order of :meth:`Server.ingest_shard
+        <repro.server.pipeline.Server.ingest_shard>`, which is what makes a
+        replayed shard's server state identical to a freshly committed one.
+        """
+        rows = self.connection.execute(
+            "SELECT user, time, cell, epsilon FROM releases "
+            "WHERE user BETWEEN ? AND ? ORDER BY time, user",
+            (int(low_user), int(high_user)),
+        ).fetchall()
+        if not rows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy(), np.empty(0, dtype=float)
+        users, times, cells, epsilons = zip(*rows)
+        return (
+            np.asarray(users, dtype=np.int64),
+            np.asarray(times, dtype=np.int64),
+            np.asarray(cells, dtype=np.int64),
+            np.asarray(epsilons, dtype=float),
+        )
+
+    def load_tracedb(self) -> "TraceDB":
+        """Materialise the whole store as an in-memory ``TraceDB``.
+
+        Convenience for post-hoc analysis of small runs; population-scale
+        stores should use :class:`~repro.store.outofcore.StoredTraceDB`
+        instead of pulling everything into RAM.
+        """
+        from repro.mobility.trajectory import TraceDB
+
+        db = TraceDB()
+        cursor = self.connection.execute("SELECT user, time, cell FROM releases")
+        while True:
+            rows = cursor.fetchmany(_FETCH_BATCH)
+            if not rows:
+                return db
+            users, times, cells = zip(*rows)
+            db.record_many(users, times, cells)
+
+    # ------------------------------------------------------------------
+    # Client-side rolling windows (LocalLocationDB spill space)
+    # ------------------------------------------------------------------
+    def window_newest(self, user: int) -> int | None:
+        row = self.connection.execute(
+            "SELECT MAX(time) FROM local_windows WHERE user = ?", (int(user),)
+        ).fetchone()
+        return None if row[0] is None else int(row[0])
+
+    def window_record(self, user: int, time: int, cell: int, horizon: int) -> None:
+        """Insert one window entry and prune expired ones, atomically."""
+        with self.connection:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO local_windows (user, time, cell) VALUES (?, ?, ?)",
+                (int(user), int(time), int(cell)),
+            )
+            self.connection.execute(
+                "DELETE FROM local_windows WHERE user = ? AND time < ?",
+                (int(user), int(horizon)),
+            )
+
+    def window_location(self, user: int, time: int) -> int | None:
+        row = self.connection.execute(
+            "SELECT cell FROM local_windows WHERE user = ? AND time = ?",
+            (int(user), int(time)),
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def window_history(self, user: int) -> list[tuple[int, int]]:
+        rows = self.connection.execute(
+            "SELECT time, cell FROM local_windows WHERE user = ? ORDER BY time",
+            (int(user),),
+        ).fetchall()
+        return [(int(t), int(c)) for t, c in rows]
+
+    def window_count(self, user: int) -> int:
+        (count,) = self.connection.execute(
+            "SELECT COUNT(*) FROM local_windows WHERE user = ?", (int(user),)
+        ).fetchone()
+        return int(count)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"TraceStore(path={self.path!r}, releases={len(self)}, commits={len(self.committed())})"
+
+
+def open_store(store: "TraceStore | str | os.PathLike[str] | None") -> tuple["TraceStore | None", bool]:
+    """Coerce a store argument: live instances pass through, paths open.
+
+    Returns ``(store, owned)`` where ``owned`` is True when this call opened
+    the connection (and the caller is therefore responsible for closing it).
+    """
+    if store is None:
+        return None, False
+    if isinstance(store, TraceStore):
+        return store, False
+    return TraceStore(store), True

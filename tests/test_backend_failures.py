@@ -201,3 +201,78 @@ class TestAsyncIngestFailures:
                 # Give the committer time to fail before the producer does.
                 threading.Event().wait(0.05)
                 raise KeyError("producer")
+
+
+class TestCommitterShutdown:
+    """The shutdown contract: a pending worker error always surfaces.
+
+    Regression coverage for the committer's close/submit ordering — an
+    error raised by the background thread after the *last* ``put`` must be
+    re-raised by ``close()`` even though the queue is empty by then, and a
+    ``submit`` racing a failed shutdown must re-raise that original error
+    rather than mask it with the generic "closed committer" misuse report.
+    """
+
+    @staticmethod
+    def _failing_server(world):
+        class FailingServer(Server):
+            def ingest_shard(self, users, times, batch, purpose="stream"):
+                raise ShardExploded("commit blew up")
+
+        return FailingServer(world)
+
+    @staticmethod
+    def _wait_until_drained(committer):
+        for _ in range(200):
+            if committer.pending == 0:
+                break
+            threading.Event().wait(0.005)
+        # One more beat so the worker finishes the dequeued item too.
+        threading.Event().wait(0.02)
+
+    def test_close_reraises_error_on_empty_queue(self, world, engine):
+        server = self._failing_server(world)
+        committer = server.async_committer(max_pending=2)
+        committer.submit([1], [0], engine.release_batch([3], rng=0))
+        self._wait_until_drained(committer)
+        assert committer.pending == 0
+        with pytest.raises(ShardExploded, match="commit blew up"):
+            committer.close()
+
+    def test_context_exit_reraises_error_after_last_submit(self, world, engine):
+        server = self._failing_server(world)
+        with pytest.raises(ShardExploded, match="commit blew up"):
+            with server.async_committer(max_pending=2) as committer:
+                committer.submit([1], [0], engine.release_batch([3], rng=0))
+                self._wait_until_drained(committer)
+                # Producer finishes cleanly; only close() can surface it.
+
+    def test_submit_after_failed_close_reraises_commit_error(self, world, engine):
+        # The masking regression: submit() used to check _closed before
+        # _error, so after a failed close the real ShardExploded came back
+        # as a ValidationError("cannot submit to a closed committer").
+        server = self._failing_server(world)
+        committer = server.async_committer(max_pending=2)
+        committer.submit([1], [0], engine.release_batch([3], rng=0))
+        self._wait_until_drained(committer)
+        with pytest.raises(ShardExploded):
+            committer.close()
+        with pytest.raises(ShardExploded, match="commit blew up"):
+            committer.submit([1], [0], engine.release_batch([3], rng=0))
+
+    def test_plain_close_on_clean_committer_still_rejects_submit(self, world, engine):
+        server = Server(world)
+        committer = server.async_committer(max_pending=1)
+        committer.close()
+        with pytest.raises(ValidationError):
+            committer.submit([1], [0], engine.release_batch([3], rng=0))
+
+    def test_suppressed_commit_error_noted_on_producer_exception(self, world, engine):
+        server = self._failing_server(world)
+        with pytest.raises(KeyError, match="producer") as excinfo:
+            with server.async_committer() as committer:
+                committer.submit([1], [0], engine.release_batch([3], rng=0))
+                self._wait_until_drained(committer)
+                raise KeyError("producer")
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("ShardExploded" in note for note in notes)

@@ -132,3 +132,47 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStoreFlags:
+    _E8 = ["experiment", "e8", "--size", "6", "--users", "6", "--horizon", "8",
+           "--shards", "2", "--backend", "serial"]
+
+    def test_e8_store_reports_durable_column(self, capsys, tmp_path):
+        store = tmp_path / "run.sqlite"
+        assert main([*self._E8, "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "durable_releases_per_sec" in out
+        assert store.exists()
+
+    def test_e8_resume_continues_existing_store(self, capsys, tmp_path):
+        store = tmp_path / "run.sqlite"
+        assert main([*self._E8, "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main([*self._E8, "--store", str(store), "--resume"]) == 0
+        assert "durable_releases_per_sec" in capsys.readouterr().out
+
+    def test_store_only_applies_to_e8(self, capsys, tmp_path):
+        code = main(["experiment", "e1", "--size", "6", "--users", "6", "--horizon", "8",
+                     "--store", str(tmp_path / "run.sqlite")])
+        assert code == 1
+        assert "only apply to e8" in capsys.readouterr().err
+
+    def test_resume_requires_store(self, capsys):
+        assert main([*self._E8, "--resume"]) == 1
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_store_error_exits_nonzero(self, capsys, tmp_path):
+        # Unopenable store path -> StoreError surfaced as exit 1, not a traceback.
+        bad = tmp_path / "no" / "such" / "dir" / "run.sqlite"
+        assert main([*self._E8, "--store", str(bad)]) == 1
+        assert "cannot open" in capsys.readouterr().err
+
+
+class TestEnginesCommand:
+    def test_lists_store_backend(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "store:" in out
+        assert "TraceStore schema v" in out
+        assert "WAL" in out

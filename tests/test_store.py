@@ -1,0 +1,393 @@
+"""Unit tests for the durable trace store (`repro/store/`).
+
+Covers the schema/pragma recipe, the run-manifest resume contract, the
+transactional shard-commit path (including torn-write WAL recovery), the
+``TraceDB``-equivalent read API, the out-of-core view, the spilled
+client-side window, bulk ledger charging, and the ExecutionSpec wiring.
+"""
+
+import shutil
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import BudgetLedger
+from repro.engine import PrivacyEngine
+from repro.engine.sharding import ShardPlan, stream_shard_releases
+from repro.engine.specs import EngineSpec, ExecutionSpec
+from repro.errors import BudgetError, DataError, ResumeMismatchError, StoreError, ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.server.localdb import LocalLocationDB
+from repro.server.pipeline import Server, run_release_rounds_batched
+from repro.store import RunManifest, StoredTraceDB, TraceStore, engine_spec_hash
+from repro.store.resume import RunManifest as ResumeManifest
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+
+@pytest.fixture(scope="module")
+def db(world):
+    return geolife_like(world, n_users=8, horizon=10, rng=3)
+
+
+def _run(world, db, engine, path, **kwargs):
+    return run_release_rounds_batched(
+        world, db, engine, rng=11, shards=4, backend="serial", store=path, **kwargs
+    )
+
+
+class TestSchemaAndPragmas:
+    def test_wal_pragmas_applied(self, tmp_path):
+        with TraceStore(tmp_path / "s.sqlite") as store:
+            conn = store.connection
+            assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert conn.execute("PRAGMA synchronous").fetchone()[0] == 1  # NORMAL
+            assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 30_000
+            assert conn.execute("PRAGMA foreign_keys").fetchone()[0] == 1
+
+    def test_tables_exist_and_reopen_is_idempotent(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        for _ in range(2):  # second open must not error or duplicate
+            with TraceStore(path) as store:
+                names = {
+                    row[0]
+                    for row in store.connection.execute(
+                        "SELECT name FROM sqlite_master WHERE type='table'"
+                    )
+                }
+            assert {"meta", "releases", "shard_commits", "local_windows"} <= names
+
+    def test_schema_version_mismatch_refuses_open(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with TraceStore(path) as store:
+            with store.connection:
+                store.connection.execute(
+                    "UPDATE meta SET value='999' WHERE key='schema_version'"
+                )
+        with pytest.raises(StoreError, match="schema v999"):
+            TraceStore(path)
+
+    def test_unopenable_path_raises_store_error(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot open"):
+            TraceStore(tmp_path / "no" / "such" / "dir" / "s.sqlite")
+
+
+class TestRunManifest:
+    def test_first_begin_records_and_returns_empty(self, world, db, engine):
+        plan = ShardPlan.build(sorted(db.users()), 4, rng=11)
+        manifest = RunManifest.for_run(engine, plan, world)
+        with TraceStore(":memory:") as store:
+            assert store.begin_run(manifest) == frozenset()
+            assert store.manifest() == manifest
+
+    def test_meta_roundtrip(self, world, db, engine):
+        plan = ShardPlan.build(sorted(db.users()), 4, rng=11)
+        manifest = RunManifest.for_run(engine, plan, world)
+        assert ResumeManifest.from_meta(manifest.as_meta()) == manifest
+
+    def test_mismatch_names_differing_fields(self, world, db, engine):
+        plan = ShardPlan.build(sorted(db.users()), 4, rng=11)
+        other_plan = ShardPlan.build(sorted(db.users()), 4, rng=999)
+        manifest = RunManifest.for_run(engine, plan, world)
+        with TraceStore(":memory:") as store:
+            store.begin_run(manifest)
+            with pytest.raises(ResumeMismatchError, match="plan_fingerprint"):
+                store.begin_run(RunManifest.for_run(engine, other_plan, world), resume=True)
+
+    def test_commits_without_resume_refused(self, world, db, engine, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        _run(world, db, engine, path)
+        with pytest.raises(StoreError, match="resume=True"):
+            _run(world, db, engine, path)
+
+    def test_spec_hash_ignores_execution_block(self, world):
+        plain = PrivacyEngine.from_spec(
+            world, EngineSpec.named("planar_laplace", "G1", epsilon=1.0)
+        )
+        sharded = PrivacyEngine.from_spec(
+            world,
+            EngineSpec.named("planar_laplace", "G1", epsilon=1.0, backend="thread", shards=4),
+        )
+        other = PrivacyEngine.from_spec(
+            world, EngineSpec.named("planar_laplace", "G1", epsilon=2.0)
+        )
+        assert engine_spec_hash(plain) == engine_spec_hash(sharded)
+        assert engine_spec_hash(plain) != engine_spec_hash(other)
+
+    def test_plan_fingerprint_sensitivity(self, db):
+        users = sorted(db.users())
+        base = ShardPlan.build(users, 4, rng=11)
+        assert base.fingerprint == ShardPlan.build(users, 4, rng=11).fingerprint
+        assert base.fingerprint != ShardPlan.build(users, 2, rng=11).fingerprint
+        assert base.fingerprint != ShardPlan.build(users, 4, rng=12).fingerprint
+        assert base.fingerprint != ShardPlan.build(users[:-1], 4, rng=11).fingerprint
+
+
+class TestShardCommits:
+    def test_commit_marks_travel_with_rows(self, world, db, engine):
+        plan = ShardPlan.build(sorted(db.users()), 3, rng=11)
+        with TraceStore(":memory:") as store:
+            server = Server(world, store=store)
+            for users, times, batch in stream_shard_releases(engine, db, plan):
+                server.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+            committed = store.committed()
+            # every (shard, round) the plan implies is marked, none extra
+            expected = {
+                (shard, checkin.time)
+                for shard, shard_users, _ in plan.iter_shards()
+                for user in shard_users
+                for checkin in db.user_history(user)
+            }
+            assert committed == expected
+            assert len(store) == len(db)
+
+    def test_store_backed_ingest_requires_shard_index(self, world, engine):
+        with TraceStore(":memory:") as store:
+            server = Server(world, store=store)
+            batch = engine.release_batch([3], rng=0)
+            with pytest.raises(DataError, match="shard"):
+                server.ingest_shard([1], [0], batch)
+
+    def test_torn_write_recovers_whole_shards(self, world, db, engine, tmp_path):
+        # Commit shard 0; then start (but never commit) shard 1's
+        # transaction, copy the db + WAL mid-flight, roll back, and reopen
+        # the copy: WAL recovery must leave exactly shard 0 behind.
+        path = tmp_path / "torn.sqlite"
+        plan = ShardPlan.build(sorted(db.users()), 4, rng=11)
+        shards = list(stream_shard_releases(engine, db, plan))
+        with TraceStore(path) as store:
+            server = Server(world, store=store)
+            users0, times0, batch0 = shards[0]
+            server.ingest_shard(users0, times0, batch0, shard=0)
+            before = store.committed()
+            users1, times1, batch1 = shards[1]
+            conn = store.connection
+            conn.execute("BEGIN IMMEDIATE")
+            conn.executemany(
+                "INSERT OR REPLACE INTO releases (user, time, cell, x, y, exact, epsilon) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                zip(
+                    np.asarray(users1).tolist(),
+                    np.asarray(times1).tolist(),
+                    np.asarray(batch1.cells).tolist(),
+                    batch1.points[:, 0].tolist(),
+                    batch1.points[:, 1].tolist(),
+                    batch1.exact.astype(int).tolist(),
+                    batch1.epsilons.tolist(),
+                ),
+            )
+            conn.execute(
+                "INSERT OR REPLACE INTO shard_commits (shard, round, n_rows) VALUES (1, 0, 1)"
+            )
+            torn = tmp_path / "copy.sqlite"
+            for suffix in ("", "-wal", "-shm"):
+                source = tmp_path / f"torn.sqlite{suffix}"
+                if source.exists():
+                    shutil.copy(source, tmp_path / f"copy.sqlite{suffix}")
+            conn.rollback()
+        with TraceStore(torn) as recovered:
+            assert recovered.committed() == before  # only shard 0 survived
+            shard0_users = set(np.asarray(users0).tolist())
+            assert recovered.users() == shard0_users
+
+    def test_commit_shard_on_closed_store_raises_store_error(self, world, engine):
+        store = TraceStore(":memory:")
+        store.close()
+        batch = engine.release_batch([3], rng=0)
+        with pytest.raises(StoreError, match="closed"):
+            store.commit_shard(0, np.array([1]), np.array([0]), batch)
+
+
+class TestReadApi:
+    @pytest.fixture()
+    def populated(self, world, db, engine, tmp_path):
+        path = str(tmp_path / "run.sqlite")
+        reference = run_release_rounds_batched(
+            world, db, engine, rng=11, shards=4, backend="serial"
+        )
+        _run(world, db, engine, path)
+        store = TraceStore(path)
+        yield store, reference.released_db
+        store.close()
+
+    def test_checkins_match_tracedb_order_and_values(self, populated):
+        store, released = populated
+        assert list(store.checkins()) == list(released.checkins())
+
+    def test_point_queries_match(self, populated):
+        store, released = populated
+        assert store.users() == released.users()
+        assert store.times() == released.times()
+        for time in released.times():
+            assert store.at_time(time) == released.at_time(time)
+        for user in sorted(released.users()):
+            assert store.user_history(user) == released.user_history(user)
+            assert store.location(user, released.times()[0]) == released.location(
+                user, released.times()[0]
+            )
+        assert store.location(max(released.users()) + 1, 0) is None
+
+    def test_load_tracedb_equivalent(self, populated):
+        store, released = populated
+        assert list(store.load_tracedb().checkins()) == list(released.checkins())
+
+    def test_stored_tracedb_view(self, populated):
+        store, released = populated
+        view = StoredTraceDB(store)
+        assert len(view) == len(released)
+        assert view.users() == released.users()
+        assert list(view.checkins()) == list(released.checkins())
+        users, times, cells = view.to_arrays()
+        ref_users, ref_times, ref_cells = released.to_arrays()
+        assert np.array_equal(users, ref_users)
+        assert np.array_equal(times, ref_times)
+        assert np.array_equal(cells, ref_cells)
+        for user in sorted(released.users())[:3]:
+            assert view.user_history(user) == released.user_history(user)
+            assert view.cells_visited(user) == released.cells_visited(user)
+
+    def test_stored_tracedb_is_read_only(self, populated):
+        store, _ = populated
+        view = StoredTraceDB(store)
+        with pytest.raises(StoreError, match="read-only"):
+            view.record(1, 2, 3)
+        with pytest.raises(StoreError, match="read-only"):
+            view.record_many([1], [2], [3])
+
+
+class TestOutOfCoreServer:
+    def test_out_of_core_requires_store(self, world):
+        with pytest.raises(ValidationError, match="requires a TraceStore"):
+            Server(world, out_of_core=True)
+
+    def test_run_matches_in_memory(self, world, db, engine, tmp_path):
+        reference = run_release_rounds_batched(
+            world, db, engine, rng=11, shards=4, backend="serial"
+        )
+        server = _run(world, db, engine, str(tmp_path / "ooc.sqlite"), out_of_core=True)
+        try:
+            assert isinstance(server.released_db, StoredTraceDB)
+            assert list(server.released_db.checkins()) == list(
+                reference.released_db.checkins()
+            )
+            for user in db.users():
+                assert server.ledger.spent(user) == reference.ledger.spent(user)
+        finally:
+            server.store.close()
+
+    def test_unsharded_store_request_rejected(self, world, db, engine, tmp_path):
+        with pytest.raises(ValidationError, match="sharded streaming path"):
+            run_release_rounds_batched(
+                world, db, engine, rng=11, store=str(tmp_path / "s.sqlite")
+            )
+
+
+class TestLocalWindowSpill:
+    def test_spilled_window_matches_in_memory(self, tmp_path):
+        with TraceStore(tmp_path / "w.sqlite") as store:
+            memory = LocalLocationDB(window=5)
+            spilled = LocalLocationDB(window=5, store=store, user=7)
+            for time, cell in [(0, 3), (1, 4), (2, 5), (6, 9), (4, 2)]:
+                memory.record(time, cell)
+                spilled.record(time, cell)
+            assert spilled.history() == memory.history()
+            assert spilled.times() == memory.times()
+            assert len(spilled) == len(memory)
+            for time in range(8):
+                assert spilled.location_at(time) == memory.location_at(time)
+                assert (time in spilled) == (time in memory)
+
+    def test_spilled_window_enforces_retention(self, tmp_path):
+        with TraceStore(tmp_path / "w.sqlite") as store:
+            spilled = LocalLocationDB(window=3, store=store, user=1)
+            spilled.record(10, 4)
+            with pytest.raises(DataError, match="retention window"):
+                spilled.record(7, 1)
+
+    def test_spilled_windows_are_per_user(self, tmp_path):
+        with TraceStore(tmp_path / "w.sqlite") as store:
+            a = LocalLocationDB(window=10, store=store, user=1)
+            b = LocalLocationDB(window=10, store=store, user=2)
+            a.record(0, 5)
+            b.record(0, 9)
+            assert a.location_at(0) == 5
+            assert b.location_at(0) == 9
+
+
+class TestChargeMany:
+    def test_matches_scalar_loop_bitwise(self):
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, 5, size=200)
+        times = rng.integers(0, 20, size=200)
+        epsilons = rng.random(200)
+        scalar = BudgetLedger()
+        for user, time, epsilon in zip(users, times, epsilons):
+            scalar.charge(int(user), int(time), float(epsilon), purpose="stream")
+        bulk = BudgetLedger()
+        assert bulk.charge_many(users, times, epsilons, purpose="stream") == 200
+        for user in range(5):
+            assert bulk.spent(user) == scalar.spent(user)
+        assert bulk.entries == scalar.entries
+
+    def test_record_entries_off_keeps_totals(self):
+        ledger = BudgetLedger(record_entries=False)
+        ledger.charge_many([1, 1, 2], [0, 1, 0], [0.5, 0.25, 1.0])
+        assert ledger.entries == ()
+        assert len(ledger) == 0
+        assert ledger.spent(1) == 0.75
+        assert ledger.spent(2) == 1.0
+        assert ledger.total_spent() == 1.75
+
+    def test_cap_enforced_mid_batch(self):
+        ledger = BudgetLedger(cap=1.0)
+        with pytest.raises(BudgetError):
+            ledger.charge_many([1, 1, 1], [0, 1, 2], [0.6, 0.6, 0.6])
+        assert ledger.spent(1) == 0.6  # rows before the violation stay charged
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(Exception):
+            BudgetLedger().charge_many([1], [0], [-0.5])
+
+
+class TestExecutionSpecWiring:
+    def test_round_trip_with_store(self):
+        spec = EngineSpec.named(
+            "planar_laplace", "G1", epsilon=1.0, backend="thread", shards=4,
+            store="run.sqlite", resume=True,
+        )
+        payload = spec.to_dict()
+        assert payload["execution"]["store"] == "run.sqlite"
+        assert payload["execution"]["resume"] is True
+        rebuilt = EngineSpec.from_dict(payload)
+        assert rebuilt.execution.store == "run.sqlite"
+        assert rebuilt.execution.resume is True
+
+    def test_store_keys_absent_when_unset(self):
+        spec = EngineSpec.named("planar_laplace", "G1", epsilon=1.0, backend="thread")
+        assert "store" not in spec.to_dict()["execution"]
+        assert "resume" not in spec.to_dict()["execution"]
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(ValidationError, match="requires a store"):
+            ExecutionSpec(backend="serial", shards=1, resume=True)
+
+    def test_spec_store_drives_pipeline(self, world, db, engine, tmp_path):
+        path = str(tmp_path / "spec.sqlite")
+        spec = EngineSpec.named(
+            "planar_laplace", "G1", epsilon=1.0, backend="serial", shards=4, store=path
+        )
+        spec_engine = PrivacyEngine.from_spec(world, spec)
+        run_release_rounds_batched(world, db, spec_engine, rng=11)
+        with TraceStore(path) as store:
+            assert len(store) == len(db)
+            assert store.committed()

@@ -1,0 +1,326 @@
+"""Kill-resume recovery: the headline guarantee of the durable store.
+
+A store-backed sharded run that dies mid-flight — up to and including
+``kill -9``, which skips every ``finally`` block and flushes nothing —
+must resume from the SQLite store and finish **bit-identical** to the
+uninterrupted seeded run.  This file proves that three ways:
+
+* a real subprocess ``SIGKILL`` matrix over every execution backend
+  (serial / thread / process / pool), polling the WAL store read-only
+  from the parent until enough shards have committed to make the kill
+  land mid-run;
+* a Hypothesis property: for *any* committed prefix (any subset of
+  shards, in any order), resuming yields the reference run element-wise;
+* a re-execution audit: resuming a finished run re-derives zero shards,
+  and a half-committed run re-derives exactly the missing ones.
+
+Plus the same equality through the async committer and the out-of-core
+(``StoredTraceDB``-backed) server.
+"""
+
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import PrivacyEngine
+from repro.engine.sharding import ShardPlan, stream_shard_releases
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.server.pipeline import Server, run_release_rounds_batched
+from repro.store import RunManifest, TraceStore
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+N_USERS = 16
+HORIZON = 8
+N_SHARDS = 8
+RNG = 11
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture(scope="module")
+def db(world):
+    return geolife_like(world, n_users=N_USERS, horizon=HORIZON, rng=3)
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+
+@pytest.fixture(scope="module")
+def reference(world, db, engine):
+    """The uninterrupted in-memory run every resumed run must reproduce."""
+    return run_release_rounds_batched(world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial")
+
+
+def _state(server):
+    """(sorted checkins, per-user ledger) — the full observable output."""
+    checkins = sorted((c.time, c.user, c.cell) for c in server.released_db.checkins())
+    ledger = {u: server.ledger.spent(u) for u in server.released_db.users()}
+    return checkins, ledger
+
+
+def _assert_matches(server, reference):
+    got_checkins, got_ledger = _state(server)
+    want_checkins, want_ledger = _state(reference)
+    assert got_checkins == want_checkins
+    assert got_ledger == want_ledger  # exact float equality: same op order
+
+
+# ----------------------------------------------------------------------
+# kill -9 subprocess matrix
+# ----------------------------------------------------------------------
+
+_CHILD = textwrap.dedent(
+    """
+    import sys, time
+
+    from repro.engine import PrivacyEngine
+    from repro.geo.grid import GridWorld
+    from repro.mobility.synthetic import geolife_like
+    from repro.server.pipeline import Server, run_release_rounds_batched
+
+    store_path, backend = sys.argv[1], sys.argv[2]
+    world = GridWorld(6, 6)
+    db = geolife_like(world, n_users={n_users}, horizon={horizon}, rng=3)
+    engine = PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+    # Stretch each shard commit so the parent's SIGKILL lands mid-run.
+    _ingest = Server.ingest_shard
+    def slow_ingest(self, *args, **kwargs):
+        result = _ingest(self, *args, **kwargs)
+        time.sleep(0.25)
+        return result
+    Server.ingest_shard = slow_ingest
+
+    run_release_rounds_batched(
+        world, db, engine, rng={rng}, shards={n_shards}, backend=backend,
+        store=store_path,
+    )
+    print("DONE", flush=True)
+    """
+).format(n_users=N_USERS, horizon=HORIZON, rng=RNG, n_shards=N_SHARDS)
+
+
+def _committed_shards(path):
+    """Distinct committed shards, polled read-only against the live WAL."""
+    try:
+        conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=5.0)
+    except sqlite3.Error:
+        return 0
+    try:
+        return conn.execute("SELECT COUNT(DISTINCT shard) FROM shard_commits").fetchone()[0]
+    except sqlite3.Error:
+        return 0
+    finally:
+        conn.close()
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "pool"])
+def test_sigkill_mid_run_then_resume_is_bit_identical(
+    backend, world, db, engine, reference, tmp_path
+):
+    store_path = tmp_path / f"killed-{backend}.sqlite"
+    child = tmp_path / "child.py"
+    child.write_text(_CHILD)
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    # New session so SIGKILL reaches the whole group: the process/pool
+    # backends fork workers that would otherwise outlive the parent and
+    # keep the stdout/stderr pipes open forever.
+    proc = subprocess.Popen(
+        [sys.executable, str(child), str(store_path), backend],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if _committed_shards(store_path) >= 2:
+                break
+            time.sleep(0.01)
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on test bug
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.communicate()
+    if "DONE" in stdout:  # pragma: no cover - kill raced a (slowed) full run
+        pytest.skip(f"child outran the kill on this host: {stderr[-500:]}")
+    assert proc.returncode == -signal.SIGKILL, stderr[-2000:]
+
+    # The store must hold a real torn prefix: some commits, not all.
+    with TraceStore(store_path) as store:
+        committed = store.committed()
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    expected = {
+        (shard, checkin.time)
+        for shard, shard_users, _ in plan.iter_shards()
+        for user in shard_users
+        for checkin in db.user_history(user)
+    }
+    assert committed, "child was killed before any shard committed"
+    assert committed < expected, "child was killed only after finishing"
+
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend=backend,
+        store=str(store_path), resume=True,
+    )
+    _assert_matches(server, reference)
+
+    # And the store itself now holds every pair.
+    with TraceStore(store_path) as store:
+        assert store.committed() == expected
+
+
+# ----------------------------------------------------------------------
+# any committed prefix resumes to the reference (property)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(prefix=st.sets(st.integers(min_value=0, max_value=N_SHARDS - 1)))
+def test_any_committed_prefix_resumes_to_reference(world, db, engine, reference, prefix):
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    with TraceStore(":memory:") as store:
+        # Simulate a crashed run: manifest recorded, only `prefix` committed.
+        store.begin_run(RunManifest.for_run(engine, plan, world))
+        committer = Server(world, store=store)
+        for users, times, batch in stream_shard_releases(
+            engine, db, plan, only_shards=frozenset(prefix)
+        ):
+            committer.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+        server = run_release_rounds_batched(
+            world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial",
+            store=store, resume=True,
+        )
+        _assert_matches(server, reference)
+
+
+# ----------------------------------------------------------------------
+# resume re-derives exactly the missing shards
+# ----------------------------------------------------------------------
+
+
+def _counting_execute(monkeypatch, plan):
+    import repro.engine.sharding as sharding
+
+    calls = []
+    real = sharding._execute_shard
+
+    def counted(task):
+        calls.append(plan.shard_of(int(task.users[0])))
+        return real(task)
+
+    monkeypatch.setattr(sharding, "_execute_shard", counted)
+    return calls
+
+
+def test_resume_of_finished_run_executes_zero_shards(
+    world, db, engine, reference, tmp_path, monkeypatch
+):
+    path = str(tmp_path / "full.sqlite")
+    run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial", store=path
+    )
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    calls = _counting_execute(monkeypatch, plan)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial",
+        store=path, resume=True,
+    )
+    assert calls == []  # pure replay, no re-derivation
+    _assert_matches(server, reference)
+
+
+def test_resume_re_executes_only_missing_shards(world, db, engine, reference, tmp_path):
+    path = tmp_path / "half.sqlite"
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    done = frozenset(range(0, N_SHARDS, 2))
+    with TraceStore(path) as store:
+        store.begin_run(RunManifest.for_run(engine, plan, world))
+        committer = Server(world, store=store)
+        for users, times, batch in stream_shard_releases(engine, db, plan, only_shards=done):
+            committer.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+    with pytest.MonkeyPatch.context() as mp:
+        calls = _counting_execute(mp, plan)
+        server = run_release_rounds_batched(
+            world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial",
+            store=str(path), resume=True,
+        )
+    assert sorted(calls) == sorted(set(range(N_SHARDS)) - done)
+    _assert_matches(server, reference)
+
+
+# ----------------------------------------------------------------------
+# resume through the async committer and the out-of-core server
+# ----------------------------------------------------------------------
+
+
+def _interrupt(world, db, engine, path, shards_done):
+    """Leave `path` looking like a run killed after `shards_done` commits."""
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    with TraceStore(path) as store:
+        store.begin_run(RunManifest.for_run(engine, plan, world))
+        committer = Server(world, store=store)
+        for users, times, batch in stream_shard_releases(
+            engine, db, plan, only_shards=frozenset(range(shards_done))
+        ):
+            committer.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+
+
+def test_async_ingest_resume_matches_reference(world, db, engine, reference, tmp_path):
+    path = str(tmp_path / "async.sqlite")
+    _interrupt(world, db, engine, path, shards_done=3)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="thread",
+        async_ingest=True, store=path, resume=True,
+    )
+    _assert_matches(server, reference)
+
+
+def test_out_of_core_resume_matches_reference(world, db, engine, reference, tmp_path):
+    path = str(tmp_path / "ooc.sqlite")
+    _interrupt(world, db, engine, path, shards_done=5)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial",
+        store=path, resume=True, out_of_core=True,
+    )
+    try:
+        _assert_matches(server, reference)
+    finally:
+        server.store.close()
+
+
+def test_resume_with_different_backend_is_legal_and_identical(
+    world, db, engine, reference, tmp_path
+):
+    # Run control (backend) is not part of the run identity: a run started
+    # under the process backend may finish under serial.
+    path = str(tmp_path / "switch.sqlite")
+    _interrupt(world, db, engine, path, shards_done=4)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="thread",
+        store=path, resume=True,
+    )
+    _assert_matches(server, reference)
