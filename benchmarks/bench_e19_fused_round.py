@@ -1,0 +1,288 @@
+"""E19 — fused release rounds: staged pipeline vs the workspace kernel path.
+
+PR 7 added the kernel layer (``docs/scaling.md``): an array-namespace seam
+under the mechanism kernels and
+:meth:`~repro.engine.PrivacyEngine.release_round_fused`, which runs
+release -> snap -> area -> flow coding through one preallocated
+:class:`~repro.engine.RoundWorkspace` instead of materialising a fresh
+array per stage.  This benchmark answers the two questions that decide
+whether the fused path earns its keep:
+
+* **staged_vs_fused** — best-of-``repeats`` wall time for the staged
+  three-stage pipeline against the fused pass on the same seeded stream,
+  with the element-wise identity check alongside the timing (the fused
+  numpy path must be *bit-exact*, not just statistically equivalent).
+  ``meets_target`` (fused ≥ 1.5x staged at CI scale) is a CI acceptance.
+* **mega_round** — a 10M-release single-node round streamed through one
+  shared workspace in population chunks, with flow coding fused in,
+  recording releases/s, peak RSS, and the steady-state workspace footprint
+  (buffers stop growing after the first chunk).
+
+``benchmarks/run_bench.py`` embeds the same block in ``BENCH_eval.json``;
+running this file directly writes the standalone artifact CI uploads::
+
+    PYTHONPATH=src python benchmarks/bench_e19_fused_round.py --smoke
+    PYTHONPATH=src pytest benchmarks/bench_e19_fused_round.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.xp import array_backend_available
+from repro.engine import PrivacyEngine, RoundWorkspace
+from repro.geo.grid import GridWorld
+
+#: CI-sized workloads shared by ``--smoke`` here and ``run_bench.py --smoke``.
+#: The speedup workload must be big enough that the fused path's savings —
+#: allocator traffic and RAM streaming — dominate the per-call Python cost;
+#: at small n both paths fit in cache and the ratio collapses toward 1.
+SMOKE_SPEEDUP = {"size": 32, "n_releases": 1_000_000, "rounds": 4, "repeats": 3}
+FULL_SPEEDUP = {"size": 32, "n_releases": 2_000_000, "rounds": 4, "repeats": 5}
+
+SMOKE_MEGA = {"n_releases": 1_000_000, "chunk": 250_000}
+FULL_MEGA = {"n_releases": 10_000_000, "chunk": 1_000_000}
+
+BLOCK = 4  # coarse-area tiling (block_rows = block_cols) for the area stage
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _staged_round(engine: PrivacyEngine, cells: np.ndarray, rng) -> tuple:
+    """The three-stage reference pipeline the fused pass replaces."""
+    batch = engine.release_batch(cells, rng=rng)
+    snapped = engine.world.snap_batch(batch.points)
+    areas = engine.world.area_of_batch(snapped, BLOCK, BLOCK)
+    return batch, snapped, areas
+
+
+def staged_vs_fused(
+    size: int = 32, n_releases: int = 1_000_000, rounds: int = 4, repeats: int = 3
+) -> dict:
+    """Best-of-``repeats`` staged vs fused timing on identical seeded streams.
+
+    Both paths replay the same generator seed, so the identity check is not
+    a separate run: the fused outputs must equal the staged outputs
+    element-wise before any timing is trusted.
+    """
+    world = GridWorld(size, size)
+    engine = PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+    cells = np.random.default_rng(0).integers(0, world.n_cells, size=n_releases)
+
+    workspace = RoundWorkspace.for_population(n_releases)
+    fused = engine.release_round_fused(
+        cells, rng=np.random.default_rng(7), workspace=workspace,
+        block_rows=BLOCK, block_cols=BLOCK,
+    )
+    batch, snapped, areas = _staged_round(engine, cells, np.random.default_rng(7))
+    bit_exact = (
+        np.array_equal(fused.points, batch.points)
+        and np.array_equal(fused.snapped, snapped)
+        and np.array_equal(fused.areas, areas)
+    )
+
+    best_staged = best_fused = float("inf")
+    for _ in range(repeats):
+        rng = np.random.default_rng(1)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            _staged_round(engine, cells, rng)
+        best_staged = min(best_staged, time.perf_counter() - start)
+
+        rng = np.random.default_rng(1)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            engine.release_round_fused(
+                cells, rng=rng, workspace=workspace, block_rows=BLOCK, block_cols=BLOCK
+            )
+        best_fused = min(best_fused, time.perf_counter() - start)
+
+    releases = n_releases * rounds
+    speedup = best_staged / best_fused
+    return {
+        "grid": f"{size}x{size}",
+        "releases_per_round": n_releases,
+        "rounds": rounds,
+        "repeats": repeats,
+        "staged_seconds": round(best_staged, 6),
+        "fused_seconds": round(best_fused, 6),
+        "staged_releases_per_sec": round(releases / best_staged, 1),
+        "fused_releases_per_sec": round(releases / best_fused, 1),
+        "speedup": round(speedup, 3),
+        "meets_target": speedup >= 1.5,
+        "bit_exact": bit_exact,
+        "workspace_mb": round(workspace.nbytes() / 1e6, 1),
+        "rss_peak_mb": round(_rss_mb(), 1),
+    }
+
+
+def mega_round(n_releases: int = 10_000_000, chunk: int = 1_000_000) -> dict:
+    """One 10M-release single-node round through a single shared workspace.
+
+    The round streams in ``chunk``-sized population slices, each a fused
+    release -> snap -> area -> flow-coding pass.  Every slice reuses the
+    same :class:`RoundWorkspace`, so after the first slice the steady state
+    allocates nothing and the workspace footprint stops growing — the
+    number recorded as ``workspace_mb``.  Flow coding is exercised with two
+    consecutive steps per synthetic user, so the fused flow codes are
+    non-trivial rather than fully masked out.
+    """
+    world = GridWorld(64, 64)
+    engine = PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+    workspace = RoundWorkspace.for_population(chunk)
+    rng = np.random.default_rng(11)
+    cell_rng = np.random.default_rng(3)
+    rss_before = _rss_mb()
+
+    released = 0
+    flows_coded = 0
+    n_chunks = (n_releases + chunk - 1) // chunk
+    start = time.perf_counter()
+    for _ in range(n_chunks):
+        count = min(chunk, n_releases - released)
+        cells = cell_rng.integers(0, world.n_cells, size=count)
+        users = np.arange(count) // 2  # two consecutive steps per user
+        times = np.arange(count) % 2
+        fused = engine.release_round_fused(
+            cells, rng=rng, workspace=workspace,
+            block_rows=BLOCK, block_cols=BLOCK, users=users, times=times,
+        )
+        released += len(fused)
+        flows_coded += int(fused.flow_mask.sum())
+    seconds = time.perf_counter() - start
+
+    return {
+        "releases": released,
+        "chunk": chunk,
+        "chunks": n_chunks,
+        "flows_coded": flows_coded,
+        "seconds": round(seconds, 3),
+        "releases_per_sec": round(released / seconds, 1),
+        "workspace_mb": round(workspace.nbytes() / 1e6, 1),
+        "rounds_served": workspace.rounds_served,
+        "rss_before_mb": round(rss_before, 1),
+        "rss_peak_mb": round(_rss_mb(), 1),
+        "rss_growth_mb": round(_rss_mb() - rss_before, 1),
+    }
+
+
+def fused_round_block(smoke: bool) -> dict:
+    """The E19 payload (`staged_vs_fused` + `mega_round`) at either size.
+
+    Single source of truth for both artifacts: ``run_bench.py`` embeds this
+    block in ``BENCH_eval.json`` and ``main`` below writes it standalone.
+    """
+    if smoke:
+        return {
+            "staged_vs_fused": staged_vs_fused(**SMOKE_SPEEDUP),
+            "mega_round": mega_round(**SMOKE_MEGA),
+        }
+    return {
+        "staged_vs_fused": staged_vs_fused(**FULL_SPEEDUP),
+        "mega_round": mega_round(**FULL_MEGA),
+    }
+
+
+# ----------------------------------------------------------------------
+# CI acceptance
+# ----------------------------------------------------------------------
+def test_fused_speedup_at_least_1_5x():
+    """Acceptance: fused ≥ 1.5x staged at CI scale, and bit-exact."""
+    result = staged_vs_fused(**SMOKE_SPEEDUP)
+    print(
+        f"\nE19: fused {result['fused_seconds']}s vs staged "
+        f"{result['staged_seconds']}s ({result['speedup']}x)"
+    )
+    assert result["bit_exact"], result
+    assert result["meets_target"], result
+
+
+def test_mega_round_completes_through_one_workspace():
+    """Acceptance: a CI-scale mega round completes with a bounded workspace."""
+    result = mega_round(n_releases=500_000, chunk=125_000)
+    print(
+        f"\nE19: {result['releases']:,} releases at "
+        f"{result['releases_per_sec']:,.0f}/s, workspace {result['workspace_mb']}MB"
+    )
+    assert result["releases"] == 500_000
+    assert result["rounds_served"] == result["chunks"]
+    assert result["flows_coded"] > 0
+    # The shared workspace is sized by the chunk, not the round: a few
+    # named buffers over 125k rows is well under 32MB.
+    assert result["workspace_mb"] < 32.0, result
+
+
+def test_accelerator_backends_if_installed():
+    """Distributional check on CuPy/torch when present; clean skip when not.
+
+    The container image does not ship either accelerator, so in stock CI
+    this test *skips* — no pip install, no failure.  On a machine that has
+    one, the fused round must run end-to-end on it and land snapped cells
+    whose distribution matches numpy's (the non-numpy path is
+    distributionally, not bit-wise, equivalent).
+    """
+    import pytest
+
+    installed = [name for name in ("cupy", "torch") if array_backend_available(name)]
+    if not installed:
+        pytest.skip("no accelerator array backend installed (expected in stock CI)")
+    world = GridWorld(16, 16)
+    cells = np.random.default_rng(2).integers(0, world.n_cells, size=20_000)
+    reference = PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+    expected = np.bincount(
+        world.snap_batch(reference.release_batch(cells, rng=5).points),
+        minlength=world.n_cells,
+    )
+    for name in installed:
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0, array_backend=name
+        )
+        fused = engine.release_round_fused(cells, rng=np.random.default_rng(5))
+        counts = np.bincount(fused.snapped, minlength=world.n_cells)
+        # Loose chi-square-style bound: same mechanism, same epsilon, so the
+        # per-cell counts should agree within sampling noise.
+        assert np.abs(counts - expected).mean() < 0.1 * expected.mean() + 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_e19_fused.json",
+        help="where to write the JSON artifact (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    block = fused_round_block(args.smoke)
+    payload = {"config": "smoke" if args.smoke else "full", **block}
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    versus = block["staged_vs_fused"]
+    print(
+        f"E19: fused {versus['fused_releases_per_sec']:,.0f} releases/s vs "
+        f"staged {versus['staged_releases_per_sec']:,.0f} releases/s "
+        f"({versus['speedup']}x, bit_exact={versus['bit_exact']}, "
+        f"rss {versus['rss_peak_mb']}MB)"
+    )
+    mega = block["mega_round"]
+    print(
+        f"E19: mega round {mega['releases']:,} releases at "
+        f"{mega['releases_per_sec']:,.0f}/s through one {mega['workspace_mb']}MB "
+        f"workspace, rss peak {mega['rss_peak_mb']}MB -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,15 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
                      "overhead_ratio": 1.2, "within_budget": true,
                      "matches_memory": true, ...},
         "out_of_core": {"rows": 10000000, "rows_per_sec": 310000.0,
-                        "db_size_mb": 760.2, "rss_growth_mb": 45.1, ...}
+                        "db_size_mb": 760.2, "rss_peak_mb": 310.5,
+                        "rss_growth_mb": 45.1, ...}
+      },
+      "fused_round": {                                    # E19
+        "staged_vs_fused": {"staged_seconds": 0.79, "fused_seconds": 0.41,
+                            "speedup": 1.9, "meets_target": true,
+                            "bit_exact": true, "rss_peak_mb": 265.5, ...},
+        "mega_round": {"releases": 10000000, "releases_per_sec": 5300000.0,
+                       "workspace_mb": 123.0, "rss_peak_mb": 410.2, ...}
       }
     }
 
@@ -78,6 +86,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_e16_distributed_eval as bench_e16  # noqa: E402
 import bench_e17_epidemic_eval as bench_e17  # noqa: E402
 import bench_e18_durable_ingest as bench_e18  # noqa: E402
+import bench_e19_fused_round as bench_e19  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -103,6 +112,7 @@ SHARDED_ENTRY = "e15_sharded_rounds"
 DISTRIBUTED_ENTRY = "e16_distributed_eval"
 EPIDEMIC_ENTRY = "e17_epidemic_eval"
 DURABLE_ENTRY = "e18_durable_ingest"
+FUSED_ENTRY = "e19_fused_round"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -163,6 +173,15 @@ def run_durable_ingest(smoke: bool) -> dict:
     return bench_e18.durable_ingest_block(smoke)
 
 
+def run_fused_round(smoke: bool) -> dict:
+    """The E19 block: staged-vs-fused speedup plus the mega round.
+
+    Delegates to ``bench_e19_fused_round.fused_round_block`` — same
+    single-source-of-truth arrangement as E16/E17/E18.
+    """
+    return bench_e19.fused_round_block(smoke)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
@@ -170,7 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         "--only",
         action="append",
         choices=sorted(ENTRY_POINTS)
-        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY],
+        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -187,10 +206,17 @@ def main(argv: list[str] | None = None) -> int:
         DISTRIBUTED_ENTRY,
         EPIDEMIC_ENTRY,
         DURABLE_ENTRY,
+        FUSED_ENTRY,
     ]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
-        if name in (SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY):
+        if name in (
+            SHARDED_ENTRY,
+            DISTRIBUTED_ENTRY,
+            EPIDEMIC_ENTRY,
+            DURABLE_ENTRY,
+            FUSED_ENTRY,
+        ):
             continue
         runner = ENTRY_POINTS[name]
         start = time.perf_counter()
@@ -258,7 +284,26 @@ def main(argv: list[str] | None = None) -> int:
         ooc = payload["durable_ingest"]["out_of_core"]
         print(
             f"  out-of-core {ooc['rows']:,} rows at {ooc['rows_per_sec']:,.0f} rows/s, "
-            f"{ooc['db_size_mb']}MB on disk, rss growth {ooc['rss_growth_mb']}MB"
+            f"{ooc['db_size_mb']}MB on disk, rss peak {ooc['rss_peak_mb']}MB "
+            f"(growth {ooc['rss_growth_mb']}MB)"
+        )
+    if FUSED_ENTRY in names:
+        start = time.perf_counter()
+        payload["fused_round"] = run_fused_round(args.smoke)
+        payload["timings"][FUSED_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{FUSED_ENTRY:<28} {payload['timings'][FUSED_ENTRY]:>10.3f}s")
+        versus = payload["fused_round"]["staged_vs_fused"]
+        print(
+            f"  fused {versus['fused_releases_per_sec']:>12,.0f} releases/s vs "
+            f"staged {versus['staged_releases_per_sec']:>12,.0f} releases/s "
+            f"({versus['speedup']}x, bit_exact={versus['bit_exact']}, "
+            f"rss peak {versus['rss_peak_mb']}MB)"
+        )
+        mega = payload["fused_round"]["mega_round"]
+        print(
+            f"  mega round {mega['releases']:,} releases at "
+            f"{mega['releases_per_sec']:,.0f} releases/s, workspace "
+            f"{mega['workspace_mb']}MB, rss peak {mega['rss_peak_mb']}MB"
         )
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -29,11 +29,31 @@ class BayesianAttacker:
     prior:
         Attacker's prior over all cells.  Defaults to uniform; experiments
         pass Markov-filtered or empirical priors.
+    float32:
+        Opt-in single-precision mode for the *batched* linear algebra: the
+        likelihood matrix is stored as float32 (densities are still
+        evaluated in float64 and rounded once, so each entry is within one
+        float32 ulp of the reference) and the posterior/loss GEMMs run in
+        single precision.  Batched errors then agree with the float64
+        reference distributionally, not bitwise — relative tolerance about
+        ``1e-3`` on expected/inference errors (documented in
+        ``docs/scaling.md``).  Scalar methods (:meth:`posterior`,
+        :meth:`estimate`, :meth:`expected_error`) always stay float64, so
+        the bit-exact reference path is never affected.
     """
 
-    def __init__(self, world: GridWorld, mechanism: Mechanism, prior: np.ndarray | None = None) -> None:
+    def __init__(
+        self,
+        world: GridWorld,
+        mechanism: Mechanism,
+        prior: np.ndarray | None = None,
+        *,
+        float32: bool = False,
+    ) -> None:
         self.world = world
         self.mechanism = mechanism
+        self.float32 = bool(float32)
+        self._dtype = np.dtype(np.float32 if self.float32 else np.float64)
         n = world.n_cells
         if prior is None:
             self.prior = np.full(n, 1.0 / n)
@@ -44,6 +64,12 @@ class BayesianAttacker:
             if np.any(probs < 0) or probs.sum() <= 0:
                 raise ValidationError("prior must be non-negative with positive mass")
             self.prior = probs / probs.sum()
+        # The prior participates in the batched GEMMs, so the float32 mode
+        # keeps a single-precision copy (the float64 ``self.prior`` is the
+        # scalar-path reference either way).
+        self._typed_prior = (
+            self.prior.astype(np.float32) if self.float32 else self.prior
+        )
         self._coords = world.coords_array()
         self._distance_matrix: np.ndarray | None = None
 
@@ -112,15 +138,17 @@ class BayesianAttacker:
             ``tests/test_eval_batched.py``).
         """
         n = self.world.n_cells
-        out = np.empty((len(batch), n))
+        out = np.empty((len(batch), n), dtype=self._dtype)
         noisy = np.flatnonzero(~batch.exact)
         exact = np.flatnonzero(batch.exact)
         if exact.size:
             out[exact] = 0.0
             out[exact, self.world.snap_batch(batch.points[exact])] = 1.0
         if noisy.size:
-            likelihood = self.mechanism.pdf_matrix(batch.points[noisy])
-            unnormalised = self.prior[None, :] * likelihood
+            likelihood = self.mechanism.pdf_matrix(
+                batch.points[noisy], dtype=self._dtype if self.float32 else None
+            )
+            unnormalised = self._typed_prior[None, :] * likelihood
             totals = unnormalised.sum(axis=1)
             starved = totals <= 0
             if starved.any():
@@ -142,15 +170,22 @@ class BayesianAttacker:
         exactly like sequential :meth:`estimate` calls.
         """
         posteriors = self.posterior_batch(batch)
-        distances = self._distances()
+        distances = self._typed_distances()
         expected_losses = posteriors @ distances
         estimates = np.argmin(expected_losses, axis=1)
         if expected_losses.shape[1] > 1:
             best_two = np.partition(expected_losses, 1, axis=1)[:, :2]
             margin = best_two[:, 1] - best_two[:, 0]
-            unstable = np.flatnonzero(margin <= 1e-8 * (np.abs(best_two[:, 0]) + 1.0))
+            # Ties within numerical noise are re-resolved in float64 either
+            # way; the detection threshold scales with the working precision
+            # (float32 GEMMs accumulate ~1e3x more round-off).
+            tie_tol = 1e-4 if self.float32 else 1e-8
+            unstable = np.flatnonzero(margin <= tie_tol * (np.abs(best_two[:, 0]) + 1.0))
+            reference = self._distances()
             for row in unstable:
-                estimates[row] = int(np.argmin(distances @ posteriors[row]))
+                estimates[row] = int(
+                    np.argmin(reference @ posteriors[row].astype(np.float64))
+                )
         return estimates
 
     def expected_error_batch(self, batch: ReleaseBatch) -> np.ndarray:
@@ -162,7 +197,10 @@ class BayesianAttacker:
         ``batch[i]`` to float round-off.
         """
         posteriors = self.posterior_batch(batch)
-        return (posteriors @ self._distances()).min(axis=1)
+        losses = (posteriors @ self._typed_distances()).min(axis=1)
+        # Callers sum/average these; hand back float64 so downstream
+        # aggregation does not silently continue in single precision.
+        return np.asarray(losses, dtype=float)
 
     def inference_error_batch(self, batch: ReleaseBatch, true_cells) -> np.ndarray:
         """Realised attack error per release against ``true_cells``: ``(len(batch),)``.
@@ -237,3 +275,17 @@ class BayesianAttacker:
                 self.world._pairwise_distance_cache = cached
             self._distance_matrix = cached
         return self._distance_matrix
+
+    def _typed_distances(self) -> np.ndarray:
+        """The distance matrix in this attacker's working precision.
+
+        The float32 copy is cached on the world alongside the float64
+        reference, so mixed fleets of float32 attackers share one cast.
+        """
+        if not self.float32:
+            return self._distances()
+        cached = getattr(self.world, "_pairwise_distance_cache_f32", None)
+        if cached is None:
+            cached = self._distances().astype(np.float32)
+            self.world._pairwise_distance_cache_f32 = cached
+        return cached

@@ -78,6 +78,7 @@ class _TrialShardTask:
     seeds: tuple[int, ...]
     trials: int
     batched: bool
+    float32: bool = False
 
 
 def _score_trial_shard(task: _TrialShardTask):
@@ -103,7 +104,9 @@ def _score_trial_shard(task: _TrialShardTask):
     cells_rows = np.repeat(np.asarray(task.cells, dtype=int), trials)
     attacker = None
     if task.kind != "utility":
-        attacker = BayesianAttacker(world, source, prior=task.prior)
+        attacker = BayesianAttacker(
+            world, source, prior=task.prior, float32=task.float32
+        )
 
     errors = np.empty(n, dtype=float)
     if task.batched:
@@ -161,6 +164,7 @@ def _sharded_trial_metric(
     batched: bool,
     shards: int | None,
     backend,
+    float32: bool = False,
 ) -> float:
     """Common driver for the three sharded trial metrics (see module docs)."""
     from repro.engine import EngineRef
@@ -182,6 +186,7 @@ def _sharded_trial_metric(
             seeds=seeds,
             trials=int(trials_per_cell),
             batched=batched,
+            float32=bool(float32),
         )
         for _, slots, seeds in plan.iter_shards()
     ]
@@ -289,6 +294,7 @@ def adversary_error(
     batched: bool = True,
     shards: int | None = None,
     backend=None,
+    float32: bool = False,
 ) -> float:
     """Mean realised inference error of the Bayesian attacker.
 
@@ -309,6 +315,11 @@ def adversary_error(
         matrix survives a sweep).  Sharded runs construct per-shard
         attackers inside the workers instead and only forward this
         attacker's prior.
+    float32:
+        Run the attacker's batched GEMMs in single precision (see
+        :class:`~repro.adversary.inference.BayesianAttacker`); the returned
+        mean then matches the float64 reference to about ``1e-3`` relative
+        tolerance.  Ignored when a prebuilt ``attacker`` is supplied.
 
     Returns
     -------
@@ -328,10 +339,11 @@ def adversary_error(
             batched,
             shards,
             backend,
+            float32=float32,
         )
     generator = ensure_rng(rng)
     if attacker is None:
-        attacker = BayesianAttacker(world, mechanism, prior=prior)
+        attacker = BayesianAttacker(world, mechanism, prior=prior, float32=float32)
     if not batched:
         total = 0.0
         count = 0
@@ -358,6 +370,7 @@ def expected_inference_error(
     batched: bool = True,
     shards: int | None = None,
     backend=None,
+    float32: bool = False,
 ) -> float:
     """Mean of the attacker's *expected* loss (its residual uncertainty).
 
@@ -370,9 +383,10 @@ def expected_inference_error(
     world / mechanism / true_cells / rng / trials_per_cell / batched / shards / backend:
         As in :func:`utility_error` (same RNG-stream layouts, same sharded
         bit-identity contract).
-    prior / attacker:
+    prior / attacker / float32:
         As in :func:`adversary_error` (sharded runs build per-shard
-        attackers and forward only the prior).
+        attackers and forward only the prior; ``float32`` runs the
+        attacker GEMMs in single precision, ~``1e-3`` relative tolerance).
 
     Returns
     -------
@@ -392,10 +406,11 @@ def expected_inference_error(
             batched,
             shards,
             backend,
+            float32=float32,
         )
     generator = ensure_rng(rng)
     if attacker is None:
-        attacker = BayesianAttacker(world, mechanism, prior=prior)
+        attacker = BayesianAttacker(world, mechanism, prior=prior, float32=float32)
     if not batched:
         total = 0.0
         count = 0

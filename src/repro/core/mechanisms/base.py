@@ -39,6 +39,8 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.policy_graph import PolicyGraph
+from repro.core.workspace import RoundWorkspace
+from repro.core.xp import NUMPY_BACKEND, ArrayBackend, resolve_array_backend
 from repro.errors import MechanismError
 from repro.geo.grid import GridWorld
 from repro.utils.rng import ensure_rng
@@ -159,6 +161,34 @@ class Mechanism(abc.ABC):
             )
 
     # ------------------------------------------------------------------
+    # Array-backend seam
+    # ------------------------------------------------------------------
+    @property
+    def array_backend(self) -> ArrayBackend:
+        """The array backend the batched kernels compute on (default numpy)."""
+        backend = getattr(self, "_array_backend", None)
+        return backend if backend is not None else NUMPY_BACKEND
+
+    @property
+    def xp(self):
+        """The live array namespace (``numpy`` unless a backend was set)."""
+        return self.array_backend.xp
+
+    def use_array_backend(self, backend) -> "Mechanism":
+        """Route the batched kernels through a registry-named array backend.
+
+        ``backend`` is a name (``"numpy"`` / ``"cupy"`` / ``"torch"``), a
+        live :class:`~repro.core.xp.ArrayBackend`, or ``None`` (numpy).
+        Uniform draws stay on the *numpy* generator regardless (the RNG
+        stream contract), so a non-numpy backend changes floating-point
+        rounding only: results are distributionally equivalent, while the
+        numpy backend remains the bit-exact reference.  Returns ``self``
+        for chaining.
+        """
+        self._array_backend = resolve_array_backend(backend)
+        return self
+
+    # ------------------------------------------------------------------
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -215,7 +245,12 @@ class Mechanism(abc.ABC):
     # ------------------------------------------------------------------
     # Batched interface
     # ------------------------------------------------------------------
-    def release_batch(self, cells: Sequence[int], rng=None) -> ReleaseBatch:
+    def release_batch(
+        self,
+        cells: Sequence[int],
+        rng=None,
+        workspace: "RoundWorkspace | None" = None,
+    ) -> ReleaseBatch:
         """Release many (possibly perturbed) locations in one call.
 
         Semantically equivalent to ``[self.release(c, rng) for c in cells]``
@@ -223,6 +258,14 @@ class Mechanism(abc.ABC):
         reproduces a seeded scalar run element-wise — but the noisy subset is
         drawn by :meth:`_perturb_batch`, which the first-party mechanisms
         vectorize.
+
+        With ``workspace`` (a :class:`~repro.core.workspace.RoundWorkspace`)
+        every output column and kernel temporary lives in the workspace's
+        reused buffers instead of fresh allocations; the returned batch then
+        holds *views* that the next workspace-backed call overwrites.
+        Output is element-wise identical either way — uniforms are drawn
+        with ``rng.random(out=...)``, which consumes the same stream as the
+        allocating ``rng.random((n, k))``.
         """
         if not isinstance(cells, np.ndarray):
             cells = list(cells)
@@ -242,28 +285,61 @@ class Mechanism(abc.ABC):
             raise MechanismError(
                 f"cell {int(bad[0])} is not covered by policy {self.graph.name!r}"
             )
-        exact = disclosed[cell_arr]
-        points = np.empty((n, 2), dtype=float)
-        if exact.any():
+        if workspace is None or not self.array_backend.is_numpy:
+            exact = disclosed[cell_arr]
+            points = np.empty((n, 2), dtype=float)
+            epsilons = np.where(exact, 0.0, self.epsilon)
+        else:
+            exact = np.take(disclosed, cell_arr, out=workspace.bool_buffer("release_exact", n))
+            points = workspace.points_buffer("release_points", n)
+            epsilons = workspace.buffer("release_epsilons", n)
+            epsilons.fill(self.epsilon)
+        has_exact = bool(exact.any())
+        if has_exact:
             points[exact] = self.world.coords_array(cell_arr[exact])
-        noisy = np.flatnonzero(~exact)
-        if noisy.size:
-            points[noisy] = self._perturb_batch(cell_arr[noisy], ensure_rng(rng))
+            if workspace is not None and self.array_backend.is_numpy:
+                epsilons[exact] = 0.0
+            noisy = np.flatnonzero(~exact)
+            if noisy.size:
+                points[noisy] = self._perturb_batch(
+                    cell_arr[noisy], ensure_rng(rng), workspace=workspace
+                )
+        elif n:
+            # Hot path: nothing disclosed, so the kernel can write straight
+            # into the full points view (allocation-free with a workspace).
+            drawn = self._perturb_batch(
+                cell_arr,
+                ensure_rng(rng),
+                out=points if workspace is not None and self.array_backend.is_numpy else None,
+                workspace=workspace,
+            )
+            if drawn is not points:
+                points[...] = drawn
+        if workspace is not None:
+            workspace.rounds_served += 1
         return ReleaseBatch(
             points=points,
             exact=exact,
-            epsilons=np.where(exact, 0.0, self.epsilon),
+            epsilons=epsilons,
             cells=cell_arr,
             mechanism=self.name,
         )
 
-    def pdf_matrix(self, points, cells: Sequence[int] | None = None) -> np.ndarray:
+    def pdf_matrix(
+        self, points, cells: Sequence[int] | None = None, dtype=None
+    ) -> np.ndarray:
         """``(m, n)`` matrix of ``pdf(point_i | cell_j)``.
 
         Follows :meth:`pdf_vector` semantics (not :meth:`pdf`'s): cells
         outside the policy and disclosable cells contribute likelihood 0
         instead of raising, which is exactly what Bayesian inference wants.
         ``cells`` defaults to the whole world.
+
+        ``dtype`` selects the output precision (default float64).  The
+        float32 adversary mode passes ``np.float32`` so the downstream
+        GEMMs run single precision; the density itself is still evaluated
+        in float64 and rounded once on store, keeping the relative error
+        within one float32 ulp (~1.2e-7) per entry.
         """
         pts = np.asarray(points, dtype=float)
         if pts.ndim == 1:
@@ -281,7 +357,7 @@ class Mechanism(abc.ABC):
             in_world = (cell_arr >= 0) & (cell_arr < self.world.n_cells)
             valid = np.zeros(len(cell_arr), dtype=bool)
             valid[in_world] = mask[cell_arr[in_world]]
-        out = np.zeros((len(pts), len(cell_arr)))
+        out = np.zeros((len(pts), len(cell_arr)), dtype=dtype if dtype is not None else float)
         index = np.flatnonzero(valid)
         if index.size:
             out[:, index] = self._pdf_batch(pts, cell_arr[index])
@@ -291,30 +367,59 @@ class Mechanism(abc.ABC):
         """Cached per-world-cell ``(covered, disclosed)`` boolean masks.
 
         Policy graphs are immutable after construction, so both masks are
-        computed once; they replace per-cell Python loops on the batched hot
-        paths (:meth:`release_batch` validation, :meth:`pdf_matrix` zeroing).
-        ``disclosed`` goes through :meth:`is_exact` so overrides (Geo-I never
-        discloses) are respected.
+        computed once *per (policy, world) pair* and shared by every
+        mechanism instance built on that pair — they live next to the other
+        per-pair construction caches on the graph (the P-LM delta cache,
+        the P-PIM hull cache), so rebuilding a mechanism costs no mask
+        recomputation.  ``disclosed`` goes through :meth:`is_exact`;
+        mechanisms that *override* it (Geo-I never discloses) get an
+        instance-level disclosed mask instead of polluting the shared
+        cache.
         """
         cached = getattr(self, "_coverage_masks_cache", None)
-        if cached is None:
-            n = self.world.n_cells
+        if cached is not None:
+            return cached
+        n = self.world.n_cells
+        pair_cache = self.graph.__dict__.setdefault("_coverage_mask_cache", {})
+        shared = pair_cache.get(self.world)
+        if shared is None:
             covered = np.fromiter(
                 (cell in self.graph for cell in range(n)), dtype=bool, count=n
             )
+            graph_disclosed = np.fromiter(
+                (covered[cell] and self.graph.is_disclosable(cell) for cell in range(n)),
+                dtype=bool,
+                count=n,
+            )
+            covered.setflags(write=False)
+            graph_disclosed.setflags(write=False)
+            shared = (covered, graph_disclosed)
+            pair_cache[self.world] = shared
+        covered, disclosed = shared
+        if type(self).is_exact is not Mechanism.is_exact:
             disclosed = np.fromiter(
                 (covered[cell] and self.is_exact(cell) for cell in range(n)),
                 dtype=bool,
                 count=n,
             )
-            cached = (covered, disclosed)
-            self._coverage_masks_cache = cached
+            disclosed.setflags(write=False)
+        cached = (covered, disclosed)
+        self._coverage_masks_cache = cached
         return cached
 
     def _world_pdf_mask(self) -> np.ndarray:
-        """Mask of world cells with a defined density (covered and noisy)."""
-        covered, disclosed = self._coverage_masks()
-        return covered & ~disclosed
+        """Mask of world cells with a defined density (covered and noisy).
+
+        Cached per instance — :meth:`pdf_matrix` is called once per
+        adversary scoring round, and the mask never changes.
+        """
+        cached = getattr(self, "_world_pdf_mask_cache", None)
+        if cached is None:
+            covered, disclosed = self._coverage_masks()
+            cached = covered & ~disclosed
+            cached.setflags(write=False)
+            self._world_pdf_mask_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -325,14 +430,25 @@ class Mechanism(abc.ABC):
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         """Release density at ``point`` for a non-disclosable ``cell``."""
 
-    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def _perturb_batch(
+        self,
+        cells: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray | None = None,
+        workspace: RoundWorkspace | None = None,
+    ) -> np.ndarray:
         """Draw noisy releases for many non-disclosable cells: ``(n, 2)``.
 
         Generic fallback: a Python loop over :meth:`_perturb`.  Vectorized
         mechanisms override this (and usually delegate ``_perturb`` back to a
         singleton batch so scalar and batched runs share one RNG stream).
+        ``out`` (an ``(n, 2)`` float array) receives the draws in place when
+        given; ``workspace`` pools the kernel temporaries.  Both are
+        optional for overrides too — the fused path supplies them, the
+        staged path does not, and results are element-wise identical.
         """
-        out = np.empty((len(cells), 2), dtype=float)
+        if out is None:
+            out = np.empty((len(cells), 2), dtype=float)
         for i, cell in enumerate(cells):
             out[i] = self._perturb(int(cell), rng)
         return out

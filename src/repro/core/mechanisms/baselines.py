@@ -47,10 +47,39 @@ class GeoIndistinguishabilityMechanism(Mechanism):
     def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
         return self._perturb_batch(np.array([cell]), rng)[0]
 
-    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def _perturb_batch(
+        self,
+        cells: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray | None = None,
+        workspace=None,
+    ) -> np.ndarray:
         # Same inverse-CDF planar Laplace as P-LM, at the constant Geo-I rate.
+        n = len(cells)
+        backend = self.array_backend
+        if not backend.is_numpy:
+            device = planar_laplace_perturb(
+                backend.from_numpy(self.world.coords_array(cells)),
+                self.epsilon,
+                backend.from_numpy(rng.random((n, 3))),
+                xp=backend.xp,
+            )
+            result = np.asarray(backend.asnumpy(device), dtype=float)
+            if out is not None:
+                out[...] = result
+                return out
+            return result
+        if workspace is not None:
+            centres = self.world.coords_array(
+                cells, out=workspace.points_buffer("geoi_centres", n), workspace=workspace
+            )
+            u = workspace.buffer("geoi_uniforms", n, cols=3)
+            rng.random(out=u)
+            if out is None:
+                out = workspace.points_buffer("geoi_points", n)
+            return planar_laplace_perturb(centres, self.epsilon, u, out=out)
         return planar_laplace_perturb(
-            self.world.coords_array(cells), self.epsilon, rng.random((len(cells), 3))
+            self.world.coords_array(cells), self.epsilon, rng.random((n, 3)), out=out
         )
 
     def _pdf(self, point: np.ndarray, cell: int) -> float:
@@ -59,7 +88,16 @@ class GeoIndistinguishabilityMechanism(Mechanism):
         return self.epsilon**2 / (2.0 * math.pi) * math.exp(-self.epsilon * distance)
 
     def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
-        return planar_laplace_pdf(points, self.world.coords_array(cells), self.epsilon)
+        backend = self.array_backend
+        if backend.is_numpy:
+            return planar_laplace_pdf(points, self.world.coords_array(cells), self.epsilon)
+        device = planar_laplace_pdf(
+            backend.from_numpy(np.asarray(points, dtype=float)),
+            backend.from_numpy(self.world.coords_array(cells)),
+            self.epsilon,
+            xp=backend.xp,
+        )
+        return np.asarray(backend.asnumpy(device), dtype=float)
 
 
 class LocationSetPIMechanism(PolicyPlanarIsotropicMechanism):

@@ -56,9 +56,16 @@ class PolicyPlanarIsotropicMechanism(Mechanism):
                 hulls.append(hull)
                 for node in component:
                     index_of[node] = index
-            cached = (hulls, index_of)
+            # Dense cell -> component table (-1 = disclosable) so the batch
+            # kernels group by component with one np.take instead of a
+            # per-release Python dict walk.
+            table = np.full(world.n_cells, -1, dtype=int)
+            for node, index in index_of.items():
+                table[node] = index
+            table.setflags(write=False)
+            cached = (hulls, index_of, table)
             cache[world] = cached
-        self._hull_by_component, self._component_index = cached
+        self._hull_by_component, self._component_index, self._component_table = cached
 
     def _sensitivity_hull(self, component: frozenset[int]) -> ConvexPolygon | None:
         """Symmetrised convex hull of edge coordinate differences."""
@@ -112,24 +119,89 @@ class PolicyPlanarIsotropicMechanism(Mechanism):
     def _perturb(self, cell: int, rng: np.random.Generator) -> np.ndarray:
         return self._perturb_batch(np.array([cell]), rng)[0]
 
-    def _perturb_batch(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        # Hardt-Talwar: z = x(s) + r * u with r ~ Gamma(3, 1/eps) (three
-        # exponentials by inverse CDF) and u ~ Uniform(K).  Six uniforms per
-        # row keep the stream identical to scalar sequential releases; cells
-        # are then grouped by component so each hull samples vectorized.
-        u = rng.random((len(cells), 6))
-        radii = -(
-            np.log1p(-u[:, 0]) + np.log1p(-u[:, 1]) + np.log1p(-u[:, 2])
-        ) / self.epsilon
-        directions = np.empty((len(cells), 2))
-        component = np.array([self._component_index[int(cell)] for cell in cells])
+    def _sample_directions(
+        self, component: np.ndarray, u: np.ndarray, directions: np.ndarray
+    ) -> np.ndarray:
+        """Fill ``directions`` with Uniform(K) draws grouped by component."""
         for index in np.unique(component):
             mask = component == index
             directions[mask] = self._hull_by_component[index].sample_from_uniforms(
                 u[mask, 3], u[mask, 4], u[mask, 5]
             )
+        return directions
+
+    def _perturb_batch(
+        self,
+        cells: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray | None = None,
+        workspace=None,
+    ) -> np.ndarray:
+        # Hardt-Talwar: z = x(s) + r * u with r ~ Gamma(3, 1/eps) (three
+        # exponentials by inverse CDF) and u ~ Uniform(K).  Six uniforms per
+        # row keep the stream identical to scalar sequential releases; cells
+        # are then grouped by component so each hull samples vectorized.
+        n = len(cells)
+        backend = self.array_backend
+        if not backend.is_numpy:
+            # Hull sampling is host geometry; the radius/combine arithmetic
+            # runs on the device namespace (uniforms stay on the numpy RNG).
+            xp = backend.xp
+            u = rng.random((n, 6))
+            component = np.take(self._component_table, cells)
+            directions = self._sample_directions(component, u, np.empty((n, 2)))
+            du = backend.from_numpy(u[:, :3])
+            radii = -(
+                xp.log1p(-du[:, 0]) + xp.log1p(-du[:, 1]) + xp.log1p(-du[:, 2])
+            ) / self.epsilon
+            device = backend.from_numpy(self.world.coords_array(cells)) + radii[
+                :, None
+            ] * backend.from_numpy(directions)
+            result = np.asarray(backend.asnumpy(device), dtype=float)
+            if out is not None:
+                out[...] = result
+                return out
+            return result
+        if workspace is not None:
+            u = workspace.buffer("ppim_uniforms", n, cols=6)
+            rng.random(out=u)
+            u0, u1, u2 = u[:, 0], u[:, 1], u[:, 2]
+            np.negative(u0, out=u0)
+            np.log1p(u0, out=u0)
+            np.negative(u1, out=u1)
+            np.log1p(u1, out=u1)
+            np.negative(u2, out=u2)
+            np.log1p(u2, out=u2)
+            np.add(u0, u1, out=u0)
+            np.add(u0, u2, out=u0)
+            np.negative(u0, out=u0)
+            np.divide(u0, self.epsilon, out=u0)  # u0 now holds the radii
+            component = np.take(
+                self._component_table, cells, out=workspace.int_buffer("ppim_component", n)
+            )
+            directions = self._sample_directions(
+                component, u, workspace.points_buffer("ppim_directions", n)
+            )
+            centres = self.world.coords_array(
+                cells, out=workspace.points_buffer("ppim_centres", n), workspace=workspace
+            )
+            if out is None:
+                out = workspace.points_buffer("ppim_points", n)
+            np.multiply(directions, u[:, 0:1], out=out)
+            np.add(out, centres, out=out)
+            return out
+        u = rng.random((n, 6))
+        radii = -(
+            np.log1p(-u[:, 0]) + np.log1p(-u[:, 1]) + np.log1p(-u[:, 2])
+        ) / self.epsilon
+        component = np.take(self._component_table, cells)
+        directions = self._sample_directions(component, u, np.empty((n, 2)))
         centres = self.world.coords_array(cells)
-        return centres + radii[:, None] * directions
+        result = centres + radii[:, None] * directions
+        if out is not None:
+            out[...] = result
+            return out
+        return result
 
     def _pdf(self, point: np.ndarray, cell: int) -> float:
         hull = self._hull_by_component[self._component_index[cell]]
@@ -138,15 +210,21 @@ class PolicyPlanarIsotropicMechanism(Mechanism):
         return self.epsilon**2 / (2.0 * hull.area) * math.exp(-self.epsilon * gauge)
 
     def _pdf_batch(self, points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        backend = self.array_backend
         centres = self.world.coords_array(cells)
-        component = np.array([self._component_index[int(cell)] for cell in cells])
+        component = np.take(self._component_table, cells)
         out = np.empty((len(points), len(cells)))
         for index in np.unique(component):
             mask = component == index
             hull = self._hull_by_component[index]
             displacements = points[:, None, :] - centres[None, mask, :]
-            gauges = hull.gauge_many(displacements)
-            out[:, mask] = (
-                self.epsilon**2 / (2.0 * hull.area) * np.exp(-self.epsilon * gauges)
-            )
+            gauges = hull.gauge_many(displacements)  # host geometry
+            scale = self.epsilon**2 / (2.0 * hull.area)
+            if backend.is_numpy:
+                out[:, mask] = scale * np.exp(-self.epsilon * gauges)
+            else:
+                device = scale * backend.xp.exp(
+                    -self.epsilon * backend.from_numpy(np.asarray(gauges))
+                )
+                out[:, mask] = np.asarray(backend.asnumpy(device), dtype=float)
         return out

@@ -21,7 +21,13 @@ population-scale engine:
 * :mod:`~repro.engine.distributed` — the evaluation layer's counterpart:
   :func:`sharded_metric` folds per-shard :class:`MetricShardResult`
   pieces with an exact associative merge, so E1/E4-class metrics scale
-  over the same plans and backends as the release path.
+  over the same plans and backends as the release path;
+* the kernel layer (:mod:`repro.core.xp` + :mod:`repro.core.workspace`) —
+  a thin array-namespace seam (numpy reference, optional CuPy / torch by
+  registry name) under every mechanism kernel, plus
+  :meth:`PrivacyEngine.release_round_fused`: release → snap → area → flow
+  coding in one pass over a preallocated :class:`RoundWorkspace`, bit-exact
+  against the staged numpy path on the same RNG stream.
 """
 
 from repro.engine.backends import (
@@ -35,6 +41,14 @@ from repro.engine.backends import (
     owned_backend,
     register_backend,
     resolve_backend,
+)
+from repro.core.workspace import FusedRound, RoundWorkspace
+from repro.core.xp import (
+    ArrayBackend,
+    array_backend_names,
+    probe_array_backends,
+    register_array_backend,
+    resolve_array_backend,
 )
 from repro.engine.engine import EngineRef, PrivacyEngine, resolve_release_source
 from repro.engine.distributed import (
@@ -85,4 +99,11 @@ __all__ = [
     "mechanism_names",
     "policy_names",
     "backend_names",
+    "RoundWorkspace",
+    "FusedRound",
+    "ArrayBackend",
+    "register_array_backend",
+    "resolve_array_backend",
+    "array_backend_names",
+    "probe_array_backends",
 ]

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.mechanisms import Mechanism, Release, ReleaseBatch
 from repro.core.policy_graph import PolicyGraph
+from repro.core.workspace import FusedRound, RoundWorkspace
 from repro.engine.specs import EngineSpec
 from repro.errors import ValidationError
 from repro.geo.grid import GridWorld
@@ -85,6 +86,7 @@ class PrivacyEngine:
         policy_params: Mapping | None = None,
         backend: str | None = None,
         shards: int | None = None,
+        array_backend: str | None = None,
     ) -> "PrivacyEngine":
         """Build an engine from a spec, or from bare registry names.
 
@@ -108,6 +110,12 @@ class PrivacyEngine:
             (see :class:`~repro.engine.specs.ExecutionSpec`); picked up by
             :func:`~repro.server.pipeline.run_release_rounds_batched` when
             the call site does not choose explicitly.
+        array_backend:
+            Optional array namespace for the mechanism kernels
+            (``"numpy"`` / ``"cupy"`` / ``"torch"``, see
+            :mod:`repro.core.xp`); recorded on the spec's execution block
+            and applied to the built mechanism, so worker-rebuilt engines
+            (:class:`EngineRef`) compute on the same backend.
 
         Returns
         -------
@@ -123,15 +131,23 @@ class PrivacyEngine:
                 policy_params=policy_params,
                 backend=backend,
                 shards=shards,
+                array_backend=array_backend,
             )
         policy_graph = spec.policy.build(world)
         built = spec.mechanism.build(world, policy_graph)
+        if spec.execution is not None and spec.execution.array_backend is not None:
+            built.use_array_backend(spec.execution.array_backend)
         return cls(world, policy_graph, built, spec=spec)
 
     # ------------------------------------------------------------------
     # Batched hot path
     # ------------------------------------------------------------------
-    def release_batch(self, cells: Sequence[int], rng=None) -> ReleaseBatch:
+    def release_batch(
+        self,
+        cells: Sequence[int],
+        rng=None,
+        workspace: RoundWorkspace | None = None,
+    ) -> ReleaseBatch:
         """Perturb many true locations in one vectorized call.
 
         Parameters
@@ -140,6 +156,10 @@ class PrivacyEngine:
             Flat sequence of true cells, all covered by the policy.
         rng:
             Seed source (``None`` / int / generator).
+        workspace:
+            Optional :class:`~repro.core.workspace.RoundWorkspace`; when
+            given, the batch columns are views into reused buffers (copy
+            what you keep before the next workspace-backed call).
 
         Returns
         -------
@@ -153,9 +173,11 @@ class PrivacyEngine:
         :func:`~repro.server.pipeline.run_release_rounds_batched`, which can
         additionally shard this call across users.
         """
-        return self.mechanism.release_batch(cells, rng=rng)
+        return self.mechanism.release_batch(cells, rng=rng, workspace=workspace)
 
-    def pdf_matrix(self, points, cells: Sequence[int] | None = None) -> np.ndarray:
+    def pdf_matrix(
+        self, points, cells: Sequence[int] | None = None, dtype=None
+    ) -> np.ndarray:
         """Release likelihoods for the adversary / filtering stack.
 
         Parameters
@@ -165,6 +187,9 @@ class PrivacyEngine:
             auto-promoted).
         cells:
             Candidate true cells; defaults to the whole world.
+        dtype:
+            Output precision (default float64; ``np.float32`` for the
+            adversary's single-precision mode).
 
         Returns
         -------
@@ -173,11 +198,98 @@ class PrivacyEngine:
             disclosable or uncovered cells contribute likelihood 0 (the
             Bayesian-inference convention, not :meth:`pdf`'s raising one).
         """
-        return self.mechanism.pdf_matrix(points, cells)
+        return self.mechanism.pdf_matrix(points, cells, dtype=dtype)
 
     def snap_batch(self, batch: ReleaseBatch) -> np.ndarray:
         """Server-side discretisation: snapped cell ids, one per batch row."""
         return self.world.snap_batch(batch.points)
+
+    def release_round_fused(
+        self,
+        cells: Sequence[int],
+        rng=None,
+        *,
+        workspace: RoundWorkspace | None = None,
+        block_rows: int | None = None,
+        block_cols: int | None = None,
+        users=None,
+        times=None,
+    ) -> FusedRound:
+        """One fused release -> snap -> area -> flow-coding pass.
+
+        The staged pipeline materialises a fresh array at every stage; this
+        runs the same per-element operations through preallocated workspace
+        buffers, so from the second round on a fused pass allocates nothing.
+        On the numpy backend the outputs are **element-wise identical** to
+        ``release_batch`` -> ``snap_batch`` -> ``area_of_batch`` (same RNG
+        stream, same floating-op order); non-numpy backends fall back to the
+        staged kernels and copy into the workspace (distributionally
+        equivalent only).
+
+        Parameters
+        ----------
+        cells / rng:
+            As :meth:`release_batch`.
+        workspace:
+            Buffer pool to run over; ``None`` builds a private one sized to
+            this round (reuse it across rounds for the zero-allocation
+            steady state).
+        block_rows / block_cols:
+            When given, the snapped cells are also coarse-area coded
+            (:meth:`~repro.geo.grid.GridWorld.area_of_batch`) into
+            ``FusedRound.areas``.
+        users / times:
+            Optional per-row user ids and time stamps, in ``(user, time)``
+            order.  When given alongside the block shape, consecutive-step
+            flow codes (``area[i] * n_areas + area[i+1]``) and their mask
+            are fused in as well — the exact codes
+            :meth:`~repro.epidemic.monitor.LocationMonitor.flows_from_arrays`
+            counts.
+
+        Returns
+        -------
+        FusedRound
+            Views into the workspace — consume or copy before the next
+            fused round overwrites them.
+        """
+        if workspace is None:
+            workspace = RoundWorkspace.for_population(len(cells))
+        batch = self.mechanism.release_batch(cells, rng=rng, workspace=workspace)
+        n = len(batch)
+        snapped = self.world.snap_batch(
+            batch.points, out=workspace.int_buffer("fused_snapped", n), workspace=workspace
+        )
+        areas = flow_codes = flow_mask = None
+        if block_rows is not None and block_cols is not None:
+            areas = self.world.area_of_batch(
+                snapped,
+                block_rows,
+                block_cols,
+                out=workspace.int_buffer("fused_areas", n),
+                workspace=workspace,
+            )
+            if users is not None and times is not None and n > 1:
+                users = np.asarray(users, dtype=int)
+                times = np.asarray(times, dtype=int)
+                n_areas = self.world.n_areas(block_rows, block_cols)
+                flow_mask = workspace.bool_buffer("fused_flow_mask", n - 1)
+                np.equal(users[1:], users[:-1], out=flow_mask)
+                step = workspace.int_buffer("fused_flow_scratch", n - 1)
+                np.add(times[:-1], 1, out=step)
+                same_time = workspace.bool_buffer("fused_flow_tmask", n - 1)
+                np.equal(times[1:], step, out=same_time)
+                flow_mask &= same_time
+                flow_codes = workspace.int_buffer("fused_flow_codes", n - 1)
+                np.multiply(areas[:-1], n_areas, out=flow_codes)
+                np.add(flow_codes, areas[1:], out=flow_codes)
+        return FusedRound(
+            batch=batch,
+            snapped=snapped,
+            areas=areas,
+            flow_codes=flow_codes,
+            flow_mask=flow_mask,
+            workspace=workspace,
+        )
 
     # ------------------------------------------------------------------
     # Scalar compatibility wrappers

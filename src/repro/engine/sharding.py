@@ -25,6 +25,7 @@ boundary.
 from __future__ import annotations
 
 import hashlib
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass
 from functools import cached_property
@@ -33,6 +34,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 import numpy as np
 
 from repro.core.mechanisms.base import ReleaseBatch
+from repro.core.workspace import RoundWorkspace
 from repro.engine.backends import ExecutionBackend, owned_backend
 from repro.engine.engine import EngineRef, resolve_release_source
 from repro.errors import DataError, ValidationError
@@ -214,6 +216,23 @@ class ShardTask:
     cells: tuple[tuple[int, ...], ...]
 
 
+#: Per-worker-thread state: each thread that executes shards keeps its own
+#: :class:`RoundWorkspace`, so the thread backend's concurrently running
+#: shards never alias a buffer (one workspace serves one release stream).
+#: Process workers get one per process the same way (a process has its own
+#: module state and, for the serial/pool cases, a single executing thread).
+_WORKER_STATE = threading.local()
+
+
+def _shard_workspace(capacity: int) -> RoundWorkspace:
+    """This worker thread's private workspace, grown to ``capacity``."""
+    workspace = getattr(_WORKER_STATE, "workspace", None)
+    if workspace is None:
+        workspace = RoundWorkspace(capacity)
+        _WORKER_STATE.workspace = workspace
+    return workspace
+
+
 def _execute_shard(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray, str]:
     """Release one shard's users: ``(points, exact, epsilons, mechanism)``.
 
@@ -223,16 +242,25 @@ def _execute_shard(task: ShardTask) -> tuple[np.ndarray, np.ndarray, np.ndarray,
     :class:`~repro.server.pipeline.Client` runs.  Rows are ordered user-major
     (the task's user order, then time), matching the task's flattened
     ``times``/``cells``.  Module-level so process pools can pickle it.
+
+    Kernel temporaries live in the worker thread's reused
+    :class:`RoundWorkspace` (the batch views are copied straight into the
+    shard's output arrays), so a long-lived worker allocates only the
+    per-shard outputs — zero arrays per release round.
     """
     engine = resolve_release_source(task.engine)
     n = sum(len(cells) for cells in task.cells)
+    longest = max((len(cells) for cells in task.cells), default=0)
+    workspace = _shard_workspace(longest)
     points = np.empty((n, 2), dtype=float)
     exact = np.empty(n, dtype=bool)
     epsilons = np.empty(n, dtype=float)
     mechanism = ""
     offset = 0
     for seed, cells in zip(task.seeds, task.cells):
-        batch = engine.release_batch(list(cells), rng=np.random.default_rng(seed))
+        batch = engine.release_batch(
+            list(cells), rng=np.random.default_rng(seed), workspace=workspace
+        )
         stop = offset + len(batch)
         points[offset:stop] = batch.points
         exact[offset:stop] = batch.exact

@@ -86,6 +86,13 @@ class ExecutionSpec:
     ``docs/persistence.md``).  Like the rest of the block these are run
     control, not engine identity — the resume spec hash deliberately
     excludes them (:func:`~repro.store.resume.engine_spec_hash`).
+
+    ``array_backend`` selects the array namespace the mechanism kernels
+    compute on (``"numpy"`` default, ``"cupy"`` / ``"torch"`` optional; see
+    :mod:`repro.core.xp`).  Numpy is the bit-exact reference; non-numpy
+    backends keep the numpy RNG stream but round differently, so like the
+    rest of the block this never changes *which* uniforms are consumed —
+    the resume spec hash excludes it.
     """
 
     backend: str = "serial"
@@ -93,12 +100,20 @@ class ExecutionSpec:
     params: Mapping = field(default_factory=dict)
     store: str | None = None
     resume: bool = False
+    array_backend: str | None = None
 
     def __post_init__(self) -> None:
         if int(self.shards) < 1:
             raise ValidationError(f"shards must be >= 1, got {self.shards}")
         if self.resume and self.store is None:
             raise ValidationError("resume=True requires a store path")
+        if self.array_backend is not None:
+            # Validate the name against the registry at spec-construction
+            # time (unknown names fail fast); availability is checked only
+            # when the mechanism actually resolves the backend.
+            from repro.core.xp import _canonical
+
+            object.__setattr__(self, "array_backend", _canonical(self.array_backend))
 
     def build(self) -> ExecutionBackend:
         """Instantiate the named backend with this spec's params."""
@@ -138,13 +153,14 @@ class EngineSpec:
         backend_params: Mapping | None = None,
         store: str | None = None,
         resume: bool = False,
+        array_backend: str | None = None,
     ) -> "EngineSpec":
         """Spec from bare names — the common construction path.
 
         ``backend`` / ``shards`` / ``backend_params`` / ``store`` /
-        ``resume`` are optional; providing any of them attaches an
-        :class:`ExecutionSpec` (missing pieces take the serial / 1-shard /
-        in-memory defaults).
+        ``resume`` / ``array_backend`` are optional; providing any of them
+        attaches an :class:`ExecutionSpec` (missing pieces take the serial /
+        1-shard / in-memory / numpy defaults).
         """
         execution = None
         if (
@@ -152,6 +168,7 @@ class EngineSpec:
             or shards is not None
             or backend_params is not None
             or store is not None
+            or array_backend is not None
         ):
             execution = ExecutionSpec(
                 backend=backend if backend is not None else "serial",
@@ -159,6 +176,7 @@ class EngineSpec:
                 params=dict(backend_params or {}),
                 store=store,
                 resume=bool(resume),
+                array_backend=array_backend,
             )
         return cls(
             mechanism=MechanismSpec(
@@ -197,6 +215,10 @@ class EngineSpec:
                 execution["store"] = self.execution.store
                 if self.execution.resume:
                     execution["resume"] = True
+            # Like the durability keys, the array backend appears only when
+            # set, so pre-seam spec files round-trip unchanged.
+            if self.execution.array_backend is not None:
+                execution["array_backend"] = self.execution.array_backend
             payload["execution"] = execution
         return payload
 
@@ -223,5 +245,6 @@ class EngineSpec:
                 params=dict(execution.get("params", {})),
                 store=execution.get("store"),
                 resume=bool(execution.get("resume", False)),
+                array_backend=execution.get("array_backend"),
             ),
         )

@@ -112,17 +112,36 @@ class LocationMonitor:
         ``np.unique`` over ``src_area * n_areas + dst_area`` codes — no
         Python loop over check-ins.
         """
-        flows: Counter = Counter()
         if len(users) < 2:
-            return flows
+            return Counter()
         step = (users[1:] == users[:-1]) & (times[1:] == times[:-1] + 1)
         if not step.any():
-            return flows
+            return Counter()
         src = self.area_of_batch(cells[:-1][step])
         dst = self.area_of_batch(cells[1:][step])
+        return self.flows_from_codes(src * self.n_areas + dst)
+
+    def flows_from_codes(self, codes, mask=None) -> Counter:
+        """:meth:`flows` from precomputed area-pair codes.
+
+        ``codes[i] = src_area * n_areas + dst_area`` — exactly what the
+        fused release pipeline emits
+        (:meth:`~repro.engine.PrivacyEngine.release_round_fused` fills
+        ``FusedRound.flow_codes`` / ``flow_mask``), so a fused round feeds
+        the monitor without re-deriving areas.  ``mask`` selects the codes
+        to count (the consecutive-same-user steps); ``None`` counts them
+        all.  Counting is identical to :meth:`flows_from_arrays` on the
+        equivalent trace.
+        """
+        codes = np.asarray(codes)
+        if mask is not None:
+            codes = codes[np.asarray(mask, dtype=bool)]
+        flows: Counter = Counter()
+        if codes.size == 0:
+            return flows
         n_areas = self.n_areas
-        codes, counts = np.unique(src * n_areas + dst, return_counts=True)
-        for code, count in zip(codes.tolist(), counts.tolist()):
+        uniques, counts = np.unique(codes, return_counts=True)
+        for code, count in zip(uniques.tolist(), counts.tolist()):
             flows[(code // n_areas, code % n_areas)] = count
         return flows
 

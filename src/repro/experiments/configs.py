@@ -108,6 +108,14 @@ class ExperimentConfig:
     AsyncShardCommitter`) so shard commits overlap release computation;
     per-user server state is element-wise unchanged.
 
+    ``array_backend`` selects the array namespace mechanism kernels compute
+    on (:mod:`repro.core.xp`; ``None`` keeps the bit-exact numpy reference)
+    and flows into every engine built through :meth:`make_engine`.
+    ``float32`` runs the Bayesian attacker's batched GEMMs in single
+    precision (~``1e-3`` relative tolerance on adversary metrics; see
+    :class:`~repro.adversary.inference.BayesianAttacker`).  The CLI maps
+    ``--array-backend`` / ``--float32`` onto these fields.
+
     ``store_path`` / ``resume`` make E8 additionally measure *durable*
     ingest: each sweep combination re-runs store-backed against a
     :class:`~repro.store.TraceStore` at that path (committing every shard
@@ -139,6 +147,8 @@ class ExperimentConfig:
     async_ingest: bool = False
     store_path: str | None = None
     resume: bool = False
+    array_backend: str | None = None
+    float32: bool = False
     engine_spec: EngineSpec | None = field(default=None, compare=False)
 
     def make_world(self) -> GridWorld:
@@ -171,6 +181,7 @@ class ExperimentConfig:
             mechanism=mechanism if mechanism is not None else self.mechanisms[0],
             policy=policy if policy is not None else self.policies[0],
             epsilon=epsilon if epsilon is not None else self.epsilons[0],
+            array_backend=self.array_backend,
         )
 
     def with_engine_spec(self, spec: EngineSpec) -> "ExperimentConfig":

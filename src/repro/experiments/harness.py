@@ -299,7 +299,11 @@ def run_adversary_error(config: ExperimentConfig = ExperimentConfig()) -> Result
                     # One attacker per built mechanism, reused across all of
                     # this mechanism's batched adversary draws (sharded runs
                     # build per-shard attackers in the workers instead).
-                    attacker = None if sharded else BayesianAttacker(world, source)
+                    attacker = (
+                        None
+                        if sharded
+                        else BayesianAttacker(world, source, float32=config.float32)
+                    )
                     privacy = adversary_error(
                         world,
                         source,
@@ -309,6 +313,7 @@ def run_adversary_error(config: ExperimentConfig = ExperimentConfig()) -> Result
                         attacker=attacker,
                         shards=shards,
                         backend=backend,
+                        float32=config.float32,
                     )
                     utility = utility_error(
                         world,
@@ -355,7 +360,11 @@ def run_random_policy_tradeoff(
                 if not protected:
                     continue
                 cells = protected[: min(20, len(protected))]
-                attacker = None if shards is not None else BayesianAttacker(world, mechanism)
+                attacker = (
+                    None
+                    if shards is not None
+                    else BayesianAttacker(world, mechanism, float32=config.float32)
+                )
                 utility = utility_error(
                     world, mechanism, cells, rng=rng, trials_per_cell=config.trials,
                     shards=shards, backend=backend,
@@ -363,6 +372,7 @@ def run_random_policy_tradeoff(
                 privacy = adversary_error(
                     world, mechanism, cells, rng=rng, trials_per_cell=config.trials,
                     attacker=attacker, shards=shards, backend=backend,
+                    float32=config.float32,
                 )
                 table.add_row(size, density, policy.n_edges, utility, privacy)
     return table

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.accounting import BudgetLedger
 from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
+from repro.core.workspace import RoundWorkspace
 from repro.core.policy_graph import PolicyGraph
 from repro.errors import DataError, PolicyError, ValidationError
 from repro.geo.grid import GridWorld
@@ -208,6 +209,7 @@ class Server:
         time: int,
         batch: ReleaseBatch,
         purpose: str = "stream",
+        snapped=None,
     ):
         """Store a whole release round in bulk.
 
@@ -223,6 +225,13 @@ class Server:
             :class:`~repro.errors.DataError`).
         purpose:
             Ledger purpose tag (defaults to the streaming feed).
+        snapped:
+            Optional precomputed snapped cells for the batch (one per row) —
+            the fused pipeline already snapped during
+            :meth:`~repro.engine.PrivacyEngine.release_round_fused`, so
+            passing ``FusedRound.snapped`` here skips a second
+            :meth:`~repro.geo.grid.GridWorld.snap_batch` pass.  Snapping is
+            deterministic, so supplying it never changes recorded state.
 
         Returns
         -------
@@ -235,7 +244,15 @@ class Server:
             raise DataError(
                 f"batch of {len(batch)} releases does not match {len(users)} users"
             )
-        cells = self.world.snap_batch(batch.points)
+        if snapped is None:
+            cells = self.world.snap_batch(batch.points)
+        else:
+            cells = np.asarray(snapped)
+            if cells.shape != (len(batch),):
+                raise DataError(
+                    f"snapped cells of shape {cells.shape} do not match "
+                    f"batch of {len(batch)} releases"
+                )
         for user, cell, epsilon in zip(users, cells, batch.epsilons):
             self.released_db.record(int(user), time, int(cell))
             self.ledger.charge(int(user), time, float(epsilon), purpose=purpose)
@@ -680,11 +697,28 @@ def run_release_rounds_batched(
             )
         generator = ensure_rng(rng)
         server = Server(world)
+        # One fused release->snap pass per round over a single reused
+        # workspace: zero allocations per round from the second round on,
+        # element-wise identical to the staged release_batch + snap_batch
+        # path (same RNG stream, same floating-op order).  Bare mechanisms
+        # (accepted by some callers in place of an engine) take the staged
+        # path unchanged.
+        fused_round = getattr(engine, "release_round_fused", None)
+        workspace = (
+            RoundWorkspace.for_population(len(true_db.users()))
+            if fused_round is not None
+            else None
+        )
         for time in true_db.times():
             snapshot = true_db.at_time(time)
             users = sorted(snapshot)
-            batch = engine.release_batch([snapshot[user] for user in users], rng=generator)
-            server.ingest_batch(users, time, batch)
+            cells = [snapshot[user] for user in users]
+            if fused_round is not None:
+                fused = fused_round(cells, rng=generator, workspace=workspace)
+                server.ingest_batch(users, time, fused.batch, snapped=fused.snapped)
+            else:
+                batch = engine.release_batch(cells, rng=generator)
+                server.ingest_batch(users, time, batch)
         return server
 
     from contextlib import ExitStack

@@ -1,0 +1,419 @@
+"""Kernel layer: array-backend seam, fused rounds, workspaces, float32 mode.
+
+The contract under test (see ``docs/scaling.md``, "Kernel layer"):
+
+* the seeded serial **numpy** path is the bit-exact reference — the fused
+  ``release_round_fused`` pass must be element-wise identical to the staged
+  ``release_batch`` -> ``snap_batch`` -> ``area_of_batch`` pipeline on the
+  same RNG stream, for every mechanism, workspace reuse notwithstanding;
+* shard workers never alias workspace buffers across shards (one workspace
+  per worker thread), so sharded output stays bit-identical for every shard
+  count and backend;
+* non-numpy array backends and the float32 adversary mode promise only
+  *distributional* equivalence, with documented tolerances.
+"""
+
+import numpy as np
+import pytest
+
+import repro.cli as cli
+from repro.adversary.inference import BayesianAttacker
+from repro.adversary.metrics import adversary_error, expected_inference_error
+from repro.core.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    GraphExponentialMechanism,
+    OptimalDiscreteMechanism,
+    PolicyLaplaceMechanism,
+    PolicyPlanarIsotropicMechanism,
+)
+from repro.core.workspace import FusedRound, RoundWorkspace
+from repro.core.xp import (
+    NUMPY_BACKEND,
+    ArrayBackend,
+    array_backend_available,
+    array_backend_names,
+    probe_array_backends,
+    register_array_backend,
+    resolve_array_backend,
+)
+from repro.engine import EngineSpec, ExecutionSpec, PrivacyEngine
+from repro.epidemic.monitor import LocationMonitor
+from repro.errors import ValidationError
+from repro.experiments.configs import build_policy
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.server.pipeline import run_release_rounds_batched
+
+
+@pytest.fixture
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture
+def db(world):
+    return geolife_like(world, n_users=9, horizon=8, rng=1)
+
+
+@pytest.fixture
+def engine(world):
+    return PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+
+def _mechanism(name: str, world: GridWorld):
+    """One instance of each kernel under test (optimal needs a small world)."""
+    graph = build_policy("G1", world)
+    if name == "P-LM":
+        return PolicyLaplaceMechanism(world, graph, 1.0)
+    if name == "P-PIM":
+        return PolicyPlanarIsotropicMechanism(world, graph, 1.0)
+    if name == "GraphExp":
+        return GraphExponentialMechanism(world, graph, 1.0)
+    if name == "Geo-I":
+        return GeoIndistinguishabilityMechanism(world, epsilon=1.0)
+    small = GridWorld(4, 4)
+    return OptimalDiscreteMechanism(
+        small, build_policy("G1", small), 1.0, max_component_size=16
+    )
+
+
+MECHANISMS = ["P-LM", "P-PIM", "GraphExp", "Geo-I", "optimal"]
+
+
+class TestRoundWorkspace:
+    def test_same_key_reuses_storage(self):
+        ws = RoundWorkspace(capacity=8)
+        first = ws.buffer("u", 5)
+        second = ws.buffer("u", 5)
+        assert second.base is first.base or second.base is first  # same pool array
+        assert ws.owns(first)
+
+    def test_dtype_mismatch_rejected(self):
+        ws = RoundWorkspace()
+        ws.buffer("u", 4)
+        with pytest.raises(ValueError):
+            ws.int_buffer("u", 4)
+
+    def test_growth_preserves_pool_identity_per_key(self):
+        ws = RoundWorkspace(capacity=2)
+        small = ws.buffer("u", 2)
+        big = ws.buffer("u", 64)
+        assert big.shape == (64,)
+        assert ws.buffer("u", 3).shape == (3,)
+        assert small.shape == (2,)
+
+    def test_points_and_bool_buffers(self):
+        ws = RoundWorkspace.for_population(10, horizon=4)
+        pts = ws.points_buffer("p", 7)
+        assert pts.shape == (7, 2) and pts.dtype == np.dtype(float)
+        mask = ws.bool_buffer("m", 7)
+        assert mask.dtype == np.dtype(bool)
+        assert ws.nbytes() > 0 and "p" in ws.keys
+
+
+class TestFusedEqualsStaged:
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_release_batch_workspace_bit_exact(self, world, name):
+        mech = _mechanism(name, world)
+        cells = np.arange(mech.world.n_cells)
+        staged = mech.release_batch(cells, rng=np.random.default_rng(13))
+        ws = RoundWorkspace.for_population(len(cells))
+        fused = mech.release_batch(cells, rng=np.random.default_rng(13), workspace=ws)
+        assert np.array_equal(staged.points, fused.points)
+        assert np.array_equal(staged.exact, fused.exact)
+        assert np.array_equal(staged.epsilons, fused.epsilons)
+
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_shared_workspace_two_rounds_identical(self, world, name):
+        # Reusing one workspace across rounds (the steady state) must give
+        # the same stream of releases as a fresh workspace per round.
+        mech = _mechanism(name, world)
+        cells = np.arange(mech.world.n_cells)
+        shared_ws = RoundWorkspace.for_population(len(cells))
+        shared_rng = np.random.default_rng(29)
+        fresh_rng = np.random.default_rng(29)
+        for _ in range(2):
+            shared = mech.release_batch(cells, rng=shared_rng, workspace=shared_ws)
+            fresh = mech.release_batch(
+                cells, rng=fresh_rng, workspace=RoundWorkspace.for_population(len(cells))
+            )
+            # Workspace-backed views are overwritten next round; compare now.
+            assert np.array_equal(shared.points, fresh.points)
+            assert np.array_equal(shared.exact, fresh.exact)
+        assert shared_ws.rounds_served == 2
+
+    def test_snap_and_area_fused_bit_exact(self, world, engine):
+        batch = engine.release_batch(np.arange(world.n_cells), rng=np.random.default_rng(5))
+        ws = RoundWorkspace.for_population(len(batch))
+        staged_cells = world.snap_batch(batch.points)
+        fused_cells = world.snap_batch(
+            batch.points, out=ws.int_buffer("cells", len(batch)), workspace=ws
+        )
+        assert np.array_equal(staged_cells, fused_cells)
+        staged_areas = world.area_of_batch(staged_cells, 3, 3)
+        fused_areas = world.area_of_batch(
+            fused_cells, 3, 3, out=ws.int_buffer("areas", len(batch)), workspace=ws
+        )
+        assert np.array_equal(staged_areas, fused_areas)
+
+    def test_release_round_fused_matches_staged_triple(self, world, engine):
+        cells = np.arange(world.n_cells)
+        staged_batch = engine.release_batch(cells, rng=np.random.default_rng(41))
+        staged_cells = world.snap_batch(staged_batch.points)
+        staged_areas = world.area_of_batch(staged_cells, 3, 3)
+        fused = engine.release_round_fused(
+            cells, rng=np.random.default_rng(41), block_rows=3, block_cols=3
+        )
+        assert isinstance(fused, FusedRound)
+        assert len(fused) == len(cells)
+        assert np.array_equal(staged_batch.points, fused.points)
+        assert np.array_equal(cells, fused.cells)  # true cells, passed through
+        assert np.array_equal(staged_cells, fused.snapped)
+        assert np.array_equal(staged_areas, fused.areas)
+
+    def test_fused_flow_codes_feed_the_monitor(self, world, engine):
+        monitor = LocationMonitor(world, 3, 3)
+        rng = np.random.default_rng(8)
+        users = np.repeat(np.arange(5), 6)
+        times = np.tile(np.arange(6), 5)
+        cells = rng.integers(0, world.n_cells, size=len(users))
+        fused = engine.release_round_fused(
+            cells,
+            rng=np.random.default_rng(2),
+            block_rows=3,
+            block_cols=3,
+            users=users,
+            times=times,
+        )
+        via_codes = monitor.flows_from_codes(fused.flow_codes, fused.flow_mask)
+        via_arrays = monitor.flows_from_arrays(users, times, fused.snapped)
+        assert via_codes == via_arrays
+
+    def test_flows_from_codes_unmasked_counts_everything(self, world):
+        monitor = LocationMonitor(world, 2, 2)
+        codes = np.array([0, 0, 5, 5, 5])
+        flows = monitor.flows_from_codes(codes)
+        n = monitor.n_areas
+        assert flows[(0, 0)] == 2 and flows[(5 // n, 5 % n)] == 3
+        assert monitor.flows_from_codes(np.array([], dtype=int)) == {}
+
+
+class TestPipelineShardMatrix:
+    """Acceptance matrix: fused single-stream + sharded {1,2,5,7} x backends."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "pool"])
+    @pytest.mark.parametrize("shards", [1, 2, 5, 7])
+    def test_sharded_matrix_reproduces_reference(self, world, db, engine, shards, backend):
+        reference = run_release_rounds_batched(world, db, engine, rng=42, shards=1)
+        run = run_release_rounds_batched(
+            world, db, engine, rng=42, shards=shards, backend=backend
+        )
+        assert list(run.released_db.checkins()) == list(reference.released_db.checkins())
+
+    def test_single_stream_fused_matches_staged_fallback(self, world, db, engine):
+        # A release source without release_round_fused sends the pipeline
+        # down the staged fallback — the engine's fused path must agree with
+        # it element-wise on the same stream.
+        class _StagedOnly:
+            spec = None
+
+            def release_batch(self, cells, rng=None):
+                return engine.release_batch(cells, rng=rng)
+
+        fused = run_release_rounds_batched(world, db, engine, rng=17)
+        staged = run_release_rounds_batched(world, db, _StagedOnly(), rng=17)
+        assert list(fused.released_db.checkins()) == list(staged.released_db.checkins())
+
+    def test_thread_backend_workspace_isolation_stress(self, world, engine):
+        # Many shards on few threads: shard tasks share worker threads, so
+        # any cross-shard buffer aliasing in the per-thread workspaces would
+        # corrupt at least one of these runs.
+        big_db = geolife_like(world, n_users=23, horizon=6, rng=3)
+        reference = run_release_rounds_batched(world, big_db, engine, rng=11, shards=1)
+        for _ in range(3):
+            run = run_release_rounds_batched(
+                world, big_db, engine, rng=11, shards=7, backend="thread"
+            )
+            assert list(run.released_db.checkins()) == list(
+                reference.released_db.checkins()
+            )
+
+
+class TestArrayBackendRegistry:
+    def test_names_and_probe(self):
+        names = array_backend_names()
+        assert {"numpy", "cupy", "torch"} <= set(names)
+        availability = probe_array_backends()
+        assert availability["numpy"] is True
+
+    def test_resolve_default_and_aliases(self):
+        assert resolve_array_backend(None) is NUMPY_BACKEND
+        assert resolve_array_backend("np").name == "numpy"
+        assert resolve_array_backend("NumPy").name == "numpy"
+        assert resolve_array_backend(NUMPY_BACKEND) is NUMPY_BACKEND
+
+    def test_unknown_name_lists_backends(self):
+        with pytest.raises(ValidationError, match="numpy"):
+            resolve_array_backend("mlx")
+
+    @pytest.mark.parametrize("name", ["cupy", "torch"])
+    def test_unavailable_backend_is_a_clean_error(self, name):
+        if array_backend_available(name):
+            pytest.skip(f"{name} installed in this environment")
+        with pytest.raises(ValidationError, match="not installed"):
+            resolve_array_backend(name)
+
+    def test_registered_numpy_equivalent_backend_is_bit_exact(self, world):
+        register_array_backend(
+            "mirror",
+            lambda: ArrayBackend("mirror", np, np.asarray, np.asarray),
+            aliases=("mirror-np",),
+        )
+        backend = resolve_array_backend("mirror-np")
+        mech = _mechanism("P-LM", world)
+        routed = mech.use_array_backend(backend)
+        reference = mech.release_batch([1, 2, 3], rng=np.random.default_rng(4))
+        via_seam = routed.release_batch([1, 2, 3], rng=np.random.default_rng(4))
+        assert np.array_equal(reference.points, via_seam.points)
+
+    def test_spec_canonicalizes_and_round_trips(self):
+        spec = EngineSpec.named("P-LM", "G1", epsilon=1.0, array_backend="np")
+        assert spec.execution.array_backend == "numpy"
+        payload = spec.to_dict()
+        assert payload["execution"]["array_backend"] == "numpy"
+        assert EngineSpec.from_dict(payload).execution.array_backend == "numpy"
+        # Absent when unset, so pre-seam spec files round-trip unchanged.
+        bare = EngineSpec.named("P-LM", "G1", epsilon=1.0, shards=2)
+        assert "array_backend" not in bare.to_dict()["execution"]
+        with pytest.raises(ValidationError):
+            ExecutionSpec(array_backend="mlx")
+
+    def test_from_spec_applies_array_backend(self, world):
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0, array_backend="numpy"
+        )
+        assert engine.mechanism.array_backend.name == "numpy"
+
+
+class TestCoverageMaskCache:
+    def test_mechanisms_share_graph_level_masks(self, world):
+        graph = build_policy("G1", world)
+        loose = PolicyLaplaceMechanism(world, graph, 0.5)
+        tight = PolicyPlanarIsotropicMechanism(world, graph, 2.0)
+        loose.release_batch([0, 1], rng=np.random.default_rng(0))
+        tight.release_batch([0, 1], rng=np.random.default_rng(0))
+        cache = graph.__dict__["_coverage_mask_cache"]
+        assert world in cache
+        covered, disclosed = cache[world]
+        assert not covered.flags.writeable and not disclosed.flags.writeable
+
+    def test_is_exact_override_gets_instance_masks(self, world):
+        # Geo-I overrides is_exact (never discloses); the shared graph-level
+        # disclosed mask must not leak its policy's disclosable cells in.
+        mech = GeoIndistinguishabilityMechanism(world, epsilon=1.0)
+        batch = mech.release_batch(
+            np.arange(world.n_cells), rng=np.random.default_rng(1)
+        )
+        assert not batch.exact.any()
+
+
+class TestFloat32Adversary:
+    def _batch(self, world, engine, seed=21):
+        cells = np.arange(world.n_cells)
+        return cells, engine.release_batch(cells, rng=np.random.default_rng(seed))
+
+    def test_posterior_batch_dtype_and_normalisation(self, world, engine):
+        _, batch = self._batch(world, engine)
+        attacker = BayesianAttacker(world, engine.mechanism, float32=True)
+        posteriors = attacker.posterior_batch(batch)
+        assert posteriors.dtype == np.float32
+        assert np.allclose(posteriors.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_expected_error_within_documented_tolerance(self, world, engine):
+        _, batch = self._batch(world, engine)
+        reference = BayesianAttacker(world, engine.mechanism)
+        single = BayesianAttacker(world, engine.mechanism, float32=True)
+        e64 = reference.expected_error_batch(batch)
+        e32 = single.expected_error_batch(batch)
+        assert e32.dtype == np.float64  # handed back upcast for aggregation
+        assert np.allclose(e64, e32, rtol=1e-3)
+
+    def test_estimates_and_inference_error_agree(self, world, engine):
+        cells, batch = self._batch(world, engine)
+        reference = BayesianAttacker(world, engine.mechanism)
+        single = BayesianAttacker(world, engine.mechanism, float32=True)
+        assert np.array_equal(
+            reference.estimate_batch(batch), single.estimate_batch(batch)
+        )
+        assert np.allclose(
+            reference.inference_error_batch(batch, cells),
+            single.inference_error_batch(batch, cells),
+            rtol=1e-3,
+        )
+
+    def test_scalar_path_stays_float64(self, world, engine):
+        _, batch = self._batch(world, engine)
+        single = BayesianAttacker(world, engine.mechanism, float32=True)
+        posterior = single.posterior(batch[0])
+        assert posterior.dtype == np.float64
+
+    def test_pdf_matrix_dtype_parameter(self, world, engine):
+        _, batch = self._batch(world, engine)
+        dense = engine.pdf_matrix(batch.points, dtype=np.float32)
+        assert dense.dtype == np.float32
+        reference = engine.pdf_matrix(batch.points)
+        assert np.allclose(dense, reference, rtol=1e-5)
+
+    def test_metrics_thread_float32(self, world, engine):
+        cells = list(range(10))
+        kwargs = dict(rng=np.random.default_rng(3), trials_per_cell=2)
+        ref = adversary_error(world, engine.mechanism, cells, rng=np.random.default_rng(3), trials_per_cell=2)
+        f32 = adversary_error(world, engine.mechanism, cells, float32=True, **kwargs)
+        assert f32 == pytest.approx(ref, rel=1e-3)
+        ref_e = expected_inference_error(world, engine.mechanism, cells, rng=np.random.default_rng(5), trials_per_cell=2)
+        f32_e = expected_inference_error(
+            world, engine.mechanism, cells, rng=np.random.default_rng(5), trials_per_cell=2, float32=True
+        )
+        assert f32_e == pytest.approx(ref_e, rel=1e-3)
+
+    def test_sharded_metric_accepts_float32(self, world, engine):
+        cells = list(range(8))
+        ref = expected_inference_error(
+            world, engine.mechanism, cells, rng=7, trials_per_cell=2, shards=2, backend="serial"
+        )
+        f32 = expected_inference_error(
+            world, engine.mechanism, cells, rng=7, trials_per_cell=2, shards=2,
+            backend="serial", float32=True,
+        )
+        assert f32 == pytest.approx(ref, rel=1e-3)
+
+
+class TestCLIArrayBackend:
+    def test_engines_lists_array_backends(self, capsys):
+        assert cli.main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "array backends:" in out
+        assert "numpy (available)" in out
+
+    def test_release_with_numpy_backend(self, capsys):
+        assert cli.main(["--seed", "3", "release", "--cell", "5", "--array-backend", "np"]) == 0
+
+    def test_release_unavailable_backend_exits_1(self, capsys):
+        if array_backend_available("cupy"):
+            pytest.skip("cupy installed in this environment")
+        assert cli.main(["release", "--cell", "5", "--array-backend", "cupy"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_unknown_backend_exits_1(self, capsys):
+        assert (
+            cli.main(["experiment", "e4", "--size", "6", "--array-backend", "mlx"]) == 1
+        )
+        err = capsys.readouterr().err
+        assert "error:" in err and "mlx" in err
+
+    def test_experiment_float32_runs(self, capsys):
+        code = cli.main(
+            ["experiment", "e4", "--size", "6", "--users", "4", "--horizon", "6", "--float32"]
+        )
+        assert code == 0
+        assert "E4" in capsys.readouterr().out
