@@ -49,6 +49,16 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
                             "bit_exact": true, "rss_peak_mb": 265.5, ...},
         "mega_round": {"releases": 10000000, "releases_per_sec": 5300000.0,
                        "workspace_mb": 123.0, "rss_peak_mb": 410.2, ...}
+      },
+      "rpc_backend": {                                    # E20
+        "sweep": [{"backend": "rpc", "workers": 2, "shards": 4,
+                   "seconds": 0.02, "releases_per_sec": 11500.0,
+                   "matches_serial": true}, ...],
+        "rpc_vs_pool": {"rounds": 8, "shards": 4, "rpc_workers": 2,
+                        "pool_seconds": 0.032, "rpc_seconds": 0.036,
+                        "rpc_vs_pool": 0.879, "parity_budget": 0.7,
+                        "within_budget": true, ...},
+        "chaos": {"shards": 4, "worker_losses": 1, "matches_serial": true, ...}
       }
     }
 
@@ -87,6 +97,7 @@ import bench_e16_distributed_eval as bench_e16  # noqa: E402
 import bench_e17_epidemic_eval as bench_e17  # noqa: E402
 import bench_e18_durable_ingest as bench_e18  # noqa: E402
 import bench_e19_fused_round as bench_e19  # noqa: E402
+import bench_e20_rpc as bench_e20  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -113,6 +124,7 @@ DISTRIBUTED_ENTRY = "e16_distributed_eval"
 EPIDEMIC_ENTRY = "e17_epidemic_eval"
 DURABLE_ENTRY = "e18_durable_ingest"
 FUSED_ENTRY = "e19_fused_round"
+RPC_ENTRY = "e20_rpc_backend"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -182,6 +194,15 @@ def run_fused_round(smoke: bool) -> dict:
     return bench_e19.fused_round_block(smoke)
 
 
+def run_rpc_backend(smoke: bool) -> dict:
+    """The E20 block: rpc sweep, pool-parity timing, and the chaos smoke.
+
+    Delegates to ``bench_e20_rpc.rpc_block`` — same single-source-of-truth
+    arrangement as E16-E19.
+    """
+    return bench_e20.rpc_block(smoke)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
@@ -189,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
         "--only",
         action="append",
         choices=sorted(ENTRY_POINTS)
-        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY],
+        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY, RPC_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -207,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         EPIDEMIC_ENTRY,
         DURABLE_ENTRY,
         FUSED_ENTRY,
+        RPC_ENTRY,
     ]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
@@ -216,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
             EPIDEMIC_ENTRY,
             DURABLE_ENTRY,
             FUSED_ENTRY,
+            RPC_ENTRY,
         ):
             continue
         runner = ENTRY_POINTS[name]
@@ -304,6 +327,28 @@ def main(argv: list[str] | None = None) -> int:
             f"  mega round {mega['releases']:,} releases at "
             f"{mega['releases_per_sec']:,.0f} releases/s, workspace "
             f"{mega['workspace_mb']}MB, rss peak {mega['rss_peak_mb']}MB"
+        )
+    if RPC_ENTRY in names:
+        start = time.perf_counter()
+        payload["rpc_backend"] = run_rpc_backend(args.smoke)
+        payload["timings"][RPC_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{RPC_ENTRY:<28} {payload['timings'][RPC_ENTRY]:>10.3f}s")
+        for record in payload["rpc_backend"]["sweep"]:
+            print(
+                f"  rpc workers={record['workers']} shards={record['shards']}"
+                f"  {record['releases_per_sec']:>12,.0f} releases/s"
+                f"  matches_serial={record['matches_serial']}"
+            )
+        versus = payload["rpc_backend"]["rpc_vs_pool"]
+        print(
+            f"  rpc {versus['rpc_seconds']}s vs pool {versus['pool_seconds']}s "
+            f"over {versus['rounds']} rounds ({versus['rpc_vs_pool']}x pool, "
+            f"within_budget={versus['within_budget']})"
+        )
+        chaos = payload["rpc_backend"]["chaos"]
+        print(
+            f"  chaos lost {chaos['worker_losses']} worker(s), "
+            f"matches_serial={chaos['matches_serial']}"
         )
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

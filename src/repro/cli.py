@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment e8 --shards 4 --backend pool --async-ingest
     python -m repro experiment e8 --shards 4 --store run.sqlite
     python -m repro experiment e8 --shards 4 --store run.sqlite --resume
+    python -m repro experiment e8 --shards 4 --backend rpc --workers 2 4
+    python -m repro experiment e1 --shards 4 --backend rpc --workers 2 --worker-timeout 30
     python -m repro engines
     python -m repro datasets
 
@@ -158,6 +160,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="e8: overlap sharded release computation with server commits "
         "through the bounded async commit queue",
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="rpc backend only: remote worker-process count; e8 accepts "
+        "several counts and sweeps one row block per count, metric runners "
+        "take exactly one",
+    )
+    experiment.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="rpc backend only: seconds without a heartbeat/result before a "
+        "worker is declared lost and its shard is retried elsewhere",
     )
     experiment.add_argument(
         "--store",
@@ -352,6 +372,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 config = replace(config, backends=(args.backend,))
             else:
                 config = replace(config, eval_backend=args.backend)
+        if args.workers is not None or args.worker_timeout is not None:
+            # These knobs configure the rpc worker cluster; accepting them
+            # for in-process backends would silently do nothing.
+            if args.backend != "rpc":
+                raise ValidationError(
+                    "--workers/--worker-timeout configure the rpc worker "
+                    "cluster; pass --backend rpc"
+                )
+            params: dict = {}
+            if args.worker_timeout is not None:
+                if args.worker_timeout <= 0:
+                    raise ValidationError(
+                        f"worker-timeout must be > 0, got {args.worker_timeout}"
+                    )
+                params["worker_timeout"] = float(args.worker_timeout)
+            if args.workers is not None:
+                if any(count < 1 for count in args.workers):
+                    raise ValidationError(f"workers must be >= 1, got {args.workers}")
+                if args.name == "e8":
+                    config = replace(config, worker_counts=tuple(args.workers))
+                elif len(args.workers) == 1:
+                    params["workers"] = int(args.workers[0])
+                else:
+                    raise ValidationError(
+                        f"experiment {args.name} runs one worker cluster; "
+                        "pass a single --workers count (e8 sweeps several)"
+                    )
+            if params:
+                config = replace(config, backend_params=tuple(sorted(params.items())))
         if args.array_backend is not None:
             # Resolve now so an unknown or uninstalled backend exits 1 with
             # the availability table instead of surfacing mid-sweep.

@@ -16,8 +16,9 @@ population-scale engine:
 * :class:`ShardPlan` + :func:`sharded_release_rounds` /
   :func:`stream_shard_releases` — deterministic population sharding with
   per-user RNG streams, executed on a pluggable :class:`ExecutionBackend`
-  (``serial`` / ``thread`` / ``process`` / long-lived ``pool``) so one
-  seeded run reproduces element-wise at any shard count;
+  (``serial`` / ``thread`` / ``process`` / long-lived ``pool`` / socket
+  ``rpc`` with deterministic worker-loss retry) so one seeded run
+  reproduces element-wise at any shard count;
 * :mod:`~repro.engine.distributed` — the evaluation layer's counterpart:
   :func:`sharded_metric` folds per-shard :class:`MetricShardResult`
   pieces with an exact associative merge, so E1/E4-class metrics scale
@@ -68,6 +69,17 @@ from repro.engine.registry import (
 from repro.engine.sharding import ShardPlan, sharded_release_rounds, stream_shard_releases
 from repro.engine.specs import EngineSpec, ExecutionSpec, MechanismSpec, PolicySpec
 
+
+def __getattr__(name: str):
+    # RpcBackend is exported lazily (PEP 562): the worker entrypoint is
+    # `python -m repro.engine.rpc`, and an eager import here would make runpy
+    # warn about repro.engine.rpc already sitting in sys.modules.
+    if name == "RpcBackend":
+        from repro.engine.rpc import RpcBackend
+
+        return RpcBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "PrivacyEngine",
     "EngineRef",
@@ -88,6 +100,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "PoolBackend",
+    "RpcBackend",
     "register_mechanism",
     "register_policy",
     "register_backend",

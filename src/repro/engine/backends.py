@@ -21,7 +21,13 @@ extensions ride on top:
   (:func:`~repro.engine.sharding.stream_shard_releases`,
   :meth:`~repro.server.pipeline.Server.ingest_shard`) use to avoid a full
   merge barrier.  The default delegates to :meth:`run`, so custom backends
-  only implement it when they can genuinely stream.
+  only implement it when they can genuinely stream.  Backends that can
+  *lose* workers mid-task (the ``rpc`` backend) additionally accept an
+  ``on_worker_lost(task_index, attempt)`` observer and transparently
+  reschedule the lost task — because every shard task is a pure function
+  of its seeds, a retry is bit-identical, so callers see at most one
+  ``(index, result)`` pair per task regardless of how many workers died.
+  The in-process backends never lose workers and simply ignore the hook.
 * :meth:`ExecutionBackend.close` / the context-manager protocol releases
   whatever the backend holds (the ``pool`` backend's persistent executor).
   Call sites that *build* a backend from a registry name own it and must
@@ -93,7 +99,12 @@ class ExecutionBackend(abc.ABC):
             but must **return** ``[fn(t) for t in tasks]`` order.
         """
 
-    def run_unordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> Iterator[tuple[int, R]]:
+    def run_unordered(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        on_worker_lost: Callable[[int, int], None] | None = None,
+    ) -> Iterator[tuple[int, R]]:
         """Yield ``(task_index, fn(task))`` pairs as tasks complete.
 
         The streaming half of the contract: consumers that can commit
@@ -104,7 +115,15 @@ class ExecutionBackend(abc.ABC):
         yields), so every registered backend — including custom ones that
         only implement :meth:`run` — satisfies it; the built-in pool
         backends override it to stream genuinely.
+
+        ``on_worker_lost(task_index, attempt)`` is an optional observer for
+        backends whose workers can die mid-task (``rpc``): it is called once
+        per lost execution *before* the task is rescheduled, with ``attempt``
+        counting dispatches so far.  In-process backends never lose workers
+        and accept-but-ignore the hook, so call sites can pass it
+        unconditionally.
         """
+        del on_worker_lost  # in-process execution cannot lose a worker
         yield from enumerate(self.run(fn, tasks))
 
     def close(self) -> None:
@@ -155,7 +174,13 @@ class _PoolBackend(ExecutionBackend):
         with self._executor_cls(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, tasks))
 
-    def run_unordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> Iterator[tuple[int, R]]:
+    def run_unordered(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        on_worker_lost: Callable[[int, int], None] | None = None,
+    ) -> Iterator[tuple[int, R]]:
+        del on_worker_lost  # executor tasks are never abandoned mid-flight
         if len(tasks) <= 1:
             yield from enumerate(fn(task) for task in tasks)
             return
@@ -233,7 +258,13 @@ class PoolBackend(ExecutionBackend):
             return []
         return list(self._pool().map(fn, tasks))
 
-    def run_unordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> Iterator[tuple[int, R]]:
+    def run_unordered(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        on_worker_lost: Callable[[int, int], None] | None = None,
+    ) -> Iterator[tuple[int, R]]:
+        del on_worker_lost  # executor tasks are never abandoned mid-flight
         if not tasks:
             return
         futures = {self._pool().submit(fn, task): index for index, task in enumerate(tasks)}
@@ -313,7 +344,17 @@ def backend_names() -> list[str]:
     return sorted(_BACKENDS)
 
 
+def _rpc_factory(**params) -> "ExecutionBackend":
+    # Imported lazily: rpc.py imports this module for ExecutionBackend, so a
+    # top-level import here would be circular.  The factory is only paid for
+    # when a spec/CLI actually selects the rpc backend.
+    from repro.engine.rpc import RpcBackend
+
+    return RpcBackend(**params)
+
+
 register_backend("serial", SerialBackend, aliases=("sync", "inline"))
 register_backend("thread", ThreadBackend, aliases=("threads", "threadpool"))
 register_backend("process", ProcessBackend, aliases=("processes", "multiprocess"))
 register_backend("pool", PoolBackend, aliases=("worker_pool", "persistent"))
+register_backend("rpc", _rpc_factory, aliases=("socket", "tcp"))

@@ -71,12 +71,16 @@ class ExecutionSpec:
     """How sharded release rounds should run: shard count and backend.
 
     ``backend`` is a registry name (``"serial"``, ``"thread"``,
-    ``"process"``, or anything added via
+    ``"process"``, ``"pool"``, ``"rpc"``, or anything added via
     :func:`~repro.engine.backends.register_backend`); ``params`` are
-    forwarded to the backend factory (e.g. ``max_workers``).  Execution
-    never affects the released values — per-user RNG streams make output
-    invariant under sharding (see :mod:`repro.engine.sharding`) — so this is
-    a pure throughput knob that can live in a saved spec file.
+    forwarded to the backend factory — ``max_workers`` for the in-process
+    pools, ``workers`` / ``worker_timeout`` / ``max_retries`` for the
+    socket ``rpc`` backend (:class:`~repro.engine.rpc.RpcBackend`).
+    Execution never affects the released values — per-user RNG streams make
+    output invariant under sharding (see :mod:`repro.engine.sharding`), and
+    the rpc backend's worker-loss retries re-run pure shard tasks
+    bit-identically — so this is a pure throughput knob that can live in a
+    saved spec file.
 
     ``store`` / ``resume`` extend the block to durability: a store path
     makes :func:`~repro.server.pipeline.run_release_rounds_batched` commit

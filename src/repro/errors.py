@@ -40,6 +40,30 @@ class TracingError(ReproError):
     """The contact-tracing protocol was driven into an invalid state."""
 
 
+class WorkerLostError(ReproError):
+    """A remote execution worker died and the task exhausted its retries.
+
+    The ``rpc`` backend treats worker death (process exit, heartbeat
+    timeout, torn frame) as "re-run the shard elsewhere" — every shard is a
+    pure function of its seeds, so a retry is bit-identical.  Only when the
+    *same* task has lost its worker more than ``max_retries`` times does the
+    coordinator give up and raise this, naming the task and the failure
+    reason, so a systematically crashing shard surfaces as an error instead
+    of an infinite respawn loop.
+    """
+
+
+class CommitStalledError(ReproError):
+    """An async shard committer failed to drain within its close timeout.
+
+    Raised by :meth:`~repro.server.pipeline.AsyncShardCommitter.close` when
+    the drain thread is still alive after the join deadline — e.g. a commit
+    wedged inside a dead store handle, or a producer died mid-submit leaving
+    the queue full.  The message names the shard ids still pending so the
+    operator knows exactly which commits never landed.
+    """
+
+
 class StoreError(ReproError):
     """A durable trace-store operation failed (I/O, schema, misuse)."""
 

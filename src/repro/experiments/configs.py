@@ -108,6 +108,15 @@ class ExperimentConfig:
     AsyncShardCommitter`) so shard commits overlap release computation;
     per-user server state is element-wise unchanged.
 
+    ``backend_params`` are extra keyword arguments for the ``rpc`` backend
+    factory — how the CLI threads ``--worker-timeout`` (and, for non-E8
+    runners, ``--workers``) into the worker cluster.  E8 applies them to
+    its rpc row blocks only (in-process backends in a mixed sweep would
+    reject cluster knobs); the metric runners forward them to whatever
+    single ``eval_backend`` is named.  ``worker_counts`` makes E8 sweep the
+    rpc worker-process count (one row block per count, reported in the
+    ``workers`` column); other backends ignore it.
+
     ``array_backend`` selects the array namespace mechanism kernels compute
     on (:mod:`repro.core.xp`; ``None`` keeps the bit-exact numpy reference)
     and flows into every engine built through :meth:`make_engine`.
@@ -145,6 +154,8 @@ class ExperimentConfig:
     eval_shards: int | None = None
     eval_backend: str | None = None
     async_ingest: bool = False
+    backend_params: tuple[tuple[str, object], ...] = ()
+    worker_counts: tuple[int, ...] | None = None
     store_path: str | None = None
     resume: bool = False
     array_backend: str | None = None

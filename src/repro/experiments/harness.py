@@ -88,7 +88,7 @@ def _eval_execution(config: ExperimentConfig):
     if config.eval_shards is None and config.eval_backend is None:
         yield None, None
         return
-    with ensure_backend(config.eval_backend) as backend:
+    with ensure_backend(config.eval_backend, **dict(config.backend_params)) as backend:
         yield (1 if config.eval_shards is None else int(config.eval_shards)), backend
 
 
@@ -712,6 +712,15 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
     whole row block, which is what lets the ``pool`` backend amortise
     worker startup and engine pickling across the sweep.
 
+    The ``workers`` column reports remote worker-process counts for the
+    ``rpc`` backend: with ``config.worker_counts`` set, the rpc backend gets
+    one row block per worker count (each count building its own persistent
+    worker cluster, shared across that block's shard sweep, exactly like the
+    pool amortisation above); without it, the backend's own default count is
+    reported.  In-process backends have no remote workers and show ``None``.
+    ``config.backend_params`` (e.g. ``worker_timeout``) are forwarded to
+    every backend built here by name.
+
     Every run is seeded with ``config.seed`` under the sharded
     per-user-stream contract, so all combinations must produce identical
     values; ``matches_serial`` re-asserts that element-wise for the
@@ -736,6 +745,7 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
     table = ResultTable(
         [
             "backend",
+            "workers",
             "shards",
             "seconds",
             "releases_per_sec",
@@ -760,52 +770,67 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
         rng=config.seed, shards=1, backend="serial",
     )
     for backend_name in config.backends:
-        with ensure_backend(backend_name) as backend:
-            for shards in config.shard_counts:
-                start = perf_counter()
-                server = run_release_rounds_batched(
-                    world, db, engine, rng=config.seed, shards=shards, backend=backend,
-                    async_ingest=config.async_ingest,
-                )
-                seconds = perf_counter() - start
-                start = perf_counter()
-                report = monitoring_utility(
-                    world, engine, db, block_rows, block_cols,
-                    rng=config.seed, shards=shards, backend=backend,
-                )
-                eval_seconds = perf_counter() - start
-                durable_rate = None
-                if config.store_path is not None:
-                    # Fresh store per combination (each is a complete run of
-                    # its own) unless the caller is resuming one; matching
-                    # the serial baseline folds the durable output into the
-                    # sweep's determinism check.
-                    if not config.resume:
-                        for suffix in ("", "-wal", "-shm"):
-                            Path(config.store_path + suffix).unlink(missing_ok=True)
+        if backend_name == "rpc" and config.worker_counts:
+            worker_sweep: tuple[int | None, ...] = tuple(config.worker_counts)
+        else:
+            worker_sweep = (None,)
+        for workers in worker_sweep:
+            # backend_params carry rpc cluster knobs (worker_timeout, ...);
+            # forwarding them to the in-process backends in a mixed sweep
+            # would be a TypeError, so they apply to rpc row blocks only.
+            params = dict(config.backend_params) if backend_name == "rpc" else {}
+            if workers is not None:
+                params["workers"] = int(workers)
+            with ensure_backend(backend_name, **params) as backend:
+                # Remote-worker backends report their cluster size; the
+                # in-process backends have no matching notion and show None.
+                reported_workers = getattr(backend, "workers", None) if backend_name == "rpc" else None
+                for shards in config.shard_counts:
                     start = perf_counter()
-                    durable_server = run_release_rounds_batched(
-                        world, db, engine, rng=config.seed, shards=shards,
-                        backend=backend, async_ingest=config.async_ingest,
-                        store=config.store_path, resume=config.resume,
+                    server = run_release_rounds_batched(
+                        world, db, engine, rng=config.seed, shards=shards, backend=backend,
+                        async_ingest=config.async_ingest,
                     )
-                    durable_seconds = perf_counter() - start
-                    if list(durable_server.released_db.checkins()) != baseline:
-                        raise AssertionError(
-                            "store-backed run diverged from the serial baseline"
+                    seconds = perf_counter() - start
+                    start = perf_counter()
+                    report = monitoring_utility(
+                        world, engine, db, block_rows, block_cols,
+                        rng=config.seed, shards=shards, backend=backend,
+                    )
+                    eval_seconds = perf_counter() - start
+                    durable_rate = None
+                    if config.store_path is not None:
+                        # Fresh store per combination (each is a complete run
+                        # of its own) unless the caller is resuming one;
+                        # matching the serial baseline folds the durable
+                        # output into the sweep's determinism check.
+                        if not config.resume:
+                            for suffix in ("", "-wal", "-shm"):
+                                Path(config.store_path + suffix).unlink(missing_ok=True)
+                        start = perf_counter()
+                        durable_server = run_release_rounds_batched(
+                            world, db, engine, rng=config.seed, shards=shards,
+                            backend=backend, async_ingest=config.async_ingest,
+                            store=config.store_path, resume=config.resume,
                         )
-                    durable_rate = round(len(db) / durable_seconds, 1)
-                table.add_row(
-                    backend_name,
-                    shards,
-                    round(seconds, 6),
-                    round(len(db) / seconds, 1),
-                    list(server.released_db.checkins()) == baseline,
-                    round(eval_seconds, 6),
-                    round(len(db) / eval_seconds, 1),
-                    report == eval_baseline,
-                    durable_rate,
-                )
+                        durable_seconds = perf_counter() - start
+                        if list(durable_server.released_db.checkins()) != baseline:
+                            raise AssertionError(
+                                "store-backed run diverged from the serial baseline"
+                            )
+                        durable_rate = round(len(db) / durable_seconds, 1)
+                    table.add_row(
+                        backend_name,
+                        reported_workers,
+                        shards,
+                        round(seconds, 6),
+                        round(len(db) / seconds, 1),
+                        list(server.released_db.checkins()) == baseline,
+                        round(eval_seconds, 6),
+                        round(len(db) / eval_seconds, 1),
+                        report == eval_baseline,
+                        durable_rate,
+                    )
     return table
 
 

@@ -12,6 +12,7 @@ from repro.server.policy_config import PolicyConfigurator, PolicyProposal
 from repro.server.pipeline import (
     AsyncShardCommitter,
     Client,
+    PartitionedShardCommitters,
     Server,
     run_release_rounds,
     run_release_rounds_batched,
@@ -24,6 +25,7 @@ __all__ = [
     "PolicyProposal",
     "AsyncShardCommitter",
     "Client",
+    "PartitionedShardCommitters",
     "Server",
     "run_release_rounds",
     "run_release_rounds_batched",

@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import queue
 import threading
+import time as _time
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -49,7 +51,7 @@ from repro.core.accounting import BudgetLedger
 from repro.core.mechanisms.base import Mechanism, Release, ReleaseBatch
 from repro.core.workspace import RoundWorkspace
 from repro.core.policy_graph import PolicyGraph
-from repro.errors import DataError, PolicyError, ValidationError
+from repro.errors import CommitStalledError, DataError, PolicyError, ValidationError
 from repro.geo.grid import GridWorld
 from repro.mobility.trajectory import TraceDB
 from repro.server.localdb import LocalLocationDB
@@ -61,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports core)
 __all__ = [
     "AsyncShardCommitter",
     "Client",
+    "PartitionedShardCommitters",
     "Server",
     "run_release_rounds",
     "run_release_rounds_batched",
@@ -195,6 +198,12 @@ class Server:
         else:
             self.released_db = TraceDB()
         self.ledger = ledger if ledger is not None else BudgetLedger()
+        # Serializes the commit/mutate section of ingest_shard so several
+        # partitioned committer threads can ingest concurrently: the store's
+        # single SQLite connection must not interleave transactions, and
+        # TraceDB/BudgetLedger bookkeeping is not atomic under free
+        # threading.  Snapping and lexsort stay outside the lock.
+        self._ingest_lock = threading.Lock()
 
     def ingest(self, user: int, time: int, release: Release, purpose: str = "stream") -> int:
         """Store one release; returns the snapped cell recorded server-side."""
@@ -325,30 +334,31 @@ class Server:
                 f"{len(users)} users / {len(times)} times"
             )
         cells = self.world.snap_batch(batch.points)
-        if self.store is not None:
-            if shard is None:
-                raise DataError(
-                    "store-backed ingest_shard requires the shard index "
-                    "(pass shard=) to key its durable commit marks"
-                )
-            self.store.commit_shard(
-                int(shard),
-                users,
-                times,
-                ReleaseBatch(
-                    points=batch.points,
-                    exact=batch.exact,
-                    epsilons=batch.epsilons,
-                    cells=np.asarray(cells, dtype=np.int64),
-                    mechanism=batch.mechanism,
-                ),
+        if self.store is not None and shard is None:
+            raise DataError(
+                "store-backed ingest_shard requires the shard index "
+                "(pass shard=) to key its durable commit marks"
             )
         order = np.lexsort((users, times))  # commit by (time, user)
-        if not self.out_of_core:
-            self.released_db.record_many(users[order], times[order], cells[order])
-        self.ledger.charge_many(
-            users[order], times[order], batch.epsilons[order], purpose=purpose
-        )
+        with self._ingest_lock:
+            if self.store is not None:
+                self.store.commit_shard(
+                    int(shard),
+                    users,
+                    times,
+                    ReleaseBatch(
+                        points=batch.points,
+                        exact=batch.exact,
+                        epsilons=batch.epsilons,
+                        cells=np.asarray(cells, dtype=np.int64),
+                        mechanism=batch.mechanism,
+                    ),
+                )
+            if not self.out_of_core:
+                self.released_db.record_many(users[order], times[order], cells[order])
+            self.ledger.charge_many(
+                users[order], times[order], batch.epsilons[order], purpose=purpose
+            )
         return cells
 
     def replay_shard(self, low_user: int, high_user: int, purpose: str = "stream"):
@@ -387,6 +397,33 @@ class Server:
         """
         return AsyncShardCommitter(self, max_pending=max_pending, purpose=purpose)
 
+    def partitioned_committers(
+        self,
+        partitions: int,
+        users: Sequence[int],
+        max_pending: int = 2,
+        purpose: str = "stream",
+        close_timeout: float | None = 60.0,
+    ) -> "PartitionedShardCommitters":
+        """``partitions`` user-range committer partitions over ``users``.
+
+        Each partition owns a contiguous range of the sorted population and
+        its own :class:`AsyncShardCommitter` thread, so ingest scales out
+        with the release workers instead of funnelling every shard through
+        one commit thread (LSST-style partitioned ingest).  Valid because
+        per-user server state is scheduling-independent — see
+        :class:`PartitionedShardCommitters` for the routing and ordering
+        rules.
+        """
+        return PartitionedShardCommitters(
+            self,
+            users=users,
+            partitions=partitions,
+            max_pending=max_pending,
+            purpose=purpose,
+            close_timeout=close_timeout,
+        )
+
 
 class AsyncShardCommitter:
     """Commit population shards on a background thread, bounded by backpressure.
@@ -416,19 +453,37 @@ class AsyncShardCommitter:
       remainder) and re-raises the original exception from :meth:`submit`
       or :meth:`close`.  A producer that dies mid-stream leaves only whole,
       fully-committed shards behind.
+    * **Liveness** — :meth:`close` never blocks forever: the drain thread is
+      joined against ``close_timeout`` (default 60s) and a committer that
+      fails to drain — e.g. a commit wedged on a dead store handle — raises
+      :class:`~repro.errors.CommitStalledError` naming the shard ids still
+      pending, so a stalled pipeline surfaces as a diagnosable error.
 
     Use as a context manager; on normal exit :meth:`close` drains every
     queued shard before returning, so the server is fully caught up.
     """
 
-    def __init__(self, server: Server, max_pending: int = 2, purpose: str = "stream") -> None:
+    def __init__(
+        self,
+        server: Server,
+        max_pending: int = 2,
+        purpose: str = "stream",
+        close_timeout: float | None = 60.0,
+    ) -> None:
         if int(max_pending) < 1:
             raise ValidationError(f"max_pending must be >= 1, got {max_pending}")
+        if close_timeout is not None and float(close_timeout) <= 0:
+            raise ValidationError(f"close_timeout must be > 0 or None, got {close_timeout}")
         self._server = server
         self._purpose = purpose
+        self._close_timeout = None if close_timeout is None else float(close_timeout)
         self._queue: queue.Queue = queue.Queue(maxsize=int(max_pending))
         self._error: BaseException | None = None
         self._closed = False
+        #: submission seq -> shard label, removed as each commit finishes;
+        #: what survives here is exactly what a stalled close() reports.
+        self._pending_labels: dict[int, object] = {}
+        self._seq = 0
         self._thread = threading.Thread(
             target=self._drain, name="shard-committer", daemon=True
         )
@@ -440,8 +495,8 @@ class AsyncShardCommitter:
             item = self._queue.get()
             if item is None:
                 return
+            seq, users, times, batch, shard = item
             if self._error is None:
-                users, times, batch, shard = item
                 try:
                     if shard is None:
                         # Keep the historical 3-arg call shape so Server
@@ -454,6 +509,7 @@ class AsyncShardCommitter:
                         )
                 except BaseException as exc:  # re-raised on submit/close
                     self._error = exc
+            self._pending_labels.pop(seq, None)
 
     def submit(self, users, times, batch: ReleaseBatch, shard: int | None = None) -> None:
         """Queue one shard for commit, blocking while ``max_pending`` wait.
@@ -472,17 +528,45 @@ class AsyncShardCommitter:
             self.close()  # re-raises the pending commit error
         if self._closed:
             raise ValidationError("cannot submit to a closed committer")
-        self._queue.put((users, times, batch, shard))
+        self._seq += 1
+        seq = self._seq
+        self._pending_labels[seq] = seq if shard is None else int(shard)
+        self._queue.put((seq, users, times, batch, shard))
 
-    def close(self) -> None:
+    def close(self, timeout: float | None = None) -> None:
         """Drain pending commits, stop the thread, re-raise any commit error.
 
         Idempotent; after closing, :meth:`submit` refuses further shards.
+
+        The drain thread is joined with a deadline (``timeout``, defaulting
+        to the constructor's ``close_timeout``; ``None`` waits forever).  If
+        the thread is still alive when the deadline passes — a commit wedged
+        inside a dead store handle, a producer that died mid-submit with the
+        queue full — :class:`~repro.errors.CommitStalledError` is raised
+        naming the shard ids still pending, instead of blocking the caller
+        forever.  A later :meth:`close` call retries the join, so a
+        committer that eventually drains can still report its commit error.
         """
-        if not self._closed:
-            self._closed = True
-            self._queue.put(None)
-            self._thread.join()
+        limit = self._close_timeout if timeout is None else float(timeout)
+        self._closed = True
+        if self._thread.is_alive():
+            deadline = None if limit is None else _time.monotonic() + limit
+            try:
+                # The sentinel has to queue behind whatever is pending; a
+                # full queue under a wedged drain thread must not block
+                # close() forever.
+                self._queue.put(None, timeout=limit)
+            except queue.Full:
+                pass
+            remaining = None if deadline is None else max(0.0, deadline - _time.monotonic())
+            self._thread.join(timeout=remaining)
+            if self._thread.is_alive():
+                pending = list(self._pending_labels.values())
+                raise CommitStalledError(
+                    f"shard committer failed to drain within {limit:g}s; "
+                    f"{len(pending)} shard(s) still pending commit: "
+                    f"{pending if pending else '(sentinel only)'}"
+                )
         if self._error is not None:
             raise self._error
 
@@ -513,6 +597,147 @@ class AsyncShardCommitter:
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"pending={self.pending}"
         return f"AsyncShardCommitter(max_pending={self._queue.maxsize}, {state})"
+
+
+class PartitionedShardCommitters:
+    """Per-user-range committer partitions: parallel ingest, one owner per user.
+
+    ``partitions`` independent :class:`AsyncShardCommitter` threads, each
+    owning a contiguous range of the sorted user population (the same
+    balanced split rule :class:`~repro.engine.sharding.ShardPlan` uses for
+    shards).  :meth:`submit` routes a **whole shard** to the partition that
+    owns the shard's lowest user id, so partitions commit concurrently while
+    per-user guarantees survive intact.
+
+    Routing and ordering rules
+    --------------------------
+    * Routing granularity is a whole shard: all rows submitted together stay
+      together.  A shard belongs to the partition owning its first (lowest)
+      user — shards and partitions are both contiguous ranges of the same
+      sorted user list, so this keeps each partition's shard set contiguous.
+    * Every user lives in exactly one shard, and every shard is routed to
+      exactly one partition, so all of one user's rows flow through a single
+      committer in submission order — per-user server state (trace rows,
+      ledger totals in time order) is element-wise identical to synchronous
+      or single-committer ingestion.  Only the interleaving of *different*
+      users' ledger entries varies with scheduling, exactly as in the
+      single-committer contract.
+    * Commits from different partitions are serialized at the server by its
+      ingest lock (one SQLite transaction / bookkeeping section at a time);
+      partitioning buys overlap of the pre-commit work (snap, lexsort,
+      pickling) and bounded per-partition backpressure, not torn state.
+
+    Failure semantics follow :class:`AsyncShardCommitter`: :meth:`close`
+    closes every partition (bounded by each one's ``close_timeout``), then
+    re-raises the first error with any other partitions' failures attached
+    as PEP 678 notes.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        users: Sequence[int],
+        partitions: int,
+        max_pending: int = 2,
+        purpose: str = "stream",
+        close_timeout: float | None = 60.0,
+    ) -> None:
+        population = sorted({int(user) for user in users})
+        if not population:
+            raise ValidationError("partitioned committers need a non-empty user population")
+        if int(partitions) < 1:
+            raise ValidationError(f"partitions must be >= 1, got {partitions}")
+        requested = int(partitions)
+        n = len(population)
+        k = min(requested, n)  # empty partitions would never receive a shard
+        base, extra = divmod(n, k)
+        self._starts: list[int] = []
+        cursor = 0
+        for index in range(k):
+            self._starts.append(population[cursor])
+            cursor += base + (1 if index < extra else 0)
+        self._low = population[0]
+        self._high = population[-1]
+        self._committers = [
+            AsyncShardCommitter(
+                server,
+                max_pending=max_pending,
+                purpose=purpose,
+                close_timeout=close_timeout,
+            )
+            for _ in range(k)
+        ]
+
+    @property
+    def partitions(self) -> int:
+        """Number of live partitions (capped at the population size)."""
+        return len(self._committers)
+
+    def partition_of(self, user: int) -> int:
+        """Index of the partition owning ``user``'s contiguous range."""
+        user = int(user)
+        if not self._low <= user <= self._high:
+            raise ValidationError(
+                f"user {user} is outside the partitioned population "
+                f"[{self._low}, {self._high}]"
+            )
+        return max(0, bisect_right(self._starts, user) - 1)
+
+    def submit(self, users, times, batch: ReleaseBatch, shard: int | None = None) -> None:
+        """Route one whole shard to its owning partition's committer.
+
+        Blocks on that partition's ``max_pending`` bound; re-raises the
+        first commit error of *that* partition, like
+        :meth:`AsyncShardCommitter.submit`.
+        """
+        if len(users) == 0:
+            return
+        owner = self.partition_of(int(users[0]))
+        self._committers[owner].submit(users, times, batch, shard=shard)
+
+    @property
+    def pending(self) -> int:
+        """Shards queued but uncommitted across all partitions (approximate)."""
+        return sum(committer.pending for committer in self._committers)
+
+    def close(self, timeout: float | None = None) -> None:
+        """Close every partition; first error wins, the rest become notes."""
+        errors: list[BaseException] = []
+        for committer in self._committers:
+            try:
+                committer.close(timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001 - collected, re-raised
+                errors.append(exc)
+        if errors:
+            primary = errors[0]
+            for extra in errors[1:]:
+                if hasattr(primary, "add_note"):
+                    primary.add_note(f"another partition also failed: {extra!r}")
+            raise primary
+
+    def __enter__(self) -> "PartitionedShardCommitters":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+            return
+        try:
+            # The producer already failed; drain whole queued shards but let
+            # the producer's exception win over any commit error.
+            self.close()
+        except BaseException as commit_error:  # noqa: BLE001
+            if exc is not None and hasattr(exc, "add_note"):
+                exc.add_note(
+                    f"partitioned shard committers also failed while draining: "
+                    f"{commit_error!r}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedShardCommitters(partitions={self.partitions}, "
+            f"pending={self.pending})"
+        )
 
 
 def run_release_rounds(
@@ -585,6 +810,7 @@ def run_release_rounds_batched(
     shards: int | None = None,
     backend=None,
     async_ingest: "bool | int" = False,
+    ingest_partitions: int | None = None,
     store=None,
     resume: bool = False,
     out_of_core: bool = False,
@@ -634,6 +860,14 @@ def run_release_rounds_batched(
         requesting async ingestion without ``shards`` / ``backend`` (or a
         spec execution block) raises :class:`~repro.errors.ValidationError`
         rather than silently switching RNG layouts.
+    ingest_partitions:
+        Scale ingestion itself out: commit through ``n`` per-user-range
+        committer partitions (:meth:`Server.partitioned_committers`) instead
+        of one committer thread, each shard routed to the partition owning
+        its lowest user.  Implies asynchronous ingestion (``async_ingest``
+        then only sets the per-partition queue depth) and, like it,
+        requires the sharded path.  Per-user server state is element-wise
+        unchanged — see :class:`PartitionedShardCommitters`.
     store:
         Optional durable store — a live :class:`~repro.store.TraceStore`,
         a path, or ``None``.  When set, every shard commits transactionally
@@ -683,8 +917,10 @@ def run_release_rounds_batched(
         if store is None and getattr(execution, "store", None):
             store = execution.store
         resume = bool(resume or getattr(execution, "resume", False))
+    if ingest_partitions is not None and int(ingest_partitions) < 1:
+        raise ValidationError(f"ingest_partitions must be >= 1, got {ingest_partitions}")
     if shards is None and backend is None and execution is None:
-        if async_ingest:
+        if async_ingest or ingest_partitions is not None:
             raise ValidationError(
                 "async ingestion rides the sharded streaming path; "
                 "pass shards= and/or backend= to enable it"
@@ -784,7 +1020,18 @@ def run_release_rounds_batched(
                     # close it when the run ends (or raises), exactly like
                     # a named backend.
                     backend = stack.enter_context(execution.build())
-                if async_ingest:
+                if ingest_partitions is not None:
+                    # Partitioned ingest implies async; async_ingest (when
+                    # given as an int) sets the per-partition queue depth.
+                    committer = stack.enter_context(
+                        server.partitioned_committers(
+                            int(ingest_partitions),
+                            users=plan.users,
+                            max_pending=2 if async_ingest in (False, True) else int(async_ingest),
+                        )
+                    )
+                    commit = committer.submit
+                elif async_ingest:
                     # Entered after the backend, so on exit the committer
                     # drains (committing every whole queued shard) before
                     # the backend closes.

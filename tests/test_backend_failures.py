@@ -8,6 +8,7 @@ or nothing — so a crashed run leaves only complete per-user state behind.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -19,11 +20,16 @@ from repro.engine import (
     register_backend,
     sharded_metric,
 )
-from repro.errors import ReproError, ValidationError
+from repro.errors import CommitStalledError, ReproError, ValidationError
 from repro.geo.grid import GridWorld
 from repro.mobility.synthetic import geolife_like
 from repro.mobility.trajectory import TraceDB
-from repro.server.pipeline import AsyncShardCommitter, Server, run_release_rounds_batched
+from repro.server.pipeline import (
+    AsyncShardCommitter,
+    PartitionedShardCommitters,
+    Server,
+    run_release_rounds_batched,
+)
 
 
 class ShardExploded(RuntimeError):
@@ -276,3 +282,119 @@ class TestCommitterShutdown:
                 raise KeyError("producer")
         notes = getattr(excinfo.value, "__notes__", [])
         assert any("ShardExploded" in note for note in notes)
+
+
+class TestCommitterLiveness:
+    """close() never blocks forever: a wedged drain raises, naming the shards.
+
+    Regression coverage for the hang this replaced — a commit stuck inside a
+    dead store handle (or any ingest that never returns) used to wedge
+    ``close()`` on an unbounded ``join``, turning a diagnosable failure into
+    a silent pipeline stall.
+    """
+
+    @staticmethod
+    def _wedged_server(world, block_for=60.0):
+        class WedgedServer(Server):
+            def ingest_shard(self, *args, **kwargs):
+                time.sleep(block_for)
+
+        return WedgedServer(world)
+
+    def test_wedged_commit_close_raises_naming_pending_shards(self, world, engine):
+        committer = AsyncShardCommitter(
+            self._wedged_server(world), max_pending=2, close_timeout=0.5
+        )
+        committer.submit([1], [0], engine.release_batch([3], rng=0), shard=7)
+        committer.submit([2], [0], engine.release_batch([4], rng=0), shard=9)
+        start = time.monotonic()
+        with pytest.raises(CommitStalledError, match="failed to drain") as excinfo:
+            committer.close()
+        assert time.monotonic() - start < 5.0
+        # The error must name the wedged shards so the stall is actionable.
+        assert "7" in str(excinfo.value)
+        assert "9" in str(excinfo.value)
+
+    def test_wedged_commit_close_with_full_queue_still_returns(self, world, engine):
+        # Queue full + drain thread wedged is the worst case: the close
+        # sentinel cannot even be enqueued.  close() must still come back.
+        committer = AsyncShardCommitter(
+            self._wedged_server(world), max_pending=1, close_timeout=0.5
+        )
+        committer.submit([1], [0], engine.release_batch([3], rng=0), shard=0)
+        # The drain thread has dequeued shard 0 and wedged; fill the queue.
+        committer.submit([2], [0], engine.release_batch([4], rng=0), shard=1)
+        start = time.monotonic()
+        with pytest.raises(CommitStalledError):
+            committer.close()
+        assert time.monotonic() - start < 5.0
+
+    def test_close_timeout_must_be_positive(self, world):
+        with pytest.raises(ValidationError):
+            AsyncShardCommitter(Server(world), close_timeout=0.0)
+
+    def test_eventually_draining_commit_closes_clean(self, world, engine):
+        # A *slow* commit is not a stall: a second close() after the wedge
+        # clears succeeds (and would surface any commit error).
+        server = self._wedged_server(world, block_for=0.3)
+        committer = AsyncShardCommitter(server, max_pending=2, close_timeout=0.05)
+        committer.submit([1], [0], engine.release_batch([3], rng=0), shard=4)
+        with pytest.raises(CommitStalledError):
+            committer.close()
+        deadline = time.monotonic() + 10.0
+        while committer.pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        committer.close(timeout=5.0)  # drained now: no error to report
+
+
+class TestPartitionedCommitterFailures:
+    @staticmethod
+    def _failing_server(world):
+        class FailingServer(Server):
+            def ingest_shard(self, users, times, batch, purpose="stream", shard=None):
+                raise ShardExploded("partition commit blew up")
+
+        return FailingServer(world)
+
+    def test_partition_commit_error_surfaces_on_close(self, world, engine):
+        committers = PartitionedShardCommitters(
+            self._failing_server(world), users=[1, 2, 3, 4], partitions=2
+        )
+        committers.submit([1], [0], engine.release_batch([3], rng=0))
+        with pytest.raises(ShardExploded, match="partition commit blew up"):
+            committers.close()
+
+    def test_every_failing_partition_is_reported(self, world, engine):
+        committers = PartitionedShardCommitters(
+            self._failing_server(world), users=[1, 2, 3, 4], partitions=2
+        )
+        # One doomed shard per partition: the first failure is raised, the
+        # second must not vanish — it travels as a PEP 678 note.
+        committers.submit([1], [0], engine.release_batch([3], rng=0))
+        committers.submit([3], [0], engine.release_batch([4], rng=0))
+        for _ in range(200):
+            if committers.pending == 0:
+                break
+            threading.Event().wait(0.005)
+        with pytest.raises(ShardExploded) as excinfo:
+            committers.close()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("another partition also failed" in note for note in notes)
+
+    def test_producer_error_wins_with_drain_note(self, world, engine):
+        with pytest.raises(KeyError, match="producer") as excinfo:
+            with PartitionedShardCommitters(
+                self._failing_server(world), users=[1, 2], partitions=2
+            ) as committers:
+                committers.submit([1], [0], engine.release_batch([3], rng=0))
+                threading.Event().wait(0.05)
+                raise KeyError("producer")
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("also failed while draining" in note for note in notes)
+
+    def test_empty_shard_submit_is_a_no_op(self, world, engine):
+        committers = PartitionedShardCommitters(
+            Server(world), users=[1, 2], partitions=2
+        )
+        committers.submit(np.array([], dtype=int), np.array([], dtype=int), None)
+        committers.close()

@@ -66,6 +66,18 @@ class TestManifest:
         assert manifest["notes"] == "smoke"
         assert manifest["config"] == config
 
+    def test_roundtrip_rpc_execution_fields(self, tmp_path):
+        config = ExperimentConfig(
+            backends=("rpc",),
+            backend_params=(("worker_timeout", 30.0),),
+            worker_counts=(1, 2, 4),
+        )
+        path = save_manifest("e8", config, tmp_path / "e8.csv", tmp_path / "e8.json")
+        manifest = load_manifest(path)
+        assert manifest["config"] == config
+        assert manifest["config"].backend_params == (("worker_timeout", 30.0),)
+        assert manifest["config"].worker_counts == (1, 2, 4)
+
     def test_version_recorded(self, tmp_path):
         import repro
 

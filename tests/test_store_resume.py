@@ -131,7 +131,7 @@ def _committed_shards(path):
         conn.close()
 
 
-@pytest.mark.parametrize("backend", ["serial", "thread", "process", "pool"])
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "pool", "rpc"])
 def test_sigkill_mid_run_then_resume_is_bit_identical(
     backend, world, db, engine, reference, tmp_path
 ):
@@ -269,6 +269,68 @@ def test_resume_re_executes_only_missing_shards(world, db, engine, reference, tm
             store=str(path), resume=True,
         )
     assert sorted(calls) == sorted(set(range(N_SHARDS)) - done)
+    _assert_matches(server, reference)
+
+
+# ----------------------------------------------------------------------
+# the same audit under the rpc backend
+# ----------------------------------------------------------------------
+
+# The in-process `_counting_execute` hook cannot observe rpc execution (the
+# patched closure never crosses the process boundary), so the rpc audit
+# records one level up: `only_shards`, the exact work-set the pipeline hands
+# to `stream_shard_releases` — which the rpc cluster then executes verbatim.
+
+
+def _recording_stream(monkeypatch):
+    import repro.engine.sharding as sharding
+
+    streamed = []
+    real = sharding.stream_shard_releases
+
+    def recording(engine, true_db, plan, backend="serial", only_shards=None):
+        streamed.append(None if only_shards is None else frozenset(only_shards))
+        return real(engine, true_db, plan, backend=backend, only_shards=only_shards)
+
+    monkeypatch.setattr(sharding, "stream_shard_releases", recording)
+    return streamed
+
+
+def test_rpc_resume_of_finished_run_streams_nothing(
+    world, db, engine, reference, tmp_path, monkeypatch
+):
+    # Zero re-derivation: resuming a fully committed run under rpc must not
+    # even spawn the cluster — every shard is replayed from the store.
+    path = str(tmp_path / "full-rpc.sqlite")
+    run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial", store=path
+    )
+    streamed = _recording_stream(monkeypatch)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="rpc",
+        store=path, resume=True,
+    )
+    assert streamed == []  # pure replay: no stream, no workers
+    _assert_matches(server, reference)
+
+
+def test_rpc_resume_streams_exactly_the_missing_shards(
+    world, db, engine, reference, tmp_path, monkeypatch
+):
+    path = tmp_path / "half-rpc.sqlite"
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    done = frozenset(range(0, N_SHARDS, 2))
+    with TraceStore(path) as store:
+        store.begin_run(RunManifest.for_run(engine, plan, world))
+        committer = Server(world, store=store)
+        for users, times, batch in stream_shard_releases(engine, db, plan, only_shards=done):
+            committer.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+    streamed = _recording_stream(monkeypatch)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="rpc",
+        store=str(path), resume=True,
+    )
+    assert streamed == [frozenset(range(N_SHARDS)) - done]
     _assert_matches(server, reference)
 
 
