@@ -59,6 +59,16 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
                         "rpc_vs_pool": 0.879, "parity_budget": 0.7,
                         "within_budget": true, ...},
         "chaos": {"shards": 4, "worker_losses": 1, "matches_serial": true, ...}
+      },
+      "live_metrics": {                                   # E21
+        "scaling": [{"n_users": 4000, "rows": 24000, "shards": 8,
+                     "matches_batch": true, "live_query_seconds": 1.5e-07,
+                     "batch_recompute_seconds": 0.034,
+                     "query_speedup": 238468.0,
+                     "maintenance_overhead": 1.48, ...}, ...],
+        "headline": {"n_users": 4000, "query_speedup": 238468.0,
+                     "speedup_floor": 10.0, "within_floor": true,
+                     "matches_batch": true}
       }
     }
 
@@ -98,6 +108,7 @@ import bench_e17_epidemic_eval as bench_e17  # noqa: E402
 import bench_e18_durable_ingest as bench_e18  # noqa: E402
 import bench_e19_fused_round as bench_e19  # noqa: E402
 import bench_e20_rpc as bench_e20  # noqa: E402
+import bench_e21_live_metrics as bench_e21  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -125,6 +136,7 @@ EPIDEMIC_ENTRY = "e17_epidemic_eval"
 DURABLE_ENTRY = "e18_durable_ingest"
 FUSED_ENTRY = "e19_fused_round"
 RPC_ENTRY = "e20_rpc_backend"
+LIVE_ENTRY = "e21_live_metrics"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -203,6 +215,15 @@ def run_rpc_backend(smoke: bool) -> dict:
     return bench_e20.rpc_block(smoke)
 
 
+def run_live_metrics(smoke: bool) -> dict:
+    """The E21 block: live snapshot query cost vs batch recompute.
+
+    Delegates to ``bench_e21_live_metrics.live_metrics_block`` — same
+    single-source-of-truth arrangement as E16-E20.
+    """
+    return bench_e21.live_metrics_block(smoke)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
@@ -210,7 +231,7 @@ def main(argv: list[str] | None = None) -> int:
         "--only",
         action="append",
         choices=sorted(ENTRY_POINTS)
-        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY, RPC_ENTRY],
+        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY, RPC_ENTRY, LIVE_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -229,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         DURABLE_ENTRY,
         FUSED_ENTRY,
         RPC_ENTRY,
+        LIVE_ENTRY,
     ]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
@@ -239,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             DURABLE_ENTRY,
             FUSED_ENTRY,
             RPC_ENTRY,
+            LIVE_ENTRY,
         ):
             continue
         runner = ENTRY_POINTS[name]
@@ -349,6 +372,25 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  chaos lost {chaos['worker_losses']} worker(s), "
             f"matches_serial={chaos['matches_serial']}"
+        )
+    if LIVE_ENTRY in names:
+        start = time.perf_counter()
+        payload["live_metrics"] = run_live_metrics(args.smoke)
+        payload["timings"][LIVE_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{LIVE_ENTRY:<28} {payload['timings'][LIVE_ENTRY]:>10.3f}s")
+        for record in payload["live_metrics"]["scaling"]:
+            print(
+                f"  n={record['n_users']:>7,}"
+                f"  live {record['live_query_seconds'] * 1e6:>8.1f}us/query"
+                f"  batch {record['batch_recompute_seconds']:>9.4f}s/query"
+                f"  speedup {record['query_speedup']:>10,.0f}x"
+                f"  matches_batch={record['matches_batch']}"
+            )
+        headline = payload["live_metrics"]["headline"]
+        print(
+            f"  headline n={headline['n_users']:,} speedup "
+            f"{headline['query_speedup']:,.0f}x (floor {headline['speedup_floor']}x, "
+            f"within_floor={headline['within_floor']})"
         )
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

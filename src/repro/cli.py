@@ -209,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="e8: resume the interrupted store-backed run recorded at "
         "--store instead of starting fresh (spec/seed mismatches abort)",
     )
+    experiment.add_argument(
+        "--live-metrics",
+        action="store_true",
+        help="e8: maintain the live metric views (monitoring utility, "
+        "contact rate, flow matrices) incrementally during sharded ingest "
+        "and report the per-round snapshot-vs-batch-recompute check and "
+        "live query speedup (see docs/live_metrics.md)",
+    )
 
     sub.add_parser(
         "engines", help="list registered mechanism, policy, and backend names"
@@ -419,6 +427,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             if args.resume and args.store is None:
                 raise ValidationError("--resume requires --store")
             config = replace(config, store_path=str(args.store), resume=args.resume)
+        if args.live_metrics:
+            if args.name != "e8":
+                raise ValidationError(
+                    "--live-metrics rides e8's sharded release runs and "
+                    "only applies to e8"
+                )
+            config = replace(config, live_metrics=True)
     except (ReproError, OSError, ValueError, KeyError) as exc:
         # bad spec file: missing, malformed JSON, or unknown registry names.
         # Only construction is guarded — a failure inside a runner is a bug

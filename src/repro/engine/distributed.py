@@ -67,7 +67,16 @@ __all__ = ["MetricShardResult", "sharded_metric", "merge_metric_results", "slot_
 T = TypeVar("T")
 
 
-@dataclass(frozen=True)
+def _component_arrays_equal(left, right) -> bool:
+    """Exact array equality; NaNs compare equal so bit-identity is reflexive."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if np.issubdtype(left.dtype, np.inexact) or np.issubdtype(right.dtype, np.inexact):
+        return bool(np.array_equal(left, right, equal_nan=True))
+    return bool(np.array_equal(left, right))
+
+
+@dataclass(frozen=True, eq=False)
 class MetricShardResult:
     """One shard's contribution to a distributed metric, mergeable exactly.
 
@@ -126,6 +135,109 @@ class MetricShardResult:
                 for name, members in self.sets.items()
             },
         )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        sum_names: Sequence[str] = (),
+        flow_names: Sequence[str] = (),
+        set_names: Sequence[str] = (),
+    ) -> "MetricShardResult":
+        """The merge identity for the given component layout.
+
+        Zero-length per-key arrays, empty counters, empty sets — merging it
+        (on either side) with any result carrying the same component names
+        returns that result's values unchanged, which is what lets live
+        folds treat rounds where a shard has no rows uniformly.
+        """
+        return cls(
+            sums={name: np.empty(0, dtype=float) for name in sum_names},
+            counts=np.empty(0, dtype=int),
+            flows={name: Counter() for name in flow_names},
+            sets={name: frozenset() for name in set_names},
+        )
+
+    @classmethod
+    def fold(cls, results: Sequence["MetricShardResult"]) -> "MetricShardResult":
+        """Left-fold ``results`` (in the given order) with :meth:`merge`.
+
+        The caller's order *is* the canonical key order of the folded
+        per-key arrays, so two folds agree bitwise iff they present the same
+        results in the same order — exactly the contract live snapshots and
+        the batch recompute share.
+        """
+        if not results:
+            raise ValidationError("need at least one shard result to fold")
+        return reduce(cls.merge, results)
+
+    def freeze(self) -> "MetricShardResult":
+        """A read-only view of this result, safe to hand to concurrent readers.
+
+        Per-key arrays become non-writeable views (zero copy) and the
+        component mappings become :class:`types.MappingProxyType` proxies,
+        so a frozen snapshot published from the commit path cannot be
+        mutated — accidentally or otherwise — by the analytical readers it
+        is shared with.  Idempotent: freezing a frozen result is a no-op
+        view of the same data.
+        """
+        from types import MappingProxyType
+
+        def read_only(values) -> np.ndarray:
+            view = np.asarray(values).view()
+            view.flags.writeable = False
+            return view
+
+        return MetricShardResult(
+            sums=MappingProxyType({name: read_only(v) for name, v in self.sums.items()}),
+            counts=read_only(self.counts),
+            flows=MappingProxyType(dict(self.flows)),
+            sets=MappingProxyType({name: frozenset(v) for name, v in self.sets.items()}),
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same components, bit-identical values.
+
+        The frozen dataclass would otherwise inherit an ``__eq__`` that
+        chokes on array-valued fields ("truth value of an array is
+        ambiguous"), forcing every test to compare field by field.  Equality
+        here means what the determinism suites assert: identical component
+        names, per-key arrays equal element-wise (NaN == NaN), counters and
+        sets equal as values.  Frozen/unfrozen status is irrelevant.
+        """
+        if not isinstance(other, MetricShardResult):
+            return NotImplemented
+        return (
+            set(self.sums) == set(other.sums)
+            and set(self.flows) == set(other.flows)
+            and set(self.sets) == set(other.sets)
+            and all(
+                _component_arrays_equal(values, other.sums[name])
+                for name, values in self.sums.items()
+            )
+            and _component_arrays_equal(self.counts, other.counts)
+            and all(
+                Counter(flows) == Counter(other.flows[name])
+                for name, flows in self.flows.items()
+            )
+            and all(
+                frozenset(members) == frozenset(other.sets[name])
+                for name, members in self.sets.items()
+            )
+        )
+
+    __hash__ = None  # structurally equal results are mutable-array-backed
+
+    def __repr__(self) -> str:
+        parts = [f"keys={self.n_keys}", f"releases={self.n_releases}"]
+        if self.sums:
+            parts.append(f"sums={sorted(self.sums)}")
+        if self.flows:
+            parts.append(f"flows={sorted(self.flows)}")
+        if self.sets:
+            parts.append(f"sets={sorted(self.sets)}")
+        return f"MetricShardResult({', '.join(parts)})"
 
     # ------------------------------------------------------------------
     @property

@@ -97,6 +97,13 @@ class ExecutionSpec:
     backends keep the numpy RNG stream but round differently, so like the
     rest of the block this never changes *which* uniforms are consumed —
     the resume spec hash excludes it.
+
+    ``live_metrics`` attaches the default
+    :mod:`~repro.server.live_metrics` views (monitoring utility, contact
+    rate, flow matrices) to the server so every committed shard folds into
+    snapshot-consistent per-round aggregates queryable via
+    ``Server.metrics_at``.  Observability only — released values are
+    untouched — so the resume spec hash excludes it too.
     """
 
     backend: str = "serial"
@@ -105,6 +112,7 @@ class ExecutionSpec:
     store: str | None = None
     resume: bool = False
     array_backend: str | None = None
+    live_metrics: bool = False
 
     def __post_init__(self) -> None:
         if int(self.shards) < 1:
@@ -158,13 +166,14 @@ class EngineSpec:
         store: str | None = None,
         resume: bool = False,
         array_backend: str | None = None,
+        live_metrics: bool = False,
     ) -> "EngineSpec":
         """Spec from bare names — the common construction path.
 
         ``backend`` / ``shards`` / ``backend_params`` / ``store`` /
-        ``resume`` / ``array_backend`` are optional; providing any of them
-        attaches an :class:`ExecutionSpec` (missing pieces take the serial /
-        1-shard / in-memory / numpy defaults).
+        ``resume`` / ``array_backend`` / ``live_metrics`` are optional;
+        providing any of them attaches an :class:`ExecutionSpec` (missing
+        pieces take the serial / 1-shard / in-memory / numpy defaults).
         """
         execution = None
         if (
@@ -173,6 +182,7 @@ class EngineSpec:
             or backend_params is not None
             or store is not None
             or array_backend is not None
+            or live_metrics
         ):
             execution = ExecutionSpec(
                 backend=backend if backend is not None else "serial",
@@ -181,6 +191,7 @@ class EngineSpec:
                 store=store,
                 resume=bool(resume),
                 array_backend=array_backend,
+                live_metrics=bool(live_metrics),
             )
         return cls(
             mechanism=MechanismSpec(
@@ -223,6 +234,9 @@ class EngineSpec:
             # set, so pre-seam spec files round-trip unchanged.
             if self.execution.array_backend is not None:
                 execution["array_backend"] = self.execution.array_backend
+            # Observability key, same round-trip rule: present only when on.
+            if self.execution.live_metrics:
+                execution["live_metrics"] = True
             payload["execution"] = execution
         return payload
 
@@ -250,5 +264,6 @@ class EngineSpec:
                 store=execution.get("store"),
                 resume=bool(execution.get("resume", False)),
                 array_backend=execution.get("array_backend"),
+                live_metrics=bool(execution.get("live_metrics", False)),
             ),
         )

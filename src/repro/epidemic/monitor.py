@@ -121,6 +121,28 @@ class LocationMonitor:
         dst = self.area_of_batch(cells[1:][step])
         return self.flows_from_codes(src * self.n_areas + dst)
 
+    def flows_between(self, src_cells, dst_cells) -> Counter:
+        """Inter-area flow counts for aligned consecutive-step cell pairs.
+
+        ``src_cells[i]`` / ``dst_cells[i]`` are one user's cells at times
+        ``t`` and ``t + 1`` — the caller has already matched the rows (the
+        live-metric fold pairs each round's rows with the previous round's
+        per user).  Counting matches :meth:`flows_from_arrays` restricted to
+        those steps exactly: same area coding, same Counter values.
+        """
+        src_cells = np.asarray(src_cells, dtype=int)
+        dst_cells = np.asarray(dst_cells, dtype=int)
+        if src_cells.shape != dst_cells.shape:
+            raise DataError(
+                f"flow endpoints of shapes {src_cells.shape} / "
+                f"{dst_cells.shape} are not aligned"
+            )
+        if src_cells.size == 0:
+            return Counter()
+        src = self.area_of_batch(src_cells)
+        dst = self.area_of_batch(dst_cells)
+        return self.flows_from_codes(src * self.n_areas + dst)
+
     def flows_from_codes(self, codes, mask=None) -> Counter:
         """:meth:`flows` from precomputed area-pair codes.
 

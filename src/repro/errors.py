@@ -64,6 +64,18 @@ class CommitStalledError(ReproError):
     """
 
 
+class SnapshotUnavailableError(ReproError):
+    """A live-metric snapshot was requested for a round not yet frozen.
+
+    Raised by :meth:`~repro.server.pipeline.Server.metrics_at` when some
+    shard owning rows at (or before) the requested round has not committed
+    yet: the registry refuses to serve partial aggregates, because a value
+    folded over half a round would differ from the batch recomputation the
+    live-metric contract promises bit-identity with.  The message names the
+    shards still missing so the caller knows what it is waiting on.
+    """
+
+
 class StoreError(ReproError):
     """A durable trace-store operation failed (I/O, schema, misuse)."""
 

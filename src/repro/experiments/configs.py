@@ -132,6 +132,13 @@ class ExperimentConfig:
     throughput next to the in-memory one.  ``resume=True`` continues an
     interrupted store-backed run instead of starting fresh.  The CLI maps
     ``repro experiment e8 --store PATH [--resume]`` onto these fields.
+
+    ``live_metrics`` attaches the default
+    :mod:`~repro.server.live_metrics` views to E8's sharded release runs
+    and reports, per sweep combination, whether every per-round live
+    snapshot equals a from-scratch batch recompute bitwise plus the live
+    query speedup over that recompute.  The CLI maps
+    ``repro experiment e8 --live-metrics`` onto this field.
     """
 
     world_size: int = 12
@@ -158,6 +165,7 @@ class ExperimentConfig:
     worker_counts: tuple[int, ...] | None = None
     store_path: str | None = None
     resume: bool = False
+    live_metrics: bool = False
     array_backend: str | None = None
     float32: bool = False
     engine_spec: EngineSpec | None = field(default=None, compare=False)
@@ -221,4 +229,6 @@ class ExperimentConfig:
             if spec.execution.store is not None:
                 overrides["store_path"] = spec.execution.store
                 overrides["resume"] = bool(spec.execution.resume)
+            if spec.execution.live_metrics:
+                overrides["live_metrics"] = True
         return replace(self, **overrides)

@@ -737,6 +737,15 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
     ``config.resume`` continues an existing run) — and reported in a
     ``durable_releases_per_sec`` column (``None`` without a store), whose
     output must also match the serial baseline.
+
+    With ``config.live_metrics`` set, each combination additionally runs
+    with the :mod:`~repro.server.live_metrics` views attached and reports
+    ``live_matches_batch`` — whether every per-round
+    :meth:`~repro.server.pipeline.Server.metrics_at` snapshot equals a
+    from-scratch :func:`~repro.server.live_metrics.batch_recompute`
+    bitwise — and ``live_query_speedup``, the cost of that full recompute
+    over the cost of querying every live snapshot (both ``None`` when the
+    flag is off).
     """
     world = config.make_world()
     db = _dataset(config, world)
@@ -754,6 +763,8 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
             "eval_releases_per_sec",
             "eval_matches_serial",
             "durable_releases_per_sec",
+            "live_matches_batch",
+            "live_query_speedup",
         ],
         title=(
             f"E8: sharded release + eval rounds ({config.dataset}, "
@@ -819,6 +830,73 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
                                 "store-backed run diverged from the serial baseline"
                             )
                         durable_rate = round(len(db) / durable_seconds, 1)
+                    live_match = None
+                    live_speedup = None
+                    if config.live_metrics:
+                        from repro.engine.sharding import (
+                            ShardPlan,
+                            stream_shard_releases,
+                        )
+                        from repro.server.live_metrics import (
+                            batch_recompute,
+                            default_views,
+                        )
+
+                        views = default_views(
+                            world,
+                            block_rows=block_rows,
+                            block_cols=block_cols,
+                            p_transmit=config.p_transmit,
+                            gamma=config.gamma,
+                        )
+                        live_server = run_release_rounds_batched(
+                            world, db, engine, rng=config.seed, shards=shards,
+                            backend=backend, async_ingest=config.async_ingest,
+                            live_metrics=views,
+                        )
+                        # Re-derive the raw release rows over the same plan
+                        # (per-user streams make them identical to what the
+                        # live run committed), outside both timed sections.
+                        plan = ShardPlan.build(
+                            sorted(db.users()), shards, rng=config.seed
+                        )
+                        rows = [
+                            (np.asarray(s_users, dtype=int),
+                             np.asarray(s_times, dtype=int),
+                             s_batch.points,
+                             np.asarray(s_batch.cells, dtype=int))
+                            for s_users, s_times, s_batch
+                            in stream_shard_releases(engine, db, plan)
+                        ]
+                        row_users = np.concatenate([r[0] for r in rows])
+                        row_times = np.concatenate([r[1] for r in rows])
+                        row_points = np.concatenate([r[2] for r in rows])
+                        row_true = np.concatenate([r[3] for r in rows])
+                        row_snapped = np.asarray(
+                            world.snap_batch(row_points), dtype=int
+                        )
+                        start = perf_counter()
+                        batch_values = batch_recompute(
+                            views, plan, row_users, row_times, row_points,
+                            row_true, row_snapped,
+                        )
+                        batch_seconds = perf_counter() - start
+                        registry = live_server.metrics
+                        start = perf_counter()
+                        live_values = {
+                            r: live_server.metrics_at(r) for r in registry.rounds
+                        }
+                        live_seconds = perf_counter() - start
+                        live_match = (
+                            set(live_values) == set(batch_values)
+                            and all(
+                                dict(live_values[r]) == batch_values[r]
+                                for r in live_values
+                            )
+                        )
+                        live_speedup = round(
+                            batch_seconds / max(live_seconds, 1e-9), 1
+                        )
                     table.add_row(
                         backend_name,
                         reported_workers,
@@ -830,6 +908,8 @@ def run_scalability(config: ExperimentConfig = ExperimentConfig()) -> ResultTabl
                         round(len(db) / eval_seconds, 1),
                         report == eval_baseline,
                         durable_rate,
+                        live_match,
+                        live_speedup,
                     )
     return table
 

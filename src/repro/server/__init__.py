@@ -18,6 +18,18 @@ from repro.server.pipeline import (
     run_release_rounds_batched,
 )
 from repro.server.audit import PolicyRecord, ReleaseRecord, TransparencyLog
+from repro.server.live_metrics import (
+    ContactRateView,
+    ContactSnapshot,
+    FlowMatrixView,
+    FlowSnapshot,
+    LiveMetricRegistry,
+    LiveMetricView,
+    MonitoringUtilityView,
+    batch_recompute,
+    default_views,
+    expected_coverage,
+)
 
 __all__ = [
     "LocalLocationDB",
@@ -32,4 +44,14 @@ __all__ = [
     "PolicyRecord",
     "ReleaseRecord",
     "TransparencyLog",
+    "ContactRateView",
+    "ContactSnapshot",
+    "FlowMatrixView",
+    "FlowSnapshot",
+    "LiveMetricRegistry",
+    "LiveMetricView",
+    "MonitoringUtilityView",
+    "batch_recompute",
+    "default_views",
+    "expected_coverage",
 ]

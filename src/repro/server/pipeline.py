@@ -204,6 +204,60 @@ class Server:
         # TraceDB/BudgetLedger bookkeeping is not atomic under free
         # threading.  Snapping and lexsort stay outside the lock.
         self._ingest_lock = threading.Lock()
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    # Live metric views (HTAP incremental analytics)
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """The attached :class:`~repro.server.live_metrics.LiveMetricRegistry`, if any."""
+        return self._metrics
+
+    def attach_metrics(self, views, expected):
+        """Maintain ``views`` live from this server's shard commit path.
+
+        Every subsequent :meth:`ingest_shard` (including commits arriving
+        through :class:`AsyncShardCommitter` and
+        :class:`PartitionedShardCommitters` — all three funnel through the
+        same choke point) folds its shard into a
+        :class:`~repro.server.live_metrics.LiveMetricRegistry` built over
+        ``expected`` (``shard -> rounds``, see
+        :func:`~repro.server.live_metrics.expected_coverage`).  Read the
+        live values with :meth:`metrics_at`.
+
+        Live views ride the *sharded* ingest path: attaching makes the
+        ``shard=`` argument to :meth:`ingest_shard` mandatory (it keys the
+        registry's deltas, exactly like the store's commit marks) and makes
+        :meth:`ingest_batch` refuse — the round-major path carries no shard
+        identity to fold under.
+
+        Returns the registry.  Attaching twice is a
+        :class:`~repro.errors.ValidationError`: the first registry's folded
+        state would be silently lost.
+        """
+        from repro.server.live_metrics import LiveMetricRegistry
+
+        if self._metrics is not None:
+            raise ValidationError("live metric views are already attached to this server")
+        self._metrics = LiveMetricRegistry(views, expected)
+        return self._metrics
+
+    def metrics_at(self, round: int):
+        """Snapshot-consistent live metric values covering rows ≤ ``round``.
+
+        Delegates to :meth:`LiveMetricRegistry.at
+        <repro.server.live_metrics.LiveMetricRegistry.at>`: a lock-free
+        O(1) lookup of the frozen per-round value map, safe to call while
+        commits are in flight.  Raises
+        :class:`~repro.errors.SnapshotUnavailableError` for a round whose
+        coverage has not fully committed yet.
+        """
+        if self._metrics is None:
+            raise ValidationError(
+                "no live metric views attached; call attach_metrics() first"
+            )
+        return self._metrics.at(round)
 
     def ingest(self, user: int, time: int, release: Release, purpose: str = "stream") -> int:
         """Store one release; returns the snapped cell recorded server-side."""
@@ -249,6 +303,12 @@ class Server:
             trace rows and budget charges are identical to what per-row
             scalar :meth:`ingest` calls would have produced.
         """
+        if self._metrics is not None:
+            raise DataError(
+                "live metric views ride the sharded ingest path "
+                "(ingest_shard with shard=); ingest_batch carries no shard "
+                "identity to fold under"
+            )
         if len(users) != len(batch):
             raise DataError(
                 f"batch of {len(batch)} releases does not match {len(users)} users"
@@ -339,6 +399,17 @@ class Server:
                 "store-backed ingest_shard requires the shard index "
                 "(pass shard=) to key its durable commit marks"
             )
+        if self._metrics is not None:
+            if shard is None:
+                raise DataError(
+                    "live metric views require the shard index (pass shard=) "
+                    "to key their delta partials"
+                )
+            if batch.cells is None:
+                raise DataError(
+                    "live metric views require batch.cells to carry the "
+                    "ground-truth cells (the shard streaming contract)"
+                )
         order = np.lexsort((users, times))  # commit by (time, user)
         with self._ingest_lock:
             if self.store is not None:
@@ -359,9 +430,30 @@ class Server:
             self.ledger.charge_many(
                 users[order], times[order], batch.epsilons[order], purpose=purpose
             )
+            if self._metrics is not None:
+                # Fold inside the commit section: the registry sees exactly
+                # the committed rows, once, no matter which committer
+                # (sync / async / partitioned) delivered them.  batch.cells
+                # are the ground-truth cells (the shard streaming
+                # contract); `cells` the server-side snapped view.
+                self._metrics.ingest(
+                    int(shard),
+                    users,
+                    times,
+                    batch.points,
+                    np.asarray(batch.cells, dtype=int),
+                    np.asarray(cells, dtype=int),
+                )
         return cells
 
-    def replay_shard(self, low_user: int, high_user: int, purpose: str = "stream"):
+    def replay_shard(
+        self,
+        low_user: int,
+        high_user: int,
+        purpose: str = "stream",
+        shard: int | None = None,
+        true_cells: "Callable | None" = None,
+    ):
         """Rebuild in-memory state for one durably committed shard.
 
         The resume counterpart of :meth:`ingest_shard`: reads the shard's
@@ -372,14 +464,44 @@ class Server:
         view already serves them) and ledger charges.  Per-user server
         state after a replay is element-wise identical to a fresh commit.
 
+        When live metric views are attached, the replay also rebuilds the
+        registry's folded state: the store additionally yields the released
+        points (SQLite REALs round-trip float64 exactly), and ``shard`` /
+        ``true_cells`` become mandatory — ``true_cells(users, times)`` must
+        resolve the ground-truth cells, which the store deliberately never
+        persists.  Because delta folds canonicalise row order, a replayed
+        fold is bit-identical to the original commit's, which is how a
+        killed-and-resumed run converges to the uninterrupted run's live
+        values.
+
         Returns the number of rows replayed.
         """
         if self.store is None:
             raise DataError("replay_shard requires a store-backed server")
-        users, times, cells, epsilons = self.store.shard_rows(low_user, high_user)
+        if self._metrics is not None:
+            if shard is None or true_cells is None:
+                raise DataError(
+                    "replaying into live metric views requires shard= and "
+                    "true_cells= (a resolver mapping row (users, times) to "
+                    "ground-truth cells)"
+                )
+            users, times, cells, points, _exact, epsilons = self.store.shard_release_rows(
+                low_user, high_user
+            )
+        else:
+            users, times, cells, epsilons = self.store.shard_rows(low_user, high_user)
         if not self.out_of_core:
             self.released_db.record_many(users, times, cells)
         self.ledger.charge_many(users, times, epsilons, purpose=purpose)
+        if self._metrics is not None:
+            self._metrics.ingest(
+                int(shard),
+                users,
+                times,
+                points,
+                np.asarray(true_cells(users, times), dtype=int),
+                cells,
+            )
         return len(users)
 
     def push_policy(self, client: Client, policy: PolicyGraph) -> None:
@@ -814,6 +936,7 @@ def run_release_rounds_batched(
     store=None,
     resume: bool = False,
     out_of_core: bool = False,
+    live_metrics=False,
 ) -> Server:
     """Release the whole population through the engine, one round per timestep.
 
@@ -891,6 +1014,19 @@ def run_release_rounds_batched(
         server's ``released_db`` is a read-only
         :class:`~repro.store.StoredTraceDB` view and ingestion skips the
         in-memory mirror, bounding memory by the largest single shard.
+    live_metrics:
+        Maintain analytical aggregates *while commits continue* (the HTAP
+        incremental path, see :mod:`repro.server.live_metrics`).  ``True``
+        attaches the default E1 + E2 + E11 view set
+        (:func:`~repro.server.live_metrics.default_views`); a sequence of
+        :class:`~repro.server.live_metrics.LiveMetricView` instances
+        attaches those.  Read with ``server.metrics_at(round=r)`` — every
+        frozen value is bit-identical to the batch recomputation.  On a
+        resumed run the replayed shards are folded back in, so the rebuilt
+        live state equals a never-killed run's.  Rides the sharded
+        streaming path only (deltas are keyed by shard), like ``store``;
+        falls back to the engine spec's execution block
+        (``ExecutionSpec.live_metrics``).
 
     Returns
     -------
@@ -917,6 +1053,8 @@ def run_release_rounds_batched(
         if store is None and getattr(execution, "store", None):
             store = execution.store
         resume = bool(resume or getattr(execution, "resume", False))
+        if live_metrics is False and getattr(execution, "live_metrics", False):
+            live_metrics = True
     if ingest_partitions is not None and int(ingest_partitions) < 1:
         raise ValidationError(f"ingest_partitions must be >= 1, got {ingest_partitions}")
     if shards is None and backend is None and execution is None:
@@ -930,6 +1068,12 @@ def run_release_rounds_batched(
                 "a durable store rides the sharded streaming path (shard "
                 "commits are its recovery unit); pass shards= and/or "
                 "backend= to enable it"
+            )
+        if live_metrics:
+            raise ValidationError(
+                "live metric views ride the sharded streaming path (deltas "
+                "are keyed by shard commits); pass shards= and/or backend= "
+                "to enable them"
             )
         generator = ensure_rng(rng)
         server = Server(world)
@@ -977,6 +1121,7 @@ def run_release_rounds_batched(
         raise ValidationError("out_of_core=True requires a store")
     try:
         only_shards = None
+        committed: "frozenset[tuple[int, int]]" = frozenset()
         if live_store is not None:
             from repro.store.resume import RunManifest
 
@@ -984,29 +1129,67 @@ def run_release_rounds_batched(
                 RunManifest.for_run(engine, plan, world), resume=resume
             )
             server = Server(world, store=live_store, out_of_core=out_of_core)
-            if committed:
-                # A shard is recoverable iff every (shard, round) pair it
-                # would produce is durably marked; partially committed
-                # shards cannot exist (marks travel in the shard's own
-                # transaction), and a shard whose rounds are all marked is
-                # replayed from disk instead of re-derived.
-                committed_rounds: dict[int, set[int]] = {}
-                for shard_id, round_time in committed:
-                    committed_rounds.setdefault(shard_id, set()).add(round_time)
-                remaining = set()
-                for shard_id, shard_users, _ in plan.iter_shards():
-                    expected = {
-                        checkin.time
-                        for user in shard_users
-                        for checkin in true_db.user_history(user)
-                    }
-                    if expected and expected <= committed_rounds.get(shard_id, set()):
-                        server.replay_shard(shard_users[0], shard_users[-1])
-                    else:
-                        remaining.add(shard_id)
-                only_shards = frozenset(remaining)
         else:
             server = Server(world)
+        true_cells_of = None
+        if live_metrics:
+            # Attached before any replay so a resumed run folds its
+            # replayed shards back into the registry — the rebuilt live
+            # state then equals the uninterrupted run's at every round.
+            from repro.server.live_metrics import default_views, expected_coverage
+
+            views = default_views(world) if live_metrics is True else list(live_metrics)
+            server.attach_metrics(views, expected_coverage(plan, true_db))
+
+            def true_cells_of(row_users, row_times):
+                # The store never persists ground-truth cells; resolve them
+                # from the true trace at replay time.
+                lookup = {
+                    (int(user), checkin.time): checkin.cell
+                    for user in np.unique(np.asarray(row_users, dtype=int)).tolist()
+                    for checkin in true_db.user_history(int(user))
+                }
+                try:
+                    return np.array(
+                        [
+                            lookup[(int(user), int(time))]
+                            for user, time in zip(row_users, row_times)
+                        ],
+                        dtype=int,
+                    )
+                except KeyError as exc:
+                    raise DataError(
+                        f"stored release row {exc.args[0]} has no ground-truth "
+                        "check-in; the store does not belong to this trace "
+                        "database"
+                    ) from exc
+
+        if committed:
+            # A shard is recoverable iff every (shard, round) pair it
+            # would produce is durably marked; partially committed
+            # shards cannot exist (marks travel in the shard's own
+            # transaction), and a shard whose rounds are all marked is
+            # replayed from disk instead of re-derived.
+            committed_rounds: dict[int, set[int]] = {}
+            for shard_id, round_time in committed:
+                committed_rounds.setdefault(shard_id, set()).add(round_time)
+            remaining = set()
+            for shard_id, shard_users, _ in plan.iter_shards():
+                expected = {
+                    checkin.time
+                    for user in shard_users
+                    for checkin in true_db.user_history(user)
+                }
+                if expected and expected <= committed_rounds.get(shard_id, set()):
+                    server.replay_shard(
+                        shard_users[0],
+                        shard_users[-1],
+                        shard=shard_id,
+                        true_cells=true_cells_of,
+                    )
+                else:
+                    remaining.add(shard_id)
+            only_shards = frozenset(remaining)
         # Streaming ingestion: each shard is committed the moment its worker
         # finishes (ordered by (time, user) within the shard) instead of
         # holding all shards for a merge barrier.  Per-user server state is
@@ -1046,10 +1229,10 @@ def run_release_rounds_batched(
                 for shard_users, shard_times, batch in stream_shard_releases(
                     engine, true_db, plan, backend=backend, only_shards=only_shards
                 ):
-                    if live_store is not None:
+                    if live_store is not None or server.metrics is not None:
                         # Shards own contiguous blocks of the sorted user
                         # list, so any member identifies the shard (it keys
-                        # the durable commit).
+                        # the durable commit and the live metric deltas).
                         commit(
                             shard_users,
                             shard_times,

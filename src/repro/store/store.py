@@ -305,6 +305,42 @@ class TraceStore:
             np.asarray(epsilons, dtype=float),
         )
 
+    def shard_release_rows(
+        self, low_user: int, high_user: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`shard_rows` plus the released points and exact flags.
+
+        ``(users, times, cells, points, exact, epsilons)`` in the same
+        ``(time, user)`` order — everything a live-metric replay needs to
+        re-derive a shard's delta partials bit-identically (SQLite REALs
+        round-trip float64 exactly; only the ground-truth cells are absent,
+        because the store deliberately never persists them).
+        """
+        rows = self.connection.execute(
+            "SELECT user, time, cell, x, y, exact, epsilon FROM releases "
+            "WHERE user BETWEEN ? AND ? ORDER BY time, user",
+            (int(low_user), int(high_user)),
+        ).fetchall()
+        if not rows:
+            empty = np.empty(0, dtype=np.int64)
+            return (
+                empty,
+                empty.copy(),
+                empty.copy(),
+                np.empty((0, 2), dtype=float),
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=float),
+            )
+        users, times, cells, xs, ys, exact, epsilons = zip(*rows)
+        return (
+            np.asarray(users, dtype=np.int64),
+            np.asarray(times, dtype=np.int64),
+            np.asarray(cells, dtype=np.int64),
+            np.column_stack((np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))),
+            np.asarray(exact, dtype=bool),
+            np.asarray(epsilons, dtype=float),
+        )
+
     def load_tracedb(self) -> "TraceDB":
         """Materialise the whole store as an in-memory ``TraceDB``.
 

@@ -46,43 +46,41 @@ def counters(keys=flow_keys, max_size=6):
 
 
 @st.composite
+def single_results(draw, values=any_floats):
+    """One shard result exercising every component kind."""
+    n_keys = draw(st.integers(0, 4))
+    sums = {
+        "error": np.array(draw(st.lists(values, min_size=n_keys, max_size=n_keys))),
+        "epsilon_spent": np.array(
+            draw(st.lists(values, min_size=n_keys, max_size=n_keys))
+        ),
+    }
+    counts = np.array(
+        draw(st.lists(st.integers(0, 9), min_size=n_keys, max_size=n_keys)), dtype=int
+    )
+    return MetricShardResult(
+        sums=sums,
+        counts=counts,
+        flows={
+            "flow": draw(counters()),
+            "occupancy": draw(counters()),
+        },
+        sets={"events": frozenset(draw(st.sets(user_ids, max_size=5)))},
+    )
+
+
+@st.composite
 def shard_results(draw, min_shards=1, max_shards=6, values=any_floats):
     """A list of mergeable shard results exercising every component kind."""
     n_shards = draw(st.integers(min_shards, max_shards))
-    results = []
-    for _ in range(n_shards):
-        n_keys = draw(st.integers(0, 4))
-        sums = {
-            "error": np.array(draw(st.lists(values, min_size=n_keys, max_size=n_keys))),
-            "epsilon_spent": np.array(
-                draw(st.lists(values, min_size=n_keys, max_size=n_keys))
-            ),
-        }
-        counts = np.array(
-            draw(st.lists(st.integers(0, 9), min_size=n_keys, max_size=n_keys)), dtype=int
-        )
-        results.append(
-            MetricShardResult(
-                sums=sums,
-                counts=counts,
-                flows={
-                    "flow": draw(counters()),
-                    "occupancy": draw(counters()),
-                },
-                sets={"events": frozenset(draw(st.sets(user_ids, max_size=5)))},
-            )
-        )
-    return results
+    return [draw(single_results(values=values)) for _ in range(n_shards)]
 
 
+# Bit-identity below is asserted with the structural ``__eq__`` (same
+# component names, element-wise array equality, NaN == NaN); the operator
+# itself is pinned by TestStructuralEquality.
 def _equal(a: MetricShardResult, b: MetricShardResult) -> bool:
-    return (
-        set(a.sums) == set(b.sums)
-        and all(np.array_equal(a.sums[k], b.sums[k]) for k in a.sums)
-        and np.array_equal(a.counts, b.counts)
-        and a.flows == b.flows
-        and a.sets == b.sets
-    )
+    return a == b
 
 
 class TestAssociativity:
@@ -218,6 +216,211 @@ class TestEpidemicKinds:
         ]
         merged = merge_metric_results(shards)
         assert merged.sets["events"] == frozenset(events)
+
+
+class TestStructuralEquality:
+    """The ``__eq__`` / ``__repr__`` / identity / freeze surface itself."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(results=shard_results(max_shards=1))
+    def test_deep_copies_compare_equal(self, results):
+        result = results[0]
+        clone = MetricShardResult(
+            sums={name: values.copy() for name, values in result.sums.items()},
+            counts=result.counts.copy(),
+            flows={name: Counter(flows) for name, flows in result.flows.items()},
+            sets={name: frozenset(members) for name, members in result.sets.items()},
+        )
+        assert result == clone and clone == result
+        # Frozen/unfrozen status is irrelevant to equality.
+        assert result == result.freeze() and result.freeze() == result
+
+    def test_value_and_component_perturbations_break_equality(self):
+        base = MetricShardResult(
+            sums={"error": np.array([1.0, 2.0])},
+            counts=np.array([1, 1]),
+            flows={"flow": Counter({(0, 1): 2})},
+            sets={"events": frozenset({3})},
+        )
+        variants = [
+            MetricShardResult(
+                sums={"error": np.array([1.0, 2.5])},  # array value
+                counts=np.array([1, 1]),
+                flows={"flow": Counter({(0, 1): 2})},
+                sets={"events": frozenset({3})},
+            ),
+            MetricShardResult(
+                sums={"error": np.array([1.0, 2.0])},
+                counts=np.array([1, 2]),  # counts
+                flows={"flow": Counter({(0, 1): 2})},
+                sets={"events": frozenset({3})},
+            ),
+            MetricShardResult(
+                sums={"error": np.array([1.0, 2.0])},
+                counts=np.array([1, 1]),
+                flows={"flow": Counter({(0, 1): 3})},  # flow count
+                sets={"events": frozenset({3})},
+            ),
+            MetricShardResult(
+                sums={"error": np.array([1.0, 2.0])},
+                counts=np.array([1, 1]),
+                flows={"flow": Counter({(0, 1): 2})},
+                sets={"events": frozenset({4})},  # set member
+            ),
+            MetricShardResult(
+                sums={"other": np.array([1.0, 2.0])},  # component name
+                counts=np.array([1, 1]),
+                flows={"flow": Counter({(0, 1): 2})},
+                sets={"events": frozenset({3})},
+            ),
+        ]
+        for variant in variants:
+            assert base != variant and variant != base
+
+    def test_nan_partials_compare_equal(self):
+        a = MetricShardResult(
+            sums={"error": np.array([np.nan, 1.0])}, counts=np.array([1, 1]), flows={}
+        )
+        b = MetricShardResult(
+            sums={"error": np.array([np.nan, 1.0])}, counts=np.array([1, 1]), flows={}
+        )
+        assert a == b
+
+    def test_other_types_are_unequal_not_errors(self):
+        result = MetricShardResult(sums={}, counts=np.array([], dtype=int), flows={})
+        assert result != 5
+        assert (result == "shard") is False
+
+    def test_results_are_unhashable(self):
+        result = MetricShardResult(sums={}, counts=np.array([], dtype=int), flows={})
+        with pytest.raises(TypeError):
+            hash(result)
+
+    def test_repr_lists_components(self):
+        result = MetricShardResult(
+            sums={"error": np.array([1.0])},
+            counts=np.array([2]),
+            flows={"flow": Counter()},
+            sets={"events": frozenset()},
+        )
+        text = repr(result)
+        assert "keys=1" in text and "releases=2" in text
+        assert "sums=['error']" in text
+        assert "flows=['flow']" in text
+        assert "sets=['events']" in text
+
+    @settings(deadline=None, max_examples=40)
+    @given(results=shard_results(max_shards=1))
+    def test_empty_is_the_merge_identity(self, results):
+        result = results[0]
+        identity = MetricShardResult.empty(
+            sum_names=sorted(result.sums),
+            flow_names=sorted(result.flows),
+            set_names=sorted(result.sets),
+        )
+        assert identity.merge(result) == result
+        assert result.merge(identity) == result
+
+    @settings(deadline=None, max_examples=40)
+    @given(results=shard_results(min_shards=1))
+    def test_fold_is_the_left_reduce(self, results):
+        assert MetricShardResult.fold(results) == reduce(MetricShardResult.merge, results)
+
+    def test_fold_of_nothing_is_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricShardResult.fold([])
+
+    def test_freeze_is_read_only_zero_copy_and_idempotent(self):
+        result = MetricShardResult(
+            sums={"error": np.array([1.0, 2.0])}, counts=np.array([1, 1]), flows={}
+        )
+        frozen = result.freeze()
+        assert frozen == result
+        assert not frozen.sums["error"].flags.writeable
+        assert not frozen.counts.flags.writeable
+        with pytest.raises(ValueError):
+            frozen.sums["error"][0] = 9.0
+        with pytest.raises(TypeError):
+            frozen.sums["error"] = None  # MappingProxyType
+        # Zero copy: the frozen view shares the original buffer, which
+        # stays writeable on the unfrozen result.
+        assert frozen.sums["error"].base is result.sums["error"]
+        assert result.sums["error"].flags.writeable
+        assert frozen.freeze() == frozen
+
+
+@st.composite
+def delta_grids(draw):
+    """A ``(coverage, deltas)`` grid: shard -> owned rounds, one delta each."""
+    n_rounds = draw(st.integers(1, 4))
+    n_shards = draw(st.integers(1, 4))
+    coverage = {}
+    for shard in range(n_shards):
+        rounds = draw(st.sets(st.integers(0, n_rounds - 1), max_size=n_rounds))
+        if rounds:
+            coverage[shard] = frozenset(rounds)
+    if not coverage:
+        coverage[0] = frozenset({0})
+    deltas = {
+        (shard, time): draw(single_results())
+        for shard, rounds in sorted(coverage.items())
+        for time in sorted(rounds)
+    }
+    return coverage, deltas
+
+
+class TestCommitOrderInvariance:
+    """Live-fold discipline: any commit interleaving yields the batch merge.
+
+    The live registry freezes rounds at a frontier, folding each round's
+    shard deltas in canonical (round, shard) order no matter when the
+    commits actually arrived.  This property drives that discipline over
+    arbitrary coverage grids, commit permutations, and snapshot points:
+    every value a mid-run reader can observe is already bit-identical to
+    the one-shot batch merge over the full grid.
+    """
+
+    @settings(deadline=None, max_examples=60)
+    @given(grid=delta_grids(), data=st.data())
+    def test_any_interleaving_freezes_one_shot_values(self, grid, data):
+        coverage, deltas = grid
+        rounds = sorted({time for owned in coverage.values() for time in owned})
+        owners = {
+            time: sorted(shard for shard, owned in coverage.items() if time in owned)
+            for time in rounds
+        }
+
+        # One-shot batch merge: rounds ascending, shards ascending within.
+        reference = {}
+        chain = None
+        for time in rounds:
+            round_delta = MetricShardResult.fold(
+                [deltas[(shard, time)] for shard in owners[time]]
+            )
+            chain = round_delta if chain is None else chain.merge(round_delta)
+            reference[time] = chain
+
+        # Commit shards in an arbitrary order, freezing at the frontier.
+        order = data.draw(st.permutations(sorted(coverage)))
+        committed = set()
+        frozen = {}
+        frontier = 0
+        live = None
+        for shard in order:
+            committed.add(shard)
+            while frontier < len(rounds) and set(owners[rounds[frontier]]) <= committed:
+                time = rounds[frontier]
+                round_delta = MetricShardResult.fold(
+                    [deltas[(s, time)] for s in owners[time]]
+                )
+                live = round_delta if live is None else live.merge(round_delta)
+                frozen[time] = live.freeze()
+                frontier += 1
+            # Snapshot point: anything visible now must already be final —
+            # a frozen round's value never changes as later shards land.
+            for time, snapshot in frozen.items():
+                assert snapshot == reference[time]
+        assert sorted(frozen) == rounds
 
 
 class TestMergeGuards:

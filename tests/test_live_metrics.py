@@ -1,0 +1,336 @@
+"""Live metric views: every snapshot equals a from-scratch batch recompute.
+
+The headline contract of ``repro.server.live_metrics`` is bitwise, not
+approximate: for every round ``r``, ``server.metrics_at(r)`` — maintained
+incrementally by folding each shard commit the moment it lands — equals
+:func:`~repro.server.live_metrics.batch_recompute` over the raw release
+rows, under **every** execution shape.  This file pins that matrix
+(shards {1, 2, 5, 7} x serial/thread/process/pool/rpc x sync/async/
+partitioned committers), the shard-count invariance of the values
+themselves, equality against independently-coded references (the E1/E11
+flow counter and the E2 contact-rate estimator), and the snapshot
+semantics around it: unavailable rounds name the shards they wait on,
+frozen partials are immutable, and every misuse fails loudly.
+
+The kill-resume half of the contract lives in ``tests/test_store_resume.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import PrivacyEngine, ensure_backend
+from repro.engine.sharding import ShardPlan, stream_shard_releases
+from repro.epidemic.analysis import pair_events
+from repro.epidemic.monitor import LocationMonitor
+from repro.errors import DataError, SnapshotUnavailableError, ValidationError
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.server.live_metrics import (
+    ContactRateView,
+    FlowMatrixView,
+    LiveMetricRegistry,
+    MonitoringUtilityView,
+    batch_recompute,
+    default_views,
+    expected_coverage,
+)
+from repro.server.pipeline import Server, run_release_rounds_batched
+
+N_USERS = 16
+HORIZON = 8
+RNG = 11
+
+SHARD_COUNTS = [1, 2, 5, 7]
+COMMITTERS = ["sync", "async", "partitioned"]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture(scope="module")
+def db(world):
+    return geolife_like(world, n_users=N_USERS, horizon=HORIZON, rng=3)
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+
+# One live backend per name, shared by every matrix cell that uses it —
+# the process/pool/rpc backends pay worker spawn once per module, not per
+# cell (the same amortisation the E8 sweep uses).
+@pytest.fixture(scope="module", params=["serial", "thread", "process", "pool", "rpc"])
+def backend(request):
+    with ensure_backend(request.param) as instance:
+        yield instance
+
+
+def _plan(db, shards):
+    return ShardPlan.build(sorted(db.users()), shards, rng=RNG)
+
+
+def _raw_rows(world, engine, db, plan):
+    """The full release row arrays a run over ``plan`` commits.
+
+    Per-user RNG streams make these identical to what any backend/committer
+    combination ingests, so one serial capture serves every comparison.
+    """
+    parts = [
+        (
+            np.asarray(users, dtype=int),
+            np.asarray(times, dtype=int),
+            batch.points,
+            np.asarray(batch.cells, dtype=int),
+        )
+        for users, times, batch in stream_shard_releases(engine, db, plan)
+    ]
+    users = np.concatenate([p[0] for p in parts])
+    times = np.concatenate([p[1] for p in parts])
+    points = np.concatenate([p[2] for p in parts])
+    true_cells = np.concatenate([p[3] for p in parts])
+    snapped = np.asarray(world.snap_batch(points), dtype=int)
+    return users, times, points, true_cells, snapped
+
+
+@pytest.fixture(scope="module")
+def batch_values_of(world, db, engine):
+    """``shards -> {round -> {view name -> value}}``, computed once per count."""
+    cache = {}
+
+    def get(shards):
+        if shards not in cache:
+            plan = _plan(db, shards)
+            rows = _raw_rows(world, engine, db, plan)
+            cache[shards] = batch_recompute(default_views(world), plan, *rows)
+        return cache[shards]
+
+    return get
+
+
+def _live_run(world, db, engine, shards, backend, committer, **kwargs):
+    if committer == "async":
+        kwargs["async_ingest"] = True
+    elif committer == "partitioned":
+        kwargs["ingest_partitions"] = 2
+    return run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=shards, backend=backend,
+        live_metrics=True, **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# the determinism matrix
+# ----------------------------------------------------------------------
+
+
+class TestDeterminismMatrix:
+    @pytest.mark.parametrize("committer", COMMITTERS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_every_round_equals_batch_recompute(
+        self, shards, committer, backend, world, db, engine, batch_values_of
+    ):
+        server = _live_run(world, db, engine, shards, backend, committer)
+        want = batch_values_of(shards)
+        assert set(server.metrics.rounds) == set(want)
+        for r in server.metrics.rounds:
+            # Plain ==: MonitoringReport / ContactSnapshot / FlowSnapshot
+            # compare by exact float equality, so this is the bitwise claim.
+            assert dict(server.metrics_at(r)) == want[r]
+
+    def test_values_invariant_under_shard_count(self, batch_values_of):
+        # The canonical fold order (rounds, shards, users) collapses to
+        # (time, user) regardless of where the shard boundaries fall, so
+        # the *values* — not just live-vs-batch agreement — are identical
+        # across shard counts.
+        reference = batch_values_of(1)
+        for shards in SHARD_COUNTS[1:]:
+            assert batch_values_of(shards) == reference
+
+
+# ----------------------------------------------------------------------
+# equality against independently-coded references
+# ----------------------------------------------------------------------
+
+
+class TestIndependentReferences:
+    @pytest.fixture(scope="class")
+    def run(self, world, db, engine):
+        server = _live_run(world, db, engine, 5, "serial", "sync")
+        rows = _raw_rows(world, engine, db, _plan(db, 5))
+        return server, rows
+
+    def test_flow_snapshots_match_flows_from_arrays(self, world, run):
+        # The live E11 counters come from per-round pairing + flows_between;
+        # the reference walks the user-major prefix trace with the original
+        # flows_from_arrays counter.  Exact Counter equality, every round.
+        server, (users, times, _, true_cells, snapped) = run
+        monitor = LocationMonitor(world, 4, 4)
+        for r in server.metrics.rounds:
+            mask = times <= r
+            order = np.lexsort((times[mask], users[mask]))  # user-major
+            flows = server.metrics_at(r)["flows"]
+            assert flows.true_flows == monitor.flows_from_arrays(
+                users[mask][order], times[mask][order], true_cells[mask][order]
+            )
+            assert flows.observed_flows == monitor.flows_from_arrays(
+                users[mask][order], times[mask][order], snapped[mask][order]
+            )
+
+    def test_contact_snapshots_match_estimator(self, run):
+        # Occupancy is integer Counter arithmetic and the estimator is one
+        # float expression, so the live value equals a from-scratch count
+        # over the prefix bitwise.
+        from collections import Counter
+
+        server, (users, times, _, true_cells, snapped) = run
+        for r in server.metrics.rounds:
+            mask = times <= r
+            contacts = server.metrics_at(r)["contacts"]
+            observations = int(mask.sum())
+            assert contacts.n_observations == observations
+            for cells, rate, r0 in (
+                (true_cells, contacts.true_contact_rate, contacts.r0_true),
+                (snapped, contacts.observed_contact_rate, contacts.r0_observed),
+            ):
+                occupancy = Counter(zip(times[mask].tolist(), cells[mask].tolist()))
+                want = 2.0 * pair_events(occupancy) / observations
+                assert rate == want
+                assert r0 == 0.3 * want / 0.1
+
+    def test_monitoring_snapshot_tracks_direct_means(self, world, run):
+        server, (users, times, points, true_cells, _) = run
+        final = server.metrics.rounds[-1]
+        report = server.metrics_at(final)["monitoring"]
+        errors = np.hypot(
+            points[:, 0] - world.coords_array(true_cells)[:, 0],
+            points[:, 1] - world.coords_array(true_cells)[:, 1],
+        )
+        assert report.n_releases == len(users)
+        assert report.mean_euclidean_error == pytest.approx(float(errors.mean()), rel=1e-12)
+        assert 0.0 <= report.area_accuracy <= 1.0
+
+
+# ----------------------------------------------------------------------
+# snapshot semantics: availability, immutability, misuse
+# ----------------------------------------------------------------------
+
+
+def _partial_commit(world, db, engine, shards, only):
+    """A server with live views where only ``only`` shards have committed."""
+    plan = _plan(db, shards)
+    server = Server(world)
+    server.attach_metrics(default_views(world), expected_coverage(plan, db))
+    for users, times, batch in stream_shard_releases(
+        engine, db, plan, only_shards=frozenset(only)
+    ):
+        server.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+    return server, plan
+
+
+class TestSnapshotSemantics:
+    def test_unavailable_round_names_missing_shards(self, world, db, engine):
+        server, plan = _partial_commit(world, db, engine, 4, only={0, 1})
+        with pytest.raises(SnapshotUnavailableError, match=r"\[2, 3\]"):
+            server.metrics_at(0)
+        # Completing the run freezes everything.
+        for users, times, batch in stream_shard_releases(
+            engine, db, plan, only_shards=frozenset({2, 3})
+        ):
+            server.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+        assert server.metrics.frozen_rounds == server.metrics.rounds
+        server.metrics_at(0)  # no raise
+
+    def test_round_outside_coverage_is_validation_error(self, world, db, engine):
+        server, _ = _partial_commit(world, db, engine, 2, only={0, 1})
+        with pytest.raises(ValidationError, match="not part of this run's coverage"):
+            server.metrics_at(99)
+
+    def test_frozen_partials_are_immutable(self, world, db, engine):
+        server, _ = _partial_commit(world, db, engine, 2, only={0, 1})
+        partials = server.metrics.partials_at(HORIZON - 1)
+        monitoring = partials["monitoring"]
+        assert not monitoring.sums["error"].flags.writeable
+        with pytest.raises(ValueError):
+            monitoring.sums["error"][0] = 0.0
+        with pytest.raises(TypeError):
+            partials["monitoring"] = None
+
+    def test_double_fold_rejected(self, world, db, engine):
+        server, plan = _partial_commit(world, db, engine, 2, only={0})
+        users, times, batch = next(
+            iter(stream_shard_releases(engine, db, plan, only_shards=frozenset({0})))
+        )
+        with pytest.raises(DataError, match="already folded"):
+            server.ingest_shard(users, times, batch, shard=0)
+
+    def test_ingest_requires_shard_index(self, world, db, engine):
+        server, plan = _partial_commit(world, db, engine, 2, only=set())
+        users, times, batch = next(
+            iter(stream_shard_releases(engine, db, plan, only_shards=frozenset({0})))
+        )
+        with pytest.raises(DataError, match="require the shard index"):
+            server.ingest_shard(users, times, batch)
+
+    def test_round_ingest_path_refused(self, world, db, engine):
+        server, _ = _partial_commit(world, db, engine, 2, only=set())
+        with pytest.raises(DataError, match="ingest_batch carries no shard identity"):
+            server.ingest_batch([0], 0, engine.release_batch(
+                np.array([0]), rng=np.random.default_rng(0)
+            ))
+
+    def test_attach_twice_rejected(self, world, db, engine):
+        server, plan = _partial_commit(world, db, engine, 2, only=set())
+        with pytest.raises(ValidationError, match="already attached"):
+            server.attach_metrics(default_views(world), expected_coverage(plan, db))
+
+    def test_metrics_at_without_views_is_validation_error(self, world):
+        with pytest.raises(ValidationError, match="no live metric views"):
+            Server(world).metrics_at(0)
+
+    def test_single_stream_run_rejects_live_metrics(self, world, db, engine):
+        with pytest.raises(ValidationError, match="sharded streaming path"):
+            run_release_rounds_batched(world, db, engine, rng=RNG, live_metrics=True)
+
+
+class TestRegistryValidation:
+    def test_needs_views_and_coverage(self, world):
+        with pytest.raises(ValidationError, match="at least one"):
+            LiveMetricRegistry([], {0: {0}})
+        with pytest.raises(ValidationError, match="coverage is empty"):
+            LiveMetricRegistry(default_views(world), {})
+        with pytest.raises(ValidationError, match="duplicate"):
+            LiveMetricRegistry(
+                [ContactRateView(name="x"), FlowMatrixView(world, name="x")],
+                {0: {0}},
+            )
+
+    def test_unexpected_shard_and_round_mismatch(self, world, db, engine):
+        plan = _plan(db, 2)
+        registry = LiveMetricRegistry(default_views(world), expected_coverage(plan, db))
+        users, times, batch = next(
+            iter(stream_shard_releases(engine, db, plan, only_shards=frozenset({0})))
+        )
+        snapped = world.snap_batch(batch.points)
+        with pytest.raises(DataError, match="not in the expected coverage"):
+            registry.ingest(9, users, times, batch.points, batch.cells, snapped)
+        half = times < HORIZON // 2
+        with pytest.raises(DataError, match="coverage expects"):
+            registry.ingest(
+                0, users[half], times[half], batch.points[half],
+                np.asarray(batch.cells)[half], np.asarray(snapped)[half],
+            )
+
+    def test_repr_reports_progress(self, world, db, engine):
+        server, _ = _partial_commit(world, db, engine, 2, only={0})
+        text = repr(server.metrics)
+        assert "monitoring" in text and "1/2" in text
+
+    def test_default_views_cover_e1_e2_e11(self, world):
+        views = default_views(world)
+        assert [v.name for v in views] == ["monitoring", "contacts", "flows"]
+        assert isinstance(views[0], MonitoringUtilityView)
+        assert isinstance(views[1], ContactRateView)
+        assert isinstance(views[2], FlowMatrixView)

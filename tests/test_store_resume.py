@@ -19,6 +19,7 @@ Plus the same equality through the async committer and the out-of-core
 """
 
 import os
+import re
 import signal
 import sqlite3
 import subprocess
@@ -86,7 +87,7 @@ def _assert_matches(server, reference):
 # kill -9 subprocess matrix
 # ----------------------------------------------------------------------
 
-_CHILD = textwrap.dedent(
+_CHILD_TEMPLATE = textwrap.dedent(
     """
     import sys, time
 
@@ -110,11 +111,18 @@ _CHILD = textwrap.dedent(
 
     run_release_rounds_batched(
         world, db, engine, rng={rng}, shards={n_shards}, backend=backend,
-        store=store_path,
+        store=store_path, live_metrics={live_metrics},
     )
     print("DONE", flush=True)
     """
-).format(n_users=N_USERS, horizon=HORIZON, rng=RNG, n_shards=N_SHARDS)
+)
+
+_CHILD = _CHILD_TEMPLATE.format(
+    n_users=N_USERS, horizon=HORIZON, rng=RNG, n_shards=N_SHARDS, live_metrics=False
+)
+_CHILD_LIVE = _CHILD_TEMPLATE.format(
+    n_users=N_USERS, horizon=HORIZON, rng=RNG, n_shards=N_SHARDS, live_metrics=True
+)
 
 
 def _committed_shards(path):
@@ -386,3 +394,111 @@ def test_resume_with_different_backend_is_legal_and_identical(
         store=path, resume=True,
     )
     _assert_matches(server, reference)
+
+
+# ----------------------------------------------------------------------
+# live metric views across kill and resume
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_reference(world, db, engine):
+    """The never-killed live run: every resumed registry must equal it."""
+    return run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial",
+        live_metrics=True,
+    )
+
+
+def _assert_live_matches(server, live_reference):
+    assert server.metrics.rounds == live_reference.metrics.rounds
+    assert server.metrics.frozen_rounds == server.metrics.rounds
+    for r in live_reference.metrics.rounds:
+        # Exact == on the finalized values: floats bitwise, Counters exact.
+        assert dict(server.metrics_at(r)) == dict(live_reference.metrics_at(r))
+
+
+def test_resume_rebuilds_live_metrics_equal_to_uninterrupted(
+    world, db, engine, reference, live_reference, tmp_path
+):
+    # The torn run committed some shards durably; the resumed run folds the
+    # replayed shards (store rows + ground-truth lookups) plus the freshly
+    # re-derived ones, and every snapshot must equal the never-interrupted
+    # registry's — the fold cannot tell replay from live commit.
+    path = str(tmp_path / "live.sqlite")
+    _interrupt(world, db, engine, path, shards_done=4)
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="serial",
+        store=path, resume=True, live_metrics=True,
+    )
+    _assert_matches(server, reference)
+    _assert_live_matches(server, live_reference)
+
+
+def test_sigkill_mid_run_then_resume_rebuilds_live_metrics(
+    world, db, engine, reference, live_reference, tmp_path
+):
+    # The real thing: a live-metrics run killed with SIGKILL mid-commit,
+    # resumed with the views attached again.  (The full backend kill matrix
+    # runs above without views; one cell re-runs it with them.)
+    store_path = tmp_path / "killed-live.sqlite"
+    child = tmp_path / "child_live.py"
+    child.write_text(_CHILD_LIVE)
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    proc = subprocess.Popen(
+        [sys.executable, str(child), str(store_path), "thread"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if _committed_shards(store_path) >= 2:
+                break
+            time.sleep(0.01)
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on test bug
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.communicate()
+    if "DONE" in stdout:  # pragma: no cover - kill raced a (slowed) full run
+        pytest.skip(f"child outran the kill on this host: {stderr[-500:]}")
+    assert proc.returncode == -signal.SIGKILL, stderr[-2000:]
+
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=N_SHARDS, backend="thread",
+        store=str(store_path), resume=True, live_metrics=True,
+    )
+    _assert_matches(server, reference)
+    _assert_live_matches(server, live_reference)
+
+
+def test_half_committed_round_raises_snapshot_unavailable(world, db, engine):
+    # A store-backed server whose run is still torn: querying any round
+    # that a missing shard owns rows for must fail loudly, naming the
+    # shards the freeze is waiting on — never serve a partial value.
+    from repro.errors import SnapshotUnavailableError
+    from repro.server.live_metrics import default_views, expected_coverage
+
+    plan = ShardPlan.build(sorted(db.users()), N_SHARDS, rng=RNG)
+    done = frozenset(range(3))
+    with TraceStore(":memory:") as store:
+        store.begin_run(RunManifest.for_run(engine, plan, world))
+        server = Server(world, store=store)
+        server.attach_metrics(default_views(world), expected_coverage(plan, db))
+        for users, times, batch in stream_shard_releases(
+            engine, db, plan, only_shards=done
+        ):
+            server.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+        missing = sorted(set(range(N_SHARDS)) - done)
+        with pytest.raises(SnapshotUnavailableError, match=re.escape(str(missing))):
+            server.metrics_at(0)
+        with pytest.raises(SnapshotUnavailableError, match="not frozen yet"):
+            server.metrics_at(HORIZON - 1)
