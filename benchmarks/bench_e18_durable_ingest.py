@@ -7,8 +7,14 @@ decide whether anyone turns it on:
 * **overhead** — a store-backed sharded run (every shard committed
   transactionally with its ``(shard, round)`` recovery marks) against the
   identical in-memory run, with the bit-identity check alongside the
-  timing.  ``within_budget`` (durable ≤ 2x in-memory at CI scale) is a CI
-  acceptance.
+  timing.  ``within_budget`` (durable ≤ ``OVERHEAD_BUDGET`` x in-memory at
+  CI scale) is a CI acceptance.  Since PR 10 every commit transaction also
+  maintains the query-accelerator summary tables
+  (``repro.store.accelerator``: per-round occupancy, cell-pair flows, user
+  bounds — roughly 3x the upserted rows), so the budget is 3.5x where the
+  durability-only store sat at 1.4–1.6x; E22
+  (``bench_e22_queries.py``) gates the >= 10x query speedup that
+  maintenance buys.
 * **out_of_core** — a population far too large for an in-memory
   ``TraceDB``: chunked synthetic releases streamed through a store-backed
   ``Server(out_of_core=True)`` with a totals-only ledger, recording
@@ -43,6 +49,13 @@ from repro.geo.grid import GridWorld
 from repro.mobility.synthetic import geolife_like
 from repro.server.pipeline import Server, run_release_rounds_batched
 from repro.store import TraceStore
+
+#: Acceptance ceiling for durable-vs-memory ingest.  The store-backed run
+#: pays for the SQLite transactions *and* (since PR 10) the in-transaction
+#: accelerator summary maintenance the windowed query surface reads
+#: (docs/queries.md) — measured ~2.8-3.2x at CI scale, vs 1.4-1.6x for the
+#: durability-only store.
+OVERHEAD_BUDGET = 3.5
 
 #: CI-sized workloads shared by ``--smoke`` here and ``run_bench.py --smoke``.
 #: The overhead workload must be large enough that the store's fixed open
@@ -102,7 +115,7 @@ def durable_overhead(
         "memory_releases_per_sec": round(len(db) / memory_seconds, 1),
         "durable_releases_per_sec": round(len(db) / durable_seconds, 1),
         "overhead_ratio": round(ratio, 3),
-        "within_budget": ratio <= 2.0,
+        "within_budget": ratio <= OVERHEAD_BUDGET,
         "matches_memory": matches,
     }
 
@@ -184,8 +197,8 @@ def durable_ingest_block(smoke: bool) -> dict:
 # ----------------------------------------------------------------------
 # CI acceptance
 # ----------------------------------------------------------------------
-def test_durable_overhead_within_2x():
-    """Acceptance: store-backed run ≤ 2x in-memory, and bit-identical."""
+def test_durable_overhead_within_budget():
+    """Acceptance: store-backed run ≤ the overhead budget, and bit-identical."""
     result = durable_overhead(**SMOKE_OVERHEAD)
     print(
         f"\nE18: durable {result['durable_seconds']}s vs memory "

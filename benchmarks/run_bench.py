@@ -69,6 +69,17 @@ The artifact has four blocks (schema documented in ``docs/benchmarks.md``)::
         "headline": {"n_users": 4000, "query_speedup": 238468.0,
                      "speedup_floor": 10.0, "within_floor": true,
                      "matches_batch": true}
+      },
+      "query_surface": {                                  # E22
+        "scaling": [{"n_users": 4000, "rows": 24000, "shards": 8,
+                     "window": [3, 5], "matches_reference": true,
+                     "query_seconds": 0.0048, "full_scan_seconds": 0.086,
+                     "query_speedup": 17.8,
+                     "ingest_seconds": 0.19,
+                     "ingest_rows_per_sec": 124700.0}, ...],
+        "headline": {"n_users": 4000, "query_speedup": 17.8,
+                     "speedup_floor": 10.0, "within_floor": true,
+                     "matches_reference": true}
       }
     }
 
@@ -109,6 +120,7 @@ import bench_e18_durable_ingest as bench_e18  # noqa: E402
 import bench_e19_fused_round as bench_e19  # noqa: E402
 import bench_e20_rpc as bench_e20  # noqa: E402
 import bench_e21_live_metrics as bench_e21  # noqa: E402
+import bench_e22_queries as bench_e22  # noqa: E402
 
 from repro.experiments import harness  # noqa: E402
 from repro.experiments.configs import ExperimentConfig  # noqa: E402
@@ -137,6 +149,7 @@ DURABLE_ENTRY = "e18_durable_ingest"
 FUSED_ENTRY = "e19_fused_round"
 RPC_ENTRY = "e20_rpc_backend"
 LIVE_ENTRY = "e21_live_metrics"
+QUERY_ENTRY = "e22_query_surface"
 
 
 def make_config(smoke: bool) -> ExperimentConfig:
@@ -224,6 +237,15 @@ def run_live_metrics(smoke: bool) -> dict:
     return bench_e21.live_metrics_block(smoke)
 
 
+def run_query_surface(smoke: bool) -> dict:
+    """The E22 block: accelerator window queries vs full-table scans.
+
+    Delegates to ``bench_e22_queries.query_surface_block`` — same
+    single-source-of-truth arrangement as E16-E21.
+    """
+    return bench_e22.query_surface_block(smoke)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized configuration")
@@ -231,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         "--only",
         action="append",
         choices=sorted(ENTRY_POINTS)
-        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY, RPC_ENTRY, LIVE_ENTRY],
+        + [SHARDED_ENTRY, DISTRIBUTED_ENTRY, EPIDEMIC_ENTRY, DURABLE_ENTRY, FUSED_ENTRY, RPC_ENTRY, LIVE_ENTRY, QUERY_ENTRY],
         help="run only this entry point (repeatable)",
     )
     parser.add_argument(
@@ -251,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         FUSED_ENTRY,
         RPC_ENTRY,
         LIVE_ENTRY,
+        QUERY_ENTRY,
     ]
     payload: dict = {"config": "smoke" if args.smoke else "full", "timings": {}}
     for name in names:
@@ -262,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             FUSED_ENTRY,
             RPC_ENTRY,
             LIVE_ENTRY,
+            QUERY_ENTRY,
         ):
             continue
         runner = ENTRY_POINTS[name]
@@ -387,6 +411,25 @@ def main(argv: list[str] | None = None) -> int:
                 f"  matches_batch={record['matches_batch']}"
             )
         headline = payload["live_metrics"]["headline"]
+        print(
+            f"  headline n={headline['n_users']:,} speedup "
+            f"{headline['query_speedup']:,.0f}x (floor {headline['speedup_floor']}x, "
+            f"within_floor={headline['within_floor']})"
+        )
+    if QUERY_ENTRY in names:
+        start = time.perf_counter()
+        payload["query_surface"] = run_query_surface(args.smoke)
+        payload["timings"][QUERY_ENTRY] = round(time.perf_counter() - start, 6)
+        print(f"{QUERY_ENTRY:<28} {payload['timings'][QUERY_ENTRY]:>10.3f}s")
+        for record in payload["query_surface"]["scaling"]:
+            print(
+                f"  n={record['n_users']:>7,}"
+                f"  accel {record['query_seconds'] * 1e3:>8.3f}ms/bundle"
+                f"  scan {record['full_scan_seconds'] * 1e3:>9.1f}ms/bundle"
+                f"  speedup {record['query_speedup']:>8,.0f}x"
+                f"  matches_reference={record['matches_reference']}"
+            )
+        headline = payload["query_surface"]["headline"]
         print(
             f"  headline n={headline['n_users']:,} speedup "
             f"{headline['query_speedup']:,.0f}x (floor {headline['speedup_floor']}x, "

@@ -16,6 +16,12 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment e8 --shards 4 --store run.sqlite --resume
     python -m repro experiment e8 --shards 4 --backend rpc --workers 2 4
     python -m repro experiment e1 --shards 4 --backend rpc --workers 2 --worker-timeout 30
+    python -m repro query summary --store run.sqlite
+    python -m repro query contact-rate --store run.sqlite --window 0 11
+    python -m repro query flows --store run.sqlite --window 4 7 --kind true
+    python -m repro query top-cells --engine-spec spec.json -k 5
+    python -m repro query epsilon --store run.sqlite --user 3 --window 0 35
+    python -m repro query trajectory --store run.sqlite --user 3
     python -m repro engines
     python -m repro datasets
 
@@ -218,6 +224,59 @@ def build_parser() -> argparse.ArgumentParser:
         "live query speedup (see docs/live_metrics.md)",
     )
 
+    query = sub.add_parser(
+        "query", help="windowed analytics over a durable trace store"
+    )
+    query.add_argument(
+        "what",
+        choices=["summary", "contact-rate", "flows", "top-cells", "epsilon", "trajectory"],
+        help="which accelerator-served query to run (see docs/queries.md)",
+    )
+    query.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="SQLite TraceStore written by `experiment e8 --store PATH` "
+        "(or any run_release_rounds_batched store)",
+    )
+    query.add_argument(
+        "--engine-spec",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="JSON EngineSpec whose execution block names the store — the "
+        "same file that drove the run answers queries about it",
+    )
+    query.add_argument(
+        "--window",
+        type=int,
+        nargs=2,
+        default=None,
+        metavar=("START", "END"),
+        help="closed round interval [START, END]; defaults to the store's "
+        "full committed range",
+    )
+    query.add_argument(
+        "--kind",
+        choices=["observed", "true"],
+        default="observed",
+        help="observed = the stored (privatised, snapped) rows; true = "
+        "ground-truth summaries, when the run maintained them",
+    )
+    query.add_argument(
+        "--user", type=int, default=None, help="epsilon/trajectory: which user"
+    )
+    query.add_argument(
+        "-k", type=int, default=5, help="top-cells: how many cells (default 5)"
+    )
+    query.add_argument(
+        "--block-rows", type=int, default=4, help="flows: area tiling rows"
+    )
+    query.add_argument(
+        "--block-cols", type=int, default=4, help="flows: area tiling columns"
+    )
+
     sub.add_parser(
         "engines", help="list registered mechanism, policy, and backend names"
     )
@@ -244,6 +303,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_release(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "engines":
         return _cmd_engines()
     if args.command == "datasets":
@@ -451,6 +512,104 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 1
     print(table.pretty())
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.query import QueryEngine, Window
+
+    if (args.store is None) == (args.engine_spec is None):
+        print(
+            "error: pass exactly one of --store PATH or --engine-spec PATH",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        if args.store is not None:
+            store_path = args.store
+        else:
+            spec = _load_engine_spec(args.engine_spec)
+            if spec.execution is None or spec.execution.store is None:
+                print(
+                    f"error: engine spec {args.engine_spec} has no "
+                    "execution.store path to query",
+                    file=sys.stderr,
+                )
+                return 1
+            store_path = Path(spec.execution.store)
+        if not store_path.exists():
+            print(f"error: no trace store at {store_path}", file=sys.stderr)
+            return 1
+        with QueryEngine(store_path) as engine:
+            if args.window is not None:
+                window = Window(args.window[0], args.window[1])
+            else:
+                times = engine.store.times()
+                if not times:
+                    print(
+                        f"error: store {store_path} holds no committed rounds",
+                        file=sys.stderr,
+                    )
+                    return 1
+                window = Window(times[0], times[-1])
+            if args.what in {"epsilon", "trajectory"} and args.user is None:
+                print(f"error: query {args.what} requires --user", file=sys.stderr)
+                return 1
+            return _run_query(engine, window, args)
+    except (ReproError, OSError, ValueError, KeyError) as exc:
+        # Operator errors — a half-covered window (SnapshotUnavailableError
+        # naming the missing shards), an empty window (DataError), a store
+        # without true-side summaries, a malformed spec file — exit 1 with
+        # the message rather than a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_query(engine, window, args: argparse.Namespace) -> int:
+    """Dispatch one resolved query and print its answer."""
+    if args.what == "summary":
+        for key, value in engine.summary().items():
+            print(f"  {key:16}: {value}")
+        return 0
+    if args.what == "contact-rate":
+        estimate = engine.contact_rate(window, kind=args.kind)
+        print(f"window [{window.start}, {window.end}]  kind={args.kind}")
+        print(f"  observations : {estimate.observations}")
+        print(f"  pair_events  : {estimate.pair_events}")
+        print(f"  contact_rate : {estimate.contact_rate:.6f}")
+        print(f"  r0           : {estimate.r0:.6f}")
+        return 0
+    if args.what == "flows":
+        flows = engine.flow_matrix(
+            window, kind=args.kind, block_rows=args.block_rows, block_cols=args.block_cols
+        )
+        print(
+            f"window [{window.start}, {window.end}]  kind={args.kind}  "
+            f"tiling {args.block_rows}x{args.block_cols}  "
+            f"({sum(flows.values())} transitions)"
+        )
+        for (src, dst), count in sorted(flows.items()):
+            print(f"  area {src:3} -> {dst:3} : {count}")
+        return 0
+    if args.what == "top-cells":
+        print(f"window [{window.start}, {window.end}]  kind={args.kind}")
+        for cell, count in engine.top_cells(window, args.k, kind=args.kind):
+            print(f"  cell {cell:4} : {count}")
+        return 0
+    if args.what == "epsilon":
+        spent = engine.epsilon_spent(args.user, window)
+        print(
+            f"user {args.user} spent epsilon {spent:.6f} over "
+            f"[{window.start}, {window.end}]"
+        )
+        return 0
+    if args.what == "trajectory":
+        checkins = engine.trajectory(args.user, window)
+        print(f"user {args.user}: {len(checkins)} check-ins")
+        for checkin in checkins:
+            print(f"  t={checkin.time:4}  cell {checkin.cell}")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _cmd_engines() -> int:

@@ -413,6 +413,9 @@ class Server:
         order = np.lexsort((users, times))  # commit by (time, user)
         with self._ingest_lock:
             if self.store is not None:
+                # batch.cells carry the ground-truth cells (the shard
+                # streaming contract): the store keeps only their aggregate
+                # accelerator summaries, never the per-row values.
                 self.store.commit_shard(
                     int(shard),
                     users,
@@ -423,6 +426,11 @@ class Server:
                         epsilons=batch.epsilons,
                         cells=np.asarray(cells, dtype=np.int64),
                         mechanism=batch.mechanism,
+                    ),
+                    true_cells=(
+                        None
+                        if batch.cells is None
+                        else np.asarray(batch.cells, dtype=np.int64)
                     ),
                 )
             if not self.out_of_core:

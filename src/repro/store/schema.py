@@ -26,6 +26,12 @@ per-partition recovery-state table):
 ``local_windows``
     Spill space for out-of-core :class:`~repro.server.localdb.LocalLocationDB`
     instances (client-side rolling windows), keyed ``(user, time)``.
+``round_cell_counts`` / ``round_flows`` / ``user_summary``
+    The query accelerator (schema v2): per-round occupancy, per-round
+    cell-transition counts, and per-user bounds, maintained inside every
+    shard-commit transaction so windowed analytics never pay a full-table
+    pass — see :mod:`repro.store.accelerator` for the layout and the
+    merge-by-integer-addition argument.
 
 Pragma rationale (the Paper-Scanner recipe, see ``docs/persistence.md``):
 
@@ -49,11 +55,15 @@ from __future__ import annotations
 
 import sqlite3
 
+from repro.store.accelerator import ACCELERATOR_TABLES
+
 __all__ = ["SCHEMA_VERSION", "BUSY_TIMEOUT_MS", "apply_pragmas", "create_schema"]
 
 #: Bumped whenever the table layout changes; stores recorded under a
 #: different version refuse to open rather than guess at a migration.
-SCHEMA_VERSION = 1
+#: v2 added the query-accelerator tables (round_cell_counts, round_flows,
+#: user_summary) maintained inside every shard-commit transaction.
+SCHEMA_VERSION = 2
 
 #: Default lock-retry window (milliseconds) for every connection.
 BUSY_TIMEOUT_MS = 30_000
@@ -96,7 +106,7 @@ _TABLES = (
     """
     CREATE INDEX IF NOT EXISTS releases_by_time ON releases (time, user)
     """,
-)
+) + ACCELERATOR_TABLES
 
 
 def apply_pragmas(connection: sqlite3.Connection, busy_timeout_ms: int = BUSY_TIMEOUT_MS) -> None:

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Iterator, Mapping
 import numpy as np
 
 from repro.errors import StoreError
+from repro.store import accelerator
 from repro.store.resume import RunManifest
 from repro.store.schema import BUSY_TIMEOUT_MS, SCHEMA_VERSION, apply_pragmas, create_schema
 
@@ -112,11 +113,21 @@ class TraceStore:
         self.close()
 
     def file_size_bytes(self) -> int:
-        """On-disk size of the database file (0 for ``:memory:``)."""
+        """On-disk size of the database, sidecars included (0 for ``:memory:``).
+
+        WAL mode keeps recent transactions in ``-wal`` (plus the ``-shm``
+        index) until a checkpoint folds them into the main file, so the
+        main file alone understates real disk usage on a live store — the
+        sum over all three is what the E18/E19 footprint numbers report.
+        """
         if self.path == ":memory:":
             return 0
-        path = Path(self.path)
-        return path.stat().st_size if path.exists() else 0
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            sidecar = Path(self.path + suffix)
+            if sidecar.exists():
+                total += sidecar.stat().st_size
+        return total
 
     # ------------------------------------------------------------------
     # Run manifest / resume contract
@@ -165,7 +176,9 @@ class TraceStore:
     # ------------------------------------------------------------------
     # Transactional commits
     # ------------------------------------------------------------------
-    def commit_shard(self, shard: int, users, times, batch: "ReleaseBatch") -> None:
+    def commit_shard(
+        self, shard: int, users, times, batch: "ReleaseBatch", true_cells=None
+    ) -> None:
         """Durably commit one shard's releases in a single transaction.
 
         Parameters
@@ -179,18 +192,85 @@ class TraceStore:
             The shard's releases.  ``batch.cells`` must already hold the
             *snapped* server-side cells (the pipeline stores the server
             view, exactly what the in-memory ``released_db`` records).
+        true_cells:
+            Optional ground-truth cell per row.  When given, the commit
+            additionally maintains the accelerator's true-side summary
+            rows (aggregate occupancy and flows only — per-row ground truth
+            is still never persisted).  A store must be written
+            consistently: mixing commits with and without ``true_cells``
+            raises :class:`~repro.errors.StoreError`.
 
-        The release rows and one ``(shard, round)`` mark per distinct
-        timestep are written in the same transaction — either the whole
-        shard becomes durable or none of it does.
+        The release rows, one ``(shard, round)`` mark per distinct
+        timestep, *and* the accelerator summary increments
+        (:mod:`repro.store.accelerator`) are written in the same
+        transaction — either the whole shard becomes durable or none of it
+        does, and the summaries can never be torn relative to the marks.
+
+        Re-committing a shard whose ``(shard, round)`` marks are all
+        already durable is an idempotent no-op (the summaries merge by
+        addition, so replaying the rows would double-count them); a commit
+        overlapping only *some* of its marks is a :class:`StoreError`.
         """
         users = np.asarray(users, dtype=np.int64)
         times = np.asarray(times, dtype=np.int64)
+        cells = np.asarray(batch.cells, dtype=np.int64)
         rounds, counts = np.unique(times, return_counts=True)
+        existing_rounds = {
+            int(time)
+            for (time,) in self.connection.execute(
+                "SELECT round FROM shard_commits WHERE shard = ?", (int(shard),)
+            ).fetchall()
+        }
+        incoming_rounds = set(rounds.tolist())
+        if incoming_rounds & existing_rounds:
+            if incoming_rounds <= existing_rounds:
+                return  # the whole shard is already durable
+            raise StoreError(
+                f"shard {shard} commit overlaps rounds "
+                f"{sorted(incoming_rounds & existing_rounds)} already marked "
+                "durable; a shard's rounds must commit together exactly once"
+            )
+        maintains_true = self.maintains_true_summaries()
+        if maintains_true is not None and maintains_true != (true_cells is not None):
+            held = "maintains" if maintains_true else "does not maintain"
+            raise StoreError(
+                f"trace store {self.path!r} {held} true-side accelerator "
+                "summaries; every commit must pass true_cells consistently"
+            )
+        prior_users: set[int] = set()
+        if len(users):
+            prior_users = {
+                int(user)
+                for (user,) in self.connection.execute(
+                    "SELECT user FROM user_summary WHERE user BETWEEN ? AND ?",
+                    (int(users.min()), int(users.max())),
+                ).fetchall()
+            } & set(users.tolist())
+        if prior_users and true_cells is not None:
+            raise StoreError(
+                f"commit of shard {shard} extends users {sorted(prior_users)[:5]}"
+                "... whose rows are already stored: true-side summaries "
+                "cannot be stitched across commits (ground-truth cells are "
+                "never persisted per row) — commit whole traces per shard"
+            )
+        cell_counts = accelerator.cell_count_rows(accelerator.KIND_OBSERVED, times, cells)
+        flows = accelerator.flow_rows(accelerator.KIND_OBSERVED, users, times, cells)
+        flows += accelerator.boundary_flow_rows(
+            self.connection, users, times, cells, prior_users
+        )
+        if true_cells is not None:
+            true_cells = np.asarray(true_cells, dtype=np.int64)
+            cell_counts += accelerator.cell_count_rows(
+                accelerator.KIND_TRUE, times, true_cells
+            )
+            flows += accelerator.flow_rows(
+                accelerator.KIND_TRUE, users, times, true_cells
+            )
+        summaries = accelerator.user_summary_rows(users, times)
         rows = zip(
             users.tolist(),
             times.tolist(),
-            np.asarray(batch.cells, dtype=np.int64).tolist(),
+            cells.tolist(),
             batch.points[:, 0].tolist(),
             batch.points[:, 1].tolist(),
             batch.exact.astype(np.int64).tolist(),
@@ -210,10 +290,21 @@ class TraceStore:
                     "VALUES (?, ?, ?)",
                     marks,
                 )
+                accelerator.apply_deltas(self.connection, cell_counts, flows, summaries)
+                if maintains_true is None:
+                    self.connection.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                        ("accelerator_true", "1" if true_cells is not None else "0"),
+                    )
         except sqlite3.Error as exc:
             raise StoreError(
                 f"commit of shard {shard} ({len(users)} rows) failed: {exc}"
             ) from exc
+
+    def maintains_true_summaries(self) -> "bool | None":
+        """Whether commits maintain true-side summaries (None before any)."""
+        recorded = self._meta().get("accelerator_true")
+        return None if recorded is None else recorded == "1"
 
     def committed(self) -> frozenset[tuple[int, int]]:
         """Every durably committed ``(shard, round)`` pair."""
@@ -228,12 +319,25 @@ class TraceStore:
         return int(count)
 
     def users(self) -> frozenset[int]:
-        rows = self.connection.execute("SELECT DISTINCT user FROM releases").fetchall()
+        """Every user with stored rows, served from ``user_summary``.
+
+        One row per user is maintained at commit time, so this is O(users)
+        against a table of per-user bounds instead of the O(rows)
+        ``SELECT DISTINCT`` scan over ``releases`` it used to be.
+        """
+        rows = self.connection.execute("SELECT user FROM user_summary").fetchall()
         return frozenset(int(user) for (user,) in rows)
 
     def times(self) -> list[int]:
+        """Every stored timestep, served from the commit marks.
+
+        ``shard_commits`` holds one mark per ``(shard, round)``, written in
+        the same transaction as the rows, so the distinct rounds there are
+        exactly the distinct times in ``releases`` — at O(marks) cost
+        instead of a full-table ``SELECT DISTINCT`` scan.
+        """
         rows = self.connection.execute(
-            "SELECT DISTINCT time FROM releases ORDER BY time"
+            "SELECT DISTINCT round FROM shard_commits ORDER BY round"
         ).fetchall()
         return [int(time) for (time,) in rows]
 

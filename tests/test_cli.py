@@ -176,3 +176,97 @@ class TestEnginesCommand:
         assert "store:" in out
         assert "TraceStore schema v" in out
         assert "WAL" in out
+
+
+class TestQueryCommand:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        from repro.engine import PrivacyEngine
+        from repro.geo.grid import GridWorld
+        from repro.mobility.synthetic import geolife_like
+        from repro.server.pipeline import run_release_rounds_batched
+
+        path = tmp_path_factory.mktemp("query") / "run.sqlite"
+        world = GridWorld(6, 6)
+        db = geolife_like(world, n_users=8, horizon=6, rng=3)
+        engine = PrivacyEngine.from_spec(
+            world, mechanism="P-LM", policy="G1", epsilon=1.0
+        )
+        run_release_rounds_batched(
+            world, db, engine, rng=11, shards=2, backend="serial", store=str(path)
+        )
+        return path
+
+    def test_summary(self, capsys, store_path):
+        assert main(["query", "summary", "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out and "committed_shards" in out
+
+    def test_contact_rate_window(self, capsys, store_path):
+        code = main(["query", "contact-rate", "--store", str(store_path),
+                     "--window", "0", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contact_rate" in out and "r0" in out
+
+    def test_flows_true_kind(self, capsys, store_path):
+        code = main(["query", "flows", "--store", str(store_path), "--kind", "true"])
+        assert code == 0
+        assert "transitions" in capsys.readouterr().out
+
+    def test_top_cells_and_trajectory(self, capsys, store_path):
+        assert main(["query", "top-cells", "--store", str(store_path), "-k", "3"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4  # header + k
+        assert main(["query", "trajectory", "--store", str(store_path),
+                     "--user", "0"]) == 0
+        assert "check-ins" in capsys.readouterr().out
+
+    def test_epsilon_requires_user(self, capsys, store_path):
+        assert main(["query", "epsilon", "--store", str(store_path)]) == 1
+        assert "requires --user" in capsys.readouterr().err
+
+    def test_store_and_spec_are_exclusive(self, capsys, store_path, tmp_path):
+        assert main(["query", "summary"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+        spec = tmp_path / "spec.json"
+        spec.write_text("{}")
+        code = main(["query", "summary", "--store", str(store_path),
+                     "--engine-spec", str(spec)])
+        assert code == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_missing_store_path(self, capsys, tmp_path):
+        assert main(["query", "summary", "--store", str(tmp_path / "no.sqlite")]) == 1
+        assert "no trace store" in capsys.readouterr().err
+
+    def test_engine_spec_store_reuse(self, capsys, store_path, tmp_path):
+        # The spec file that drove a run answers queries about its store.
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "mechanism": {"name": "planar_laplace", "epsilon": 1.0},
+            "policy": {"name": "G1"},
+            "execution": {"backend": "serial", "shards": 2,
+                          "store": str(store_path)},
+        }))
+        assert main(["query", "summary", "--engine-spec", str(spec)]) == 0
+        assert str(store_path) in capsys.readouterr().out
+
+    def test_spec_without_store_errors(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "bare.json"
+        spec.write_text(json.dumps({
+            "mechanism": {"name": "planar_laplace", "epsilon": 1.0},
+            "policy": {"name": "G1"},
+        }))
+        assert main(["query", "summary", "--engine-spec", str(spec)]) == 1
+        assert "no" in capsys.readouterr().err
+
+    def test_unavailable_window_exits_nonzero(self, capsys, store_path):
+        # Rounds beyond the run's coverage: DataError -> exit 1 with message.
+        code = main(["query", "contact-rate", "--store", str(store_path),
+                     "--window", "20", "25"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,474 @@
+"""The windowed query surface: accelerator answers equal full scans, bitwise.
+
+The headline contract of ``repro.query`` mirrors the live-metrics one: every
+windowed answer served from the accelerator summary tables equals its naive
+``full_scan_*`` reference **bitwise**, under every execution shape.  This
+file pins that matrix (shards {1, 2, 5, 7} x serial/thread/process/pool/rpc
+x sync/async/partitioned committers x kill-resume), the coverage-frontier
+refusal rule (half-covered windows name the shards they wait on), awkward
+stores (empty windows, coverage gaps, ``:memory:``, resumed mid-run), and a
+Hypothesis property: under *any* interleaving of shard commits and window
+queries, each query either refuses or returns the exact full-scan answer
+for the committed prefix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import PrivacyEngine, ensure_backend
+from repro.engine.sharding import ShardPlan, stream_shard_releases
+from repro.errors import (
+    DataError,
+    SnapshotUnavailableError,
+    StoreError,
+    ValidationError,
+)
+from repro.geo.grid import GridWorld
+from repro.mobility.synthetic import geolife_like
+from repro.mobility.trajectory import TraceDB
+from repro.query import QueryEngine, Window, sliding_windows, tumbling_windows
+from repro.query import reference as ref
+from repro.server.live_metrics import expected_coverage
+from repro.server.pipeline import Server, run_release_rounds_batched
+from repro.store import RunManifest, TraceStore
+
+N_USERS = 16
+HORIZON = 8
+RNG = 11
+
+SHARD_COUNTS = [1, 2, 5, 7]
+COMMITTERS = ["sync", "async", "partitioned"]
+
+#: The windows every fingerprint probes: a tumbling tiling plus overlapping
+#: sliders, so boundaries, overlaps, and the clipped tail all get exercised.
+WINDOWS = tumbling_windows(0, HORIZON - 1, 3) + sliding_windows(0, HORIZON - 1, 4, step=2)
+FULL = Window(0, HORIZON - 1)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GridWorld(6, 6)
+
+
+@pytest.fixture(scope="module")
+def db(world):
+    return geolife_like(world, n_users=N_USERS, horizon=HORIZON, rng=3)
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+
+
+# One live backend per name, shared across the matrix (worker spawn paid
+# once per module — the same amortisation the live-metrics matrix uses).
+@pytest.fixture(scope="module", params=["serial", "thread", "process", "pool", "rpc"])
+def backend(request):
+    with ensure_backend(request.param) as instance:
+        yield instance
+
+
+@pytest.fixture(scope="module")
+def resolver(db):
+    """``(users, times) -> true cells`` from the ground-truth TraceDB."""
+    lookup = {
+        (checkin.user, checkin.time): checkin.cell
+        for user in db.users()
+        for checkin in db.user_history(user)
+    }
+
+    def resolve(users, times):
+        return np.array(
+            [lookup[(int(u), int(t))] for u, t in zip(users, times)], dtype=np.int64
+        )
+
+    return resolve
+
+
+def _fingerprint(store, world):
+    """Every query answer over the probe windows, as one comparable value."""
+    engine = QueryEngine(store, world=world)
+    fingerprint = {}
+    for window in WINDOWS:
+        for kind in ("observed", "true"):
+            key = (window.start, window.end, kind)
+            fingerprint[("contact",) + key] = engine.contact_rate(window, kind=kind)
+            fingerprint[("flows",) + key] = engine.flow_matrix(window, kind=kind)
+        fingerprint[("top", window.start, window.end)] = tuple(
+            engine.top_cells(window, 5)
+        )
+    for user in sorted(store.users()):
+        fingerprint[("epsilon", user)] = engine.epsilon_spent(user, FULL)
+        fingerprint[("trajectory", user)] = tuple(engine.trajectory(user))
+    return fingerprint
+
+
+def _assert_matches_full_scan(store, world, resolver):
+    """Bit-check every accelerator answer against its full-scan twin."""
+    engine = QueryEngine(store, world=world)
+    for window in WINDOWS:
+        assert engine.contact_rate(window) == ref.full_scan_contact_rate(store, window)
+        assert engine.contact_rate(window, kind="true") == ref.full_scan_contact_rate(
+            store, window, kind="true", true_resolver=resolver
+        )
+        assert engine.flow_matrix(window) == ref.full_scan_flow_matrix(
+            store, window, world
+        )
+        assert engine.flow_matrix(window, kind="true") == ref.full_scan_flow_matrix(
+            store, window, world, kind="true", true_resolver=resolver
+        )
+        # A non-default tiling is served from the same cell-level counts.
+        assert engine.flow_matrix(window, block_rows=2, block_cols=3) == (
+            ref.full_scan_flow_matrix(store, window, world, block_rows=2, block_cols=3)
+        )
+        assert engine.top_cells(window, 5) == ref.full_scan_top_cells(store, window, 5)
+    for user in sorted(store.users()):
+        assert engine.epsilon_spent(user, FULL) == ref.full_scan_epsilon_spent(
+            store, user, FULL
+        )
+        assert engine.trajectory(user) == ref.full_scan_trajectory(store, user)
+    assert store.users() == ref.full_scan_users(store)
+    assert store.times() == ref.full_scan_times(store)
+
+
+@pytest.fixture(scope="module")
+def canonical(world, db, engine):
+    """The 1-shard serial sync fingerprint every other shape must equal."""
+    with TraceStore(":memory:") as store:
+        run_release_rounds_batched(
+            world, db, engine, rng=RNG, shards=1, backend="serial", store=store
+        )
+        return _fingerprint(store, world)
+
+
+def _store_run(world, db, engine, shards, backend, committer="sync", store=None):
+    kwargs = {}
+    if committer == "async":
+        kwargs["async_ingest"] = True
+    elif committer == "partitioned":
+        kwargs["ingest_partitions"] = 2
+    store = store if store is not None else TraceStore(":memory:")
+    server = run_release_rounds_batched(
+        world, db, engine, rng=RNG, shards=shards, backend=backend,
+        store=store, **kwargs,
+    )
+    return server, store
+
+
+# ----------------------------------------------------------------------
+# the determinism matrix
+# ----------------------------------------------------------------------
+
+
+class TestDeterminismMatrix:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_every_backend_and_shard_count_answers_identically(
+        self, shards, backend, world, db, engine, resolver, canonical
+    ):
+        _, store = _store_run(world, db, engine, shards, backend)
+        with store:
+            assert _fingerprint(store, world) == canonical
+            _assert_matches_full_scan(store, world, resolver)
+
+    @pytest.mark.parametrize("committer", COMMITTERS)
+    def test_every_committer_answers_identically(
+        self, committer, world, db, engine, resolver, canonical
+    ):
+        _, store = _store_run(world, db, engine, 5, "thread", committer)
+        with store:
+            assert _fingerprint(store, world) == canonical
+            _assert_matches_full_scan(store, world, resolver)
+
+    def test_epsilon_spend_equals_the_live_ledger(self, world, db, engine):
+        # The query folds stored rows through the same BudgetLedger
+        # accumulation the server charged during the run, so the floats are
+        # identical, not merely close.
+        server, store = _store_run(world, db, engine, 5, "serial")
+        with store:
+            engine_q = QueryEngine(store, world=world)
+            for user in sorted(db.users()):
+                assert engine_q.epsilon_spent(user, FULL) == server.ledger.spent(user)
+
+
+# ----------------------------------------------------------------------
+# kill-resume: a rebuilt store answers like an uninterrupted one
+# ----------------------------------------------------------------------
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("shards_done", [0, 3, 7])
+    def test_resumed_store_answers_identically(
+        self, shards_done, world, db, engine, resolver, canonical, tmp_path
+    ):
+        # Leave the store looking like a run killed after `shards_done`
+        # whole-shard commits, resume it, then query the reopened file.
+        path = tmp_path / "killed.sqlite"
+        plan = ShardPlan.build(sorted(db.users()), 7, rng=RNG)
+        with TraceStore(path) as store:
+            store.begin_run(RunManifest.for_run(engine, plan, world))
+            committer = Server(world, store=store)
+            for users, times, batch in stream_shard_releases(
+                engine, db, plan, only_shards=frozenset(range(shards_done))
+            ):
+                committer.ingest_shard(
+                    users, times, batch, shard=plan.shard_of(int(users[0]))
+                )
+        run_release_rounds_batched(
+            world, db, engine, rng=RNG, shards=7, backend="serial",
+            store=str(path), resume=True,
+        )
+        with TraceStore(path) as store:
+            assert _fingerprint(store, world) == canonical
+            _assert_matches_full_scan(store, world, resolver)
+
+
+# ----------------------------------------------------------------------
+# awkward stores
+# ----------------------------------------------------------------------
+
+
+class TestAwkwardStores:
+    def test_empty_window_raises_data_error_on_both_sides(self, world, db, engine):
+        _, store = _store_run(world, db, engine, 2, "serial")
+        with store:
+            engine_q = QueryEngine(store, world=world)
+            beyond = Window(HORIZON + 3, HORIZON + 5)
+            with pytest.raises(DataError, match="no observations"):
+                engine_q.contact_rate(beyond)
+            with pytest.raises(DataError, match="no observations"):
+                ref.full_scan_contact_rate(store, beyond)
+            # The non-raising queries agree on emptiness instead.
+            assert engine_q.flow_matrix(beyond) == ref.full_scan_flow_matrix(
+                store, beyond, world
+            )
+            assert engine_q.top_cells(beyond, 3) == ref.full_scan_top_cells(
+                store, beyond, 3
+            )
+
+    def test_memory_store_answers_like_a_file_store(
+        self, world, db, engine, canonical, tmp_path
+    ):
+        _, disk = _store_run(
+            world, db, engine, 5, "serial", store=TraceStore(tmp_path / "disk.sqlite")
+        )
+        with disk:
+            assert _fingerprint(disk, world) == canonical
+
+    def test_engine_opens_and_closes_a_path(self, world, db, engine, tmp_path):
+        path = tmp_path / "owned.sqlite"
+        _, store = _store_run(world, db, engine, 2, "serial", store=TraceStore(path))
+        store.close()
+        with TraceStore(path) as readback:
+            want = ref.full_scan_flow_matrix(readback, FULL, world)
+        with QueryEngine(path) as engine_q:
+            # World comes from the run manifest — no world= needed.
+            assert engine_q.flow_matrix(FULL) == want
+        with pytest.raises(StoreError):
+            engine_q.store.users()  # closed on context exit
+
+    def test_true_kind_refused_without_true_summaries(self, world, engine):
+        # A store whose commits never passed true_cells has no kind-1 rows;
+        # asking for them must fail loudly, not answer zeros.
+        with TraceStore(":memory:") as store:
+            batch = engine.release_batch(
+                np.array([0, 1, 2]), rng=np.random.default_rng(0)
+            )
+            store.commit_shard(0, np.array([1, 2, 3]), np.array([0, 0, 0]), batch)
+            assert store.maintains_true_summaries() is False
+            engine_q = QueryEngine(store, world=world)
+            engine_q.contact_rate(Window(0, 0))  # observed side fine
+            with pytest.raises(StoreError, match="no true-side"):
+                engine_q.contact_rate(Window(0, 0), kind="true")
+
+    def test_unknown_kind_is_validation_error(self, world, db, engine):
+        _, store = _store_run(world, db, engine, 1, "serial")
+        with store:
+            engine_q = QueryEngine(store, world=world)
+            with pytest.raises(ValidationError, match="kind"):
+                engine_q.contact_rate(FULL, kind="snapped")
+
+    def test_bare_store_without_manifest_needs_world(self, engine):
+        with TraceStore(":memory:") as store:
+            # One 2-step trace, so the window holds a real transition and
+            # the area regrouping actually needs the grid geometry.
+            batch = engine.release_batch(np.array([0, 1]), rng=np.random.default_rng(0))
+            store.commit_shard(0, np.array([1, 1]), np.array([0, 1]), batch)
+            engine_q = QueryEngine(store)
+            with pytest.raises(ValidationError, match="pass world="):
+                engine_q.flow_matrix(Window(0, 1))
+
+
+# ----------------------------------------------------------------------
+# coverage gaps: the frontier refusal rule
+# ----------------------------------------------------------------------
+
+
+def _staggered_world_db():
+    """A population whose shards cover *different* round ranges.
+
+    Users are assigned to shards in contiguous sorted blocks, so with 12
+    users over 4 shards, users 0-5 (shards 0-1) span rounds 0-3 and users
+    6-11 (shards 2-3) span rounds 2-7: early windows are answerable from
+    half the shards while later windows need all of them.
+    """
+    world = GridWorld(6, 6)
+    db = TraceDB()
+    for user in range(12):
+        start, end = (0, 3) if user < 6 else (2, HORIZON - 1)
+        for time in range(start, end + 1):
+            db.record(user, time, (user * 7 + time * 3) % world.n_cells)
+    return world, db
+
+
+@pytest.fixture(scope="module")
+def staggered():
+    world, sdb = _staggered_world_db()
+    engine = PrivacyEngine.from_spec(world, mechanism="P-LM", policy="G1", epsilon=1.0)
+    plan = ShardPlan.build(sorted(sdb.users()), 4, rng=RNG)
+    parts = {
+        plan.shard_of(int(users[0])): (users, times, batch)
+        for users, times, batch in stream_shard_releases(engine, sdb, plan)
+    }
+    return world, sdb, engine, plan, parts
+
+
+def _commit(world, store, plan, parts, shards):
+    committer = Server(world, store=store)
+    for shard in shards:
+        users, times, batch = parts[shard]
+        committer.ingest_shard(users, times, batch, shard=shard)
+
+
+class TestCoverageGaps:
+    def test_half_covered_window_names_missing_shards(self, staggered):
+        world, sdb, _, plan, parts = staggered
+        with TraceStore(":memory:") as store:
+            _commit(world, store, plan, parts, [0, 1])
+            engine_q = QueryEngine(
+                store, world=world, expected=expected_coverage(plan, sdb)
+            )
+            # Shards 0-1 cover every round <= 1, so early windows answer
+            # and match the reference over the committed prefix ...
+            early = Window(0, 1)
+            assert engine_q.missing_shards(1) == []
+            assert engine_q.contact_rate(early) == ref.full_scan_contact_rate(
+                store, early
+            )
+            # ... while any window reaching round 2 straddles the gap.
+            with pytest.raises(
+                SnapshotUnavailableError, match=r"waiting on shard commit\(s\) \[2, 3\]"
+            ):
+                engine_q.contact_rate(Window(0, 4))
+            with pytest.raises(SnapshotUnavailableError):
+                engine_q.top_cells(Window(2, 3), 3)
+            with pytest.raises(SnapshotUnavailableError):
+                engine_q.epsilon_spent(0, Window(0, 5))
+            _commit(world, store, plan, parts, [2, 3])
+            full = Window(0, HORIZON - 1)
+            assert engine_q.contact_rate(full) == ref.full_scan_contact_rate(store, full)
+
+    def test_derived_coverage_from_manifest_refuses_partial_runs(
+        self, world, db, engine
+    ):
+        # Without an explicit schedule the engine derives one from the run
+        # manifest: every planned shard is expected wherever any commit
+        # landed, so a half-committed run refuses until the rest arrives.
+        plan = ShardPlan.build(sorted(db.users()), 4, rng=RNG)
+        parts = {
+            plan.shard_of(int(users[0])): (users, times, batch)
+            for users, times, batch in stream_shard_releases(engine, db, plan)
+        }
+        with TraceStore(":memory:") as store:
+            store.begin_run(RunManifest.for_run(engine, plan, world))
+            _commit(world, store, plan, parts, [0, 3])
+            engine_q = QueryEngine(store, world=world)
+            assert engine_q.missing_shards(HORIZON - 1) == [1, 2]
+            with pytest.raises(SnapshotUnavailableError, match=r"\[1, 2\]"):
+                engine_q.contact_rate(Window(0, 3))
+            _commit(world, store, plan, parts, [1, 2])
+            assert engine_q.missing_shards(HORIZON - 1) == []
+            engine_q.contact_rate(Window(0, 3))  # answers once complete
+
+
+# ----------------------------------------------------------------------
+# the interleaving property
+# ----------------------------------------------------------------------
+
+
+class TestInterleavingProperty:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_any_interleaving_refuses_or_answers_exactly(self, staggered, data):
+        # For any commit order, any prefix, and any probe window: a query
+        # either raises SnapshotUnavailableError (exactly when shards are
+        # missing at or before the window's end) or returns the bit-exact
+        # full-scan answer over what the store currently holds.
+        world, sdb, _, plan, parts = staggered
+        order = data.draw(st.permutations(sorted(parts)))
+        prefix = data.draw(st.integers(min_value=0, max_value=len(order)))
+        windows = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, HORIZON - 1), st.integers(0, HORIZON - 1)
+                ).map(lambda ends: Window(min(ends), max(ends))),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        expected = expected_coverage(plan, sdb)
+        with TraceStore(":memory:") as store:
+            _commit(world, store, plan, parts, order[:prefix])
+            engine_q = QueryEngine(store, world=world, expected=expected)
+            for window in windows:
+                if engine_q.missing_shards(window.end):
+                    with pytest.raises(SnapshotUnavailableError):
+                        engine_q.contact_rate(window)
+                    continue
+                assert engine_q.top_cells(window, 4) == ref.full_scan_top_cells(
+                    store, window, 4
+                )
+                assert engine_q.flow_matrix(window) == ref.full_scan_flow_matrix(
+                    store, window, world
+                )
+                try:
+                    got = engine_q.contact_rate(window)
+                except DataError:
+                    with pytest.raises(DataError):
+                        ref.full_scan_contact_rate(store, window)
+                else:
+                    assert got == ref.full_scan_contact_rate(store, window)
+
+
+# ----------------------------------------------------------------------
+# window helpers
+# ----------------------------------------------------------------------
+
+
+class TestWindows:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="precedes"):
+            Window(3, 2)
+        with pytest.raises(ValidationError, match="width"):
+            tumbling_windows(0, 9, 0)
+        with pytest.raises(ValidationError, match="width/step"):
+            sliding_windows(0, 9, 3, step=0)
+
+    def test_tumbling_tiles_without_overlap(self):
+        windows = tumbling_windows(0, 7, 3)
+        assert windows == [Window(0, 2), Window(3, 5), Window(6, 7)]
+        assert sum(len(w) for w in windows) == 8
+
+    def test_sliding_advances_by_step(self):
+        windows = sliding_windows(0, 5, 4, step=2)
+        assert windows == [Window(0, 3), Window(2, 5), Window(4, 5)]
+
+    def test_membership_and_length(self):
+        window = Window(2, 5)
+        assert len(window) == 4
+        assert 2 in window and 5 in window and 6 not in window

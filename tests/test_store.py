@@ -391,3 +391,107 @@ class TestExecutionSpecWiring:
         with TraceStore(path) as store:
             assert len(store) == len(db)
             assert store.committed()
+
+
+class TestFileSizeReporting:
+    def test_size_counts_wal_and_shm_sidecars(self, world, db, engine, tmp_path):
+        # Regression: the size used to read the main file alone, which on a
+        # live WAL store (uncheckpointed commits sit in -wal) understated
+        # real disk usage.  Written shards must grow the *reported* size
+        # even before any checkpoint folds them into the main file.
+        path = tmp_path / "sized.sqlite"
+        with TraceStore(path) as store:
+            empty = store.file_size_bytes()
+            server = Server(world, store=store)
+            plan = ShardPlan.build(sorted(db.users()), 4, rng=11)
+            sizes = [empty]
+            for users, times, batch in stream_shard_releases(engine, db, plan):
+                server.ingest_shard(
+                    users, times, batch, shard=plan.shard_of(int(users[0]))
+                )
+                sizes.append(store.file_size_bytes())
+            assert sizes == sorted(sizes) and sizes[-1] > empty
+            wal = path.with_name(path.name + "-wal")
+            assert wal.exists() and wal.stat().st_size > 0
+            assert store.file_size_bytes() >= path.stat().st_size + wal.stat().st_size
+
+    def test_memory_store_reports_zero(self):
+        with TraceStore(":memory:") as store:
+            assert store.file_size_bytes() == 0
+
+
+class TestAcceleratorServedReads:
+    """users()/times() answer from summaries, never a releases scan."""
+
+    @pytest.fixture()
+    def populated(self, world, db, engine, tmp_path):
+        with TraceStore(tmp_path / "reads.sqlite") as store:
+            _run(world, db, engine, store)
+            yield store
+
+    def test_users_and_times_match_full_scans(self, populated):
+        from repro.query.reference import full_scan_times, full_scan_users
+
+        assert populated.users() == full_scan_users(populated)
+        assert populated.times() == full_scan_times(populated)
+
+    @pytest.mark.parametrize("method", ["users", "times"])
+    def test_query_plan_never_touches_releases(self, populated, method):
+        # EXPLAIN QUERY PLAN on the exact SQL the read runs: the plan must
+        # be served from the summary/marks tables — any mention of the
+        # releases table means the O(rows) DISTINCT scan crept back in.
+        sql = {
+            "users": "SELECT user FROM user_summary",
+            "times": "SELECT DISTINCT round FROM shard_commits ORDER BY round",
+        }[method]
+        getattr(populated, method)()  # the SQL below is what this executes
+        plan = populated.connection.execute(f"EXPLAIN QUERY PLAN {sql}").fetchall()
+        assert plan, "EXPLAIN QUERY PLAN returned nothing"
+        detail = " | ".join(str(row) for row in plan)
+        assert "releases" not in detail.lower()
+
+
+class TestAcceleratorMaintenance:
+    def test_replayed_commit_is_a_noop(self, world, db, engine):
+        # Summaries merge by addition, so the idempotency guard must swallow
+        # an exact duplicate commit without double-counting.
+        plan = ShardPlan.build(sorted(db.users()), 2, rng=11)
+        with TraceStore(":memory:") as store:
+            server = Server(world, store=store)
+            parts = list(stream_shard_releases(engine, db, plan))
+            for users, times, batch in parts:
+                server.ingest_shard(users, times, batch, shard=plan.shard_of(int(users[0])))
+            counts = store.connection.execute(
+                "SELECT SUM(n) FROM round_cell_counts"
+            ).fetchone()
+            users, times, batch = parts[0]
+            store.commit_shard(
+                plan.shard_of(int(users[0])),
+                np.asarray(users), np.asarray(times), batch,
+                true_cells=np.asarray(batch.cells),
+            )
+            assert store.connection.execute(
+                "SELECT SUM(n) FROM round_cell_counts"
+            ).fetchone() == counts
+
+    def test_partial_round_overlap_rejected(self, world, engine):
+        with TraceStore(":memory:") as store:
+            batch = engine.release_batch(np.array([0, 1]), rng=np.random.default_rng(0))
+            store.commit_shard(0, np.array([1, 1]), np.array([0, 1]), batch)
+            grown = engine.release_batch(
+                np.array([0, 1, 2]), rng=np.random.default_rng(0)
+            )
+            with pytest.raises(StoreError, match="must commit together exactly once"):
+                store.commit_shard(0, np.array([1, 1, 1]), np.array([1, 2, 3]), grown)
+
+    def test_true_and_plain_commit_styles_cannot_mix(self, world, engine):
+        with TraceStore(":memory:") as store:
+            batch = engine.release_batch(np.array([0]), rng=np.random.default_rng(0))
+            store.commit_shard(
+                0, np.array([1]), np.array([0]), batch,
+                true_cells=np.asarray(batch.cells),
+            )
+            assert store.maintains_true_summaries() is True
+            other = engine.release_batch(np.array([5]), rng=np.random.default_rng(1))
+            with pytest.raises(StoreError, match="true"):
+                store.commit_shard(1, np.array([2]), np.array([0]), other)
